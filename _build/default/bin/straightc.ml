@@ -1,0 +1,56 @@
+(* Command-line compiler driver: MiniC -> STRAIGHT or RV32IM assembly /
+   execution.  See also examples/ for API-level usage. *)
+let () =
+  let usage = "straightc [-target straight|riscv] [-raw] [-maxdist N] [-run] [-asm] FILE" in
+  let target = ref "straight" in
+  let raw = ref false in
+  let maxdist = ref Straight_isa.Isa.max_dist in
+  let run = ref false in
+  let show_asm = ref false in
+  let dump = ref false in
+  let file = ref "" in
+  let spec =
+    [ ("-target", Arg.Set_string target, "straight|riscv");
+      ("-raw", Arg.Set raw, "disable RE+ redundancy elimination");
+      ("-maxdist", Arg.Set_int maxdist, "maximum source distance");
+      ("-run", Arg.Set run, "execute on the functional simulator");
+      ("-asm", Arg.Set show_asm, "print generated assembly");
+      ("-dump", Arg.Set dump, "disassemble the linked image") ]
+  in
+  Arg.parse spec (fun f -> file := f) usage;
+  if !file = "" then begin prerr_endline usage; exit 2 end;
+  let src = In_channel.with_open_text !file In_channel.input_all in
+  let prog = Minic.Lower.compile src in
+  List.iter Ssa_ir.Passes.optimize prog.Ssa_ir.Ir.funcs;
+  match !target with
+  | "straight" ->
+    let level = if !raw then Straight_cc.Codegen.Raw else Straight_cc.Codegen.Re_plus in
+    let config = { Straight_cc.Codegen.max_dist = !maxdist; level } in
+    let items = Straight_cc.Codegen.compile ~config prog in
+    if !show_asm then
+      print_string (Assembler.Asm.Straight.program_to_string items);
+    if !dump then
+      print_string
+        (Assembler.Asm.disassemble_straight
+           (Assembler.Asm.Straight.assemble ~entry:"_start" items));
+    if !run then begin
+      let image = Assembler.Asm.Straight.assemble ~entry:"_start" items in
+      let r = Iss.Straight_iss.run image in
+      print_string r.Iss.Trace.output;
+      Printf.printf "[retired %d instructions]\n" r.Iss.Trace.retired
+    end
+  | "riscv" ->
+    let items = Riscv_cc.Codegen.compile prog in
+    if !show_asm then
+      print_string (Assembler.Asm.Riscv.program_to_string items);
+    if !dump then
+      print_string
+        (Assembler.Asm.disassemble_riscv
+           (Assembler.Asm.Riscv.assemble ~entry:"_start" items));
+    if !run then begin
+      let image = Assembler.Asm.Riscv.assemble ~entry:"_start" items in
+      let r = Iss.Riscv_iss.run image in
+      print_string r.Iss.Trace.output;
+      Printf.printf "[retired %d instructions]\n" r.Iss.Trace.retired
+    end
+  | t -> Printf.eprintf "unknown target %s\n" t; exit 2

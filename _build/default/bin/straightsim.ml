@@ -1,0 +1,84 @@
+(* Cycle-level simulation driver: compile a MiniC file (or a built-in
+   workload) for a chosen Table-I model and report timing statistics.
+
+     straightsim [-model ss-2way|straight-2way|ss-4way|straight-4way]
+                 [-target straight|straight-raw|riscv] [-tage] [-ideal]
+                 [-maxdist N] [-workload dhrystone|coremark|fib|sort] [FILE] *)
+
+module Params = Ooo_common.Params
+module Exp = Straight_core.Experiment
+module Engine = Ooo_common.Engine
+
+let () =
+  let model_name = ref "straight-4way" in
+  let target_name = ref "straight" in
+  let tage = ref false in
+  let ideal = ref false in
+  let maxdist = ref Params.straight_max_dist in
+  let workload = ref "" in
+  let file = ref "" in
+  let spec =
+    [ ("-model", Arg.Set_string model_name, "ss-2way|straight-2way|ss-4way|straight-4way");
+      ("-target", Arg.Set_string target_name, "straight|straight-raw|riscv");
+      ("-tage", Arg.Set tage, "use the TAGE branch predictor");
+      ("-ideal", Arg.Set ideal, "idealize misprediction recovery (fig 13)");
+      ("-maxdist", Arg.Set_int maxdist, "maximum source distance (STRAIGHT)");
+      ("-workload", Arg.Set_string workload, "built-in workload name") ]
+  in
+  Arg.parse spec (fun f -> file := f) "straightsim [options] [FILE]";
+  let model =
+    match !model_name with
+    | "ss-2way" -> Params.ss_2way
+    | "straight-2way" -> Params.straight_2way
+    | "ss-4way" -> Params.ss_4way
+    | "straight-4way" -> Params.straight_4way
+    | m -> Printf.eprintf "unknown model %s\n" m; exit 2
+  in
+  let model = if !tage then Params.with_tage model else model in
+  let model = if !ideal then Params.with_ideal_recovery model else model in
+  let target =
+    match !target_name with
+    | "straight" -> Exp.Straight_re
+    | "straight-raw" -> Exp.Straight_raw
+    | "riscv" -> Exp.Riscv
+    | t -> Printf.eprintf "unknown target %s\n" t; exit 2
+  in
+  (match target, model.Params.rename with
+   | Exp.Riscv, Params.Rp
+   | (Exp.Straight_re | Exp.Straight_raw), (Params.Rmt _ | Params.Rmt_checkpoint _) ->
+     Printf.eprintf "warning: %s target on %s model mixes the ISA and the core\n"
+       !target_name model.Params.name
+   | _ -> ());
+  let w =
+    match !workload, !file with
+    | "dhrystone", _ -> Workloads.dhrystone ~iterations:100 ()
+    | "coremark", _ -> Workloads.coremark ~iterations:2 ()
+    | "fib", _ -> Workloads.fib ()
+    | "sort", _ -> Workloads.sort ()
+    | "", f when f <> "" ->
+      { Workloads.name = Filename.basename f;
+        source = In_channel.with_open_text f In_channel.input_all;
+        iterations = 1 }
+    | _ ->
+      prerr_endline "need a FILE or -workload"; exit 2
+  in
+  let r = Exp.run ~max_dist:!maxdist ~model ~target w in
+  let s = r.Exp.stats in
+  Printf.printf "model        : %s\n" r.Exp.model;
+  Printf.printf "target       : %s\n" (Exp.target_label r.Exp.target);
+  Printf.printf "cycles       : %d\n" r.Exp.cycles;
+  Printf.printf "instructions : %d\n" r.Exp.committed;
+  Printf.printf "IPC          : %.3f\n" r.Exp.ipc;
+  Printf.printf "branch misp  : %d (+%d returns)\n" s.Engine.branch_mispredicts
+    s.Engine.return_mispredicts;
+  Printf.printf "memdep viols : %d\n" s.Engine.memdep_violations;
+  Printf.printf "walk stalls  : %d cycles\n" s.Engine.walk_stall_cycles;
+  Printf.printf "L1I misses   : %d\n" s.Engine.l1i_misses;
+  Printf.printf "L1D misses   : %d / %d accesses\n" s.Engine.l1d_misses
+    s.Engine.l1d_accesses;
+  Printf.printf "wrong-path   : %d fetched\n" s.Engine.wrong_path_fetched;
+  Printf.printf "mix          : %s\n"
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) s.Engine.mix));
+  print_string "--- program output ---\n";
+  print_string r.Exp.output

@@ -1,0 +1,1 @@
+examples/compiler_tour.ml: Iss List Printf Ssa_ir Straight_cc Straight_core Workloads

@@ -1,0 +1,1 @@
+examples/distance_profile.ml: Array Iss List Printf Straight_cc Straight_core String Workloads

@@ -1,0 +1,1 @@
+examples/pipeline_explorer.ml: List Ooo_common Ooo_straight Printf Straight_cc Straight_core Workloads

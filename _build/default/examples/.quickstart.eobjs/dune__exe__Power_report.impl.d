@@ -1,0 +1,1 @@
+examples/power_report.ml: List Ooo_common Power Printf Straight_core Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Iss Ooo_common Ooo_straight Printf Straight_cc Straight_core

@@ -1,0 +1,76 @@
+(* Assembly playground: hand-written STRAIGHT programs straight out of the
+   paper, assembled, disassembled, and executed — the lowest-level entry
+   point into the library.
+
+     dune exec examples/asm_playground.exe *)
+
+(* The paper's Fig. 1(a): "this code calculates a Fibonacci series as long
+   as the ADD [1] [2] instruction is repeated". *)
+let fig1a = {|
+.text
+main:
+  ADDi [0] 1        # F(1)
+  ADDi [0] 1        # F(2)
+  ADD [1] [2]       # F(3) = F(2) + F(1)
+  ADD [1] [2]
+  ADD [1] [2]
+  ADD [1] [2]
+  ADD [1] [2]
+  ADD [1] [2]
+  ADD [1] [2]       # F(9)
+  LUI 0xFFFF0       # console base
+  ST [2] [1] 0      # putint F(9)
+  HALT
+|}
+
+(* The calling convention of Fig. 5/6: argument producers immediately
+   before JAL; the callee names them by fixed distances; the return value
+   sits immediately before JR. *)
+let calling_convention = {|
+.text
+main:
+  ADDi [0] 30       # producer of arg0
+  ADDi [0] 12       # producer of arg1 (immediately before JAL)
+  JAL callee
+  LUI 0xFFFF0
+  ST [3] [1] 0      # retval is at distance 2 right after return
+  HALT
+callee:
+  ADD [3] [2]       # arg0 + arg1: JAL at [1], arg1 at [2], arg0 at [3]
+  JR [2]            # return through the JAL's link value
+|}
+
+(* A loop with explicit distance fixing (Figs. 8/9): both entries of the
+   loop header present (pad, i, sum) at identical distances. *)
+let loop_with_frames = {|
+.text
+main:
+  ADDi [0] 0        # sum
+  ADDi [0] 1        # i
+  NOP               # aligns the fall-through with the back edge's J
+loop:
+  ADD [3] [2]       # sum' = sum + i
+  ADDi [3] 1        # i'   = i + 1
+  SLTi [1] 101      # i' <= 100
+  BEZ [1] done
+  RMOV [4]          # frame slot: sum'
+  RMOV [4]          # frame slot: i'
+  J loop
+done:
+  LUI 0xFFFF0
+  ST [5] [1] 0      # print sum' = 5050
+  HALT
+|}
+
+let show title src =
+  Printf.printf "\n===== %s =====\n" title;
+  let image = Assembler.Asm.Straight.assemble_source src in
+  print_string (Assembler.Asm.disassemble_straight image);
+  let r = Iss.Straight_iss.run image in
+  Printf.printf "--- output ---\n%s--- %d instructions retired ---\n"
+    r.Iss.Trace.output r.Iss.Trace.retired
+
+let () =
+  show "Fig. 1(a): Fibonacci by ADD [1] [2]" fig1a;
+  show "Figs. 5/6: calling convention" calling_convention;
+  show "Figs. 8/9: loop with distance fixing" loop_with_frames

@@ -1,0 +1,45 @@
+(* Quickstart: compile a MiniC program for STRAIGHT, inspect the generated
+   distance-operand assembly, and run it end to end.
+
+     dune exec examples/quickstart.exe *)
+
+let source = {|
+int fib(int n) {
+  int a = 0;
+  int b = 1;
+  for (int i = 0; i < n; i++) {
+    int t = a + b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+int main() {
+  for (int n = 0; n < 10; n++) putint(fib(n));
+  return 0;
+}
+|}
+
+let () =
+  print_endline "=== STRAIGHT assembly (RE+, max distance 31) ===";
+  print_string
+    (Straight_core.Compile.straight_asm ~max_dist:31
+       ~level:Straight_cc.Codegen.Re_plus source);
+  (* compile to a loadable image and execute on the functional simulator *)
+  let image, stats =
+    Straight_core.Compile.to_straight ~max_dist:31
+      ~level:Straight_cc.Codegen.Re_plus source
+  in
+  let run = Iss.Straight_iss.run image in
+  Printf.printf "=== program output ===\n%s" run.Iss.Trace.output;
+  Printf.printf "=== statistics ===\n";
+  Printf.printf "static instructions : %d (%d RMOV, %d NOP)\n"
+    stats.Straight_cc.Codegen.total stats.Straight_cc.Codegen.rmov
+    stats.Straight_cc.Codegen.nop;
+  Printf.printf "retired instructions: %d\n" run.Iss.Trace.retired;
+  (* and time it on the 2-way STRAIGHT core of Table I *)
+  let r = Ooo_straight.Pipeline.run Straight_core.Models.straight_2way image in
+  Printf.printf "STRAIGHT-2way cycles: %d (IPC %.2f)\n"
+    r.Ooo_straight.Pipeline.stats.Ooo_common.Engine.cycles
+    r.Ooo_straight.Pipeline.stats.Ooo_common.Engine.ipc

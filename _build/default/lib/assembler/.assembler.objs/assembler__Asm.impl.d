@@ -1,0 +1,1 @@
+lib/assembler/asm.ml: Array Buffer Format Hashtbl Image Int32 Layout List Printf Riscv_isa Straight_isa String

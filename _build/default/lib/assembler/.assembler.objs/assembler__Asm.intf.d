@@ -1,0 +1,1 @@
+lib/assembler/asm.mli: Format Image Riscv_isa Straight_isa

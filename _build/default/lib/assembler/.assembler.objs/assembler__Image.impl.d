@@ -1,0 +1,1 @@
+lib/assembler/image.ml: Array List

@@ -1,0 +1,1 @@
+lib/assembler/layout.ml:

@@ -1,0 +1,16 @@
+(* Memory layout shared by both targets (our "linker script").
+
+   The evaluation environment is a bare-metal 32-bit flat address space with
+   a tiny MMIO console, mirroring the paper's standalone benchmark runs. *)
+
+let text_base = 0x0000_1000
+let data_base = 0x0010_0000
+let stack_top = 0x0070_0000  (* initial SP, grows down *)
+
+(* MMIO console: a 32-bit store to these addresses performs output.  The
+   paper's benchmarks print their results; we need an observable channel to
+   differentially test the two compiler back-ends. *)
+let mmio_putint = 0xFFFF_0000
+let mmio_putchar = 0xFFFF_0004
+
+let is_mmio addr = addr land 0xFFFF_0000 = 0xFFFF_0000

@@ -1,0 +1,21 @@
+(** Memory layout shared by both targets (the "linker script"): a
+    bare-metal 32-bit flat address space with a tiny MMIO console,
+    mirroring the paper's standalone benchmark runs. *)
+
+val text_base : int
+(** Base address of the .text section. *)
+
+val data_base : int
+(** Base address of the .data section. *)
+
+val stack_top : int
+(** Initial SP; the stack grows down. *)
+
+val mmio_putint : int
+(** A 32-bit store here prints the value in decimal followed by a
+    newline. *)
+
+val mmio_putchar : int
+(** A 32-bit store here prints the low byte as a character. *)
+
+val is_mmio : int -> bool

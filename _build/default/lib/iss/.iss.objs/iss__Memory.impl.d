@@ -1,0 +1,1 @@
+lib/iss/memory.ml: Array Assembler Buffer Char Hashtbl Int32 Printf

@@ -1,0 +1,1 @@
+lib/iss/riscv_iss.ml: Array Assembler Format Int32 List Memory Riscv_isa Trace

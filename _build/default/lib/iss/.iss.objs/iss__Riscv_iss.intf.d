@@ -1,0 +1,1 @@
+lib/iss/riscv_iss.mli: Assembler Trace

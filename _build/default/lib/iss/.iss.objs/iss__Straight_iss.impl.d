@@ -1,0 +1,1 @@
+lib/iss/straight_iss.ml: Array Assembler Format Int32 List Memory Straight_isa Trace

@@ -1,0 +1,1 @@
+lib/iss/straight_iss.mli: Assembler Memory Trace

@@ -1,0 +1,61 @@
+(* Word-granular sparse memory with MMIO console.  Pages keep functional
+   simulation fast over millions of accesses. *)
+
+module Layout = Assembler.Layout
+module Image = Assembler.Image
+
+let page_words = 1024
+let page_shift = 10 (* log2 page_words *)
+
+type t = {
+  pages : (int, int32 array) Hashtbl.t;
+  console : Buffer.t;
+}
+
+let create () = { pages = Hashtbl.create 64; console = Buffer.create 256 }
+
+let page t index =
+  match Hashtbl.find_opt t.pages index with
+  | Some p -> p
+  | None ->
+    let p = Array.make page_words 0l in
+    Hashtbl.replace t.pages index p;
+    p
+
+exception Fault of string
+
+let check_aligned addr =
+  if addr land 3 <> 0 then
+    raise (Fault (Printf.sprintf "unaligned word access at 0x%x" addr))
+
+(* [read t addr] reads the 32-bit word at byte address [addr]. *)
+let read t addr =
+  check_aligned addr;
+  let w = addr lsr 2 in
+  (page t (w lsr page_shift)).(w land (page_words - 1))
+
+(* [write t addr v] writes [v]; MMIO addresses drive the console instead. *)
+let write t addr v =
+  check_aligned addr;
+  if Layout.is_mmio addr then begin
+    if addr = Layout.mmio_putint then
+      Buffer.add_string t.console (Printf.sprintf "%ld\n" v)
+    else if addr = Layout.mmio_putchar then
+      Buffer.add_char t.console (Char.chr (Int32.to_int v land 0xFF))
+    else raise (Fault (Printf.sprintf "unknown MMIO store at 0x%x" addr))
+  end
+  else begin
+    let w = addr lsr 2 in
+    (page t (w lsr page_shift)).(w land (page_words - 1)) <- v
+  end
+
+(* [load_image t image] copies .text and .data into memory. *)
+let load_image t (image : Image.t) =
+  Array.iteri
+    (fun i w -> write t (image.Image.text_base + (4 * i)) w)
+    image.Image.text;
+  Array.iteri
+    (fun i w -> write t (image.Image.data_base + (4 * i)) w)
+    image.Image.data
+
+let output t = Buffer.contents t.console

@@ -1,0 +1,23 @@
+(** Word-granular sparse memory with the MMIO console, shared by both
+    functional simulators. *)
+
+type t
+
+val create : unit -> t
+
+exception Fault of string
+
+val read : t -> int -> int32
+(** [read t addr] reads the 32-bit word at byte address [addr].
+    @raise Fault on unaligned access. *)
+
+val write : t -> int -> int32 -> unit
+(** [write t addr v] writes [v]; MMIO addresses drive the console instead
+    ({!Assembler.Layout.mmio_putint} / [mmio_putchar]).
+    @raise Fault on unaligned access or unknown MMIO address. *)
+
+val load_image : t -> Assembler.Image.t -> unit
+(** Copy .text and .data into memory. *)
+
+val output : t -> string
+(** Console output accumulated so far. *)

@@ -1,0 +1,111 @@
+(* Functional simulator for the RV32IM baseline. *)
+
+module Isa = Riscv_isa.Isa
+module Encoding = Riscv_isa.Encoding
+module Layout = Assembler.Layout
+module Image = Assembler.Image
+
+exception Exec_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Exec_error s)) fmt
+
+type config = { max_insns : int; collect_trace : bool }
+
+let default_config = { max_insns = 50_000_000; collect_trace = false }
+
+let decode_text (image : Image.t) : Isa.resolved array =
+  Array.mapi
+    (fun i w ->
+       match Encoding.decode w with
+       | Some insn -> insn
+       | None ->
+         fail "illegal instruction word 0x%lx at 0x%x" w
+           (image.Image.text_base + (4 * i)))
+    image.Image.text
+
+let run ?(config = default_config) (image : Image.t) : Trace.run =
+  let code = decode_text image in
+  let mem = Memory.create () in
+  Memory.load_image mem image;
+  let regs = Array.make 32 0l in
+  regs.(2) <- Int32.of_int Layout.stack_top;
+  let pc = ref image.Image.entry in
+  let count = ref 0 in
+  let uops = ref [] in
+  let halted = ref false in
+  let text_base = image.Image.text_base in
+  let text_len = Array.length code in
+  let set rd v = if rd <> 0 then regs.(rd) <- v in
+  while not !halted do
+    if !count >= config.max_insns then fail "instruction budget exceeded";
+    let idx = (!pc - text_base) asr 2 in
+    if idx < 0 || idx >= text_len then fail "PC out of text: 0x%x" !pc;
+    let insn = code.(idx) in
+    let here = !pc in
+    let next = ref (here + 4) in
+    let mem_addr = ref 0 in
+    let ctrl = ref Trace.Not_ctrl in
+    (match insn with
+     | Isa.Lui (rd, i) -> set rd (Int32.shift_left i 12)
+     | Isa.Auipc (rd, i) ->
+       set rd (Int32.add (Int32.of_int here) (Int32.shift_left i 12))
+     | Isa.Jal (rd, off) ->
+       let target = here + off in
+       set rd (Int32.of_int (here + 4));
+       next := target;
+       ctrl := Trace.Uncond { target; is_call = rd = 1; is_ret = false }
+     | Isa.Jalr (rd, rs1, imm) ->
+       let target = (Int32.to_int regs.(rs1) + imm) land 0xFFFFFFFE in
+       set rd (Int32.of_int (here + 4));
+       next := target;
+       ctrl := Trace.Uncond { target; is_call = rd = 1; is_ret = rd = 0 && rs1 = 1 }
+     | Isa.Branch (cond, rs1, rs2, off) ->
+       let taken = Isa.eval_branch cond regs.(rs1) regs.(rs2) in
+       let target = here + off in
+       if taken then next := target;
+       ctrl := Trace.Cond { taken; target }
+     | Isa.Lw (rd, rs1, imm) ->
+       let addr = (Int32.to_int regs.(rs1) + imm) land 0xFFFFFFFF in
+       mem_addr := addr;
+       set rd (Memory.read mem addr)
+     | Isa.Sw (rs2, rs1, imm) ->
+       let addr = (Int32.to_int regs.(rs1) + imm) land 0xFFFFFFFF in
+       mem_addr := addr;
+       Memory.write mem addr regs.(rs2)
+     | Isa.Alui (op, rd, rs1, imm) ->
+       set rd (Isa.eval_alu (Isa.alu_of_alui op) regs.(rs1) (Int32.of_int imm))
+     | Isa.Alu (op, rd, rs1, rs2) -> set rd (Isa.eval_alu op regs.(rs1) regs.(rs2))
+     | Isa.Ebreak -> halted := true);
+    if config.collect_trace then begin
+      let fu =
+        match Isa.kind insn with
+        | Isa.Kmul -> Trace.FU_mul
+        | Isa.Kdiv -> Trace.FU_div
+        | Isa.Kload -> Trace.FU_load
+        | Isa.Kstore -> Trace.FU_store
+        | Isa.Kbranch | Isa.Kjump -> Trace.FU_branch
+        | Isa.Kalu | Isa.Khalt -> Trace.FU_alu
+      in
+      let dest = match Isa.dest insn with Some rd -> rd | None -> 0 in
+      let u =
+        { Trace.pc = here;
+          fu;
+          srcs_dist = [||];
+          srcs_reg = Array.of_list (List.filter (fun r -> r <> 0) (Isa.sources insn));
+          dest_reg = dest;
+          has_dest = dest <> 0;
+          is_rmov = false;
+          is_nop = false;
+          is_spadd = false;
+          mem_addr = !mem_addr;
+          ctrl = !ctrl }
+      in
+      uops := u :: !uops
+    end;
+    incr count;
+    pc := !next
+  done;
+  { Trace.output = Memory.output mem;
+    retired = !count;
+    trace = Array.of_list (List.rev !uops);
+    dist_histogram = [||] }

@@ -1,0 +1,12 @@
+(** Functional simulator for the RV32IM baseline ISA. *)
+
+exception Exec_error of string
+
+type config = { max_insns : int; collect_trace : bool }
+
+val default_config : config
+
+val run : ?config:config -> Assembler.Image.t -> Trace.run
+(** Execute from the entry point until [ebreak]; SP (x2) starts at the
+    stack top.
+    @raise Exec_error on illegal instructions/PC or budget overrun. *)

@@ -1,0 +1,263 @@
+(* Functional (instruction-set level) simulator for STRAIGHT.
+
+   The architectural register file is modelled as the paper describes it: a
+   key-value ring indexed by the register pointer (RP).  Instruction number
+   [k] writes slot [k mod ring]; a source distance [d] reads slot
+   [(k - d) mod ring]; distance 0 reads the hard-wired zero.  SP is the only
+   overwritable register and is updated in order by SPADD.
+
+   STRAIGHT offers precise interrupts (Section III-A): the architectural
+   state is exactly {PC, SP, RP} plus the bounded window of the last
+   [max_dist] register values (older values can never be referenced).
+   [checkpoint]/[resume] implement that contract and are exercised by the
+   test suite: interrupting a run at any instruction boundary and resuming
+   from the captured state is indistinguishable from an uninterrupted run. *)
+
+module Isa = Straight_isa.Isa
+module Encoding = Straight_isa.Encoding
+module Layout = Assembler.Layout
+module Image = Assembler.Image
+
+exception Exec_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Exec_error s)) fmt
+
+(* Ring size: any power of two strictly greater than the maximum referable
+   distance works functionally (the microarchitectural MAX_RP sizing rule is
+   checked by the cycle model, not here). *)
+let ring = 2048
+let ring_mask = ring - 1
+
+type config = {
+  max_insns : int;       (* abort runaway programs *)
+  collect_trace : bool;  (* keep the full uop trace for the timing models *)
+  collect_dist : bool;   (* fill the source-distance histogram (Fig. 16) *)
+}
+
+let default_config =
+  { max_insns = 50_000_000; collect_trace = false; collect_dist = false }
+
+(* Pre-decoded text section for fast dispatch. *)
+let decode_text (image : Image.t) : Isa.resolved array =
+  Array.mapi
+    (fun i w ->
+       match Encoding.decode w with
+       | Some insn -> insn
+       | None ->
+         fail "illegal instruction word 0x%lx at 0x%x" w
+           (image.Image.text_base + (4 * i)))
+    image.Image.text
+
+type session = {
+  code : Isa.resolved array;
+  text_base : int;
+  mem : Memory.t;
+  regs : int32 array;
+  mutable sp : int32;
+  mutable pc : int;
+  mutable count : int;          (* retired instructions = architectural RP *)
+  mutable halted : bool;
+  config : config;
+  mutable uops : Trace.uop list;
+  dist_hist : int array;
+}
+
+(* [start ?config image] loads the image and returns a fresh session at the
+   reset state (SP at the stack top, PC at the entry point). *)
+let start ?(config = default_config) (image : Image.t) : session =
+  let mem = Memory.create () in
+  Memory.load_image mem image;
+  { code = decode_text image;
+    text_base = image.Image.text_base;
+    mem;
+    regs = Array.make ring 0l;
+    sp = Int32.of_int Layout.stack_top;
+    pc = image.Image.entry;
+    count = 0;
+    halted = false;
+    config;
+    uops = [];
+    dist_hist = Array.make (Isa.max_dist + 1) 0 }
+
+(* The precise architectural state at an instruction boundary: PC, SP, RP,
+   and the last [max_dist] register values (window.(i) is the value at
+   distance i+1). *)
+type arch_state = {
+  a_pc : int;
+  a_sp : int32;
+  a_rp : int;
+  a_window : int32 array;
+}
+
+(* [checkpoint s] captures the architectural state (e.g. to take an
+   interrupt).  Memory is shared state and is not part of the register
+   checkpoint, as in a conventional CPU. *)
+let checkpoint (s : session) : arch_state =
+  { a_pc = s.pc;
+    a_sp = s.sp;
+    a_rp = s.count;
+    a_window =
+      Array.init Isa.max_dist (fun i ->
+          let d = i + 1 in
+          if d > s.count then 0l else s.regs.((s.count - d) land ring_mask)) }
+
+(* [resume ?config image mem state] rebuilds a session from a checkpoint:
+   only {PC, SP, RP, window} are needed — the paper's precise-interrupt
+   property. *)
+let resume ?(config = default_config) (image : Image.t) (mem : Memory.t)
+    (st : arch_state) : session =
+  let s =
+    { code = decode_text image;
+      text_base = image.Image.text_base;
+      mem;
+      regs = Array.make ring 0l;
+      sp = st.a_sp;
+      pc = st.a_pc;
+      count = st.a_rp;
+      halted = false;
+      config;
+      uops = [];
+      dist_hist = Array.make (Isa.max_dist + 1) 0 }
+  in
+  Array.iteri
+    (fun i v ->
+       let d = i + 1 in
+       if d <= st.a_rp then s.regs.((st.a_rp - d) land ring_mask) <- v)
+    st.a_window;
+  s
+
+(* [step s] executes one instruction. *)
+let step (s : session) : unit =
+  if s.count >= s.config.max_insns then fail "instruction budget exceeded";
+  let idx = (s.pc - s.text_base) asr 2 in
+  if idx < 0 || idx >= Array.length s.code then fail "PC out of text: 0x%x" s.pc;
+  let insn = s.code.(idx) in
+  let here = s.pc in
+  let next = ref (here + 4) in
+  let result = ref 0l in
+  let mem_addr = ref 0 in
+  let ctrl = ref Trace.Not_ctrl in
+  let read_src d = if d = 0 then 0l else s.regs.((s.count - d) land ring_mask) in
+  let record_dist d =
+    if s.config.collect_dist && d > 0 then
+      s.dist_hist.(d) <- s.dist_hist.(d) + 1
+  in
+  (match insn with
+   | Isa.Alu (op, a, b) ->
+     record_dist a; record_dist b;
+     result := Isa.eval_alu op (read_src a) (read_src b)
+   | Isa.Alui (op, a, i) ->
+     record_dist a;
+     result := Isa.eval_alu (Isa.alu_of_alui op) (read_src a) i
+   | Isa.Lui i -> result := Int32.shift_left i 12
+   | Isa.Rmov a -> record_dist a; result := read_src a
+   | Isa.Nop -> result := 0l
+   | Isa.Ld (b, off) ->
+     record_dist b;
+     let addr = Int32.to_int (read_src b) + off in
+     mem_addr := addr land 0xFFFFFFFF;
+     result := Memory.read s.mem !mem_addr
+   | Isa.St (v, b, off) ->
+     record_dist v; record_dist b;
+     let addr = Int32.to_int (read_src b) + off in
+     mem_addr := addr land 0xFFFFFFFF;
+     let value = read_src v in
+     Memory.write s.mem !mem_addr value;
+     (* The paper: "store value is returned in the current specification" *)
+     result := value
+   | Isa.Bez (a, off) ->
+     record_dist a;
+     let taken = read_src a = 0l in
+     let target = here + (4 * off) in
+     if taken then next := target;
+     ctrl := Trace.Cond { taken; target }
+   | Isa.Bnz (a, off) ->
+     record_dist a;
+     let taken = read_src a <> 0l in
+     let target = here + (4 * off) in
+     if taken then next := target;
+     ctrl := Trace.Cond { taken; target }
+   | Isa.J off ->
+     let target = here + (4 * off) in
+     next := target;
+     ctrl := Trace.Uncond { target; is_call = false; is_ret = false }
+   | Isa.Jal off ->
+     let target = here + (4 * off) in
+     result := Int32.of_int (here + 4);
+     next := target;
+     ctrl := Trace.Uncond { target; is_call = true; is_ret = false }
+   | Isa.Jr a ->
+     record_dist a;
+     let target = Int32.to_int (read_src a) land 0xFFFFFFFF in
+     next := target;
+     result := Int32.of_int (here + 4);
+     ctrl := Trace.Uncond { target; is_call = false; is_ret = true }
+   | Isa.Spadd i ->
+     s.sp <- Int32.add s.sp (Int32.of_int i);
+     result := s.sp
+   | Isa.Halt -> s.halted <- true);
+  s.regs.(s.count land ring_mask) <- !result;
+  if s.config.collect_trace then begin
+    let fu =
+      match Isa.kind insn with
+      | Isa.Kmul -> Trace.FU_mul
+      | Isa.Kdiv -> Trace.FU_div
+      | Isa.Kload -> Trace.FU_load
+      | Isa.Kstore -> Trace.FU_store
+      | Isa.Kbranch | Isa.Kjump -> Trace.FU_branch
+      | Isa.Kalu | Isa.Krmov | Isa.Knop | Isa.Khalt -> Trace.FU_alu
+    in
+    let u =
+      { Trace.pc = here;
+        fu;
+        srcs_dist = Array.of_list (List.filter (fun d -> d > 0) (Isa.sources insn));
+        srcs_reg = [||];
+        dest_reg = 0;
+        has_dest = true;
+        is_rmov = (match insn with Isa.Rmov _ -> true | _ -> false);
+        is_nop = (match insn with Isa.Nop -> true | _ -> false);
+        is_spadd = (match insn with Isa.Spadd _ -> true | _ -> false);
+        mem_addr = !mem_addr;
+        ctrl = !ctrl }
+    in
+    s.uops <- u :: s.uops
+  end;
+  s.count <- s.count + 1;
+  s.pc <- !next
+
+(* [run_session ?until s] executes until HALT (or until the retired count
+   reaches [until]). *)
+let run_session ?(until = max_int) (s : session) : unit =
+  while (not s.halted) && s.count < until do
+    step s
+  done
+
+let finish (s : session) : Trace.run =
+  { Trace.output = Memory.output s.mem;
+    retired = s.count;
+    trace = Array.of_list (List.rev s.uops);
+    dist_histogram = s.dist_hist }
+
+(* [run ?config image] executes the whole program. *)
+let run ?(config = default_config) (image : Image.t) : Trace.run =
+  let s = start ~config image in
+  run_session s;
+  finish s
+
+(* [run_with_interrupt ~at image] takes a precise interrupt after [at]
+   retired instructions: the session is checkpointed, destroyed, and
+   rebuilt from only {PC, SP, RP, window} + memory before continuing.
+   The combined run must equal an uninterrupted one. *)
+let run_with_interrupt ?(config = default_config) ~(at : int)
+    (image : Image.t) : Trace.run =
+  let s = start ~config image in
+  run_session ~until:at s;
+  if s.halted then finish s
+  else begin
+    let st = checkpoint s in
+    let s' = resume ~config image s.mem st in
+    run_session s';
+    let r = finish s' in
+    (* the console is in shared memory state; retired counts accumulate *)
+    { r with Trace.retired = r.Trace.retired }
+  end

@@ -1,0 +1,64 @@
+(** Functional (instruction-set level) simulator for STRAIGHT.
+
+    The architectural register file is the paper's key-value ring indexed
+    by the register pointer (RP): instruction number [k] writes slot
+    [k mod ring], a source distance [d] reads slot [(k - d) mod ring],
+    distance 0 reads zero.  SP is the only overwritable register, updated
+    in order by SPADD.
+
+    The precise-interrupt contract (Section III-A) is exposed via
+    {!checkpoint}/{!resume}: the architectural state is exactly
+    {PC, SP, RP} plus the bounded window of the last
+    {!Straight_isa.Isa.max_dist} register values. *)
+
+exception Exec_error of string
+
+type config = {
+  max_insns : int;       (** abort runaway programs *)
+  collect_trace : bool;  (** keep the uop trace for the timing models *)
+  collect_dist : bool;   (** fill the source-distance histogram (Fig. 16) *)
+}
+
+val default_config : config
+
+type session
+(** An in-progress execution. *)
+
+val start : ?config:config -> Assembler.Image.t -> session
+(** Load the image; SP at the stack top, PC at the entry point. *)
+
+val step : session -> unit
+(** Execute one instruction.
+    @raise Exec_error on illegal PC, memory faults, or budget overrun. *)
+
+val run_session : ?until:int -> session -> unit
+(** Execute until HALT, or until the retired count reaches [until]. *)
+
+val finish : session -> Trace.run
+
+(** The precise architectural state at an instruction boundary:
+    [a_window.(i)] is the register value at distance [i + 1]. *)
+type arch_state = {
+  a_pc : int;
+  a_sp : int32;
+  a_rp : int;
+  a_window : int32 array;
+}
+
+val checkpoint : session -> arch_state
+(** Capture the architectural state (memory is shared state and is not
+    part of the register checkpoint, as on a conventional CPU). *)
+
+val resume :
+  ?config:config -> Assembler.Image.t -> Memory.t -> arch_state -> session
+(** Rebuild a session from a checkpoint: only {PC, SP, RP, window} are
+    needed — the paper's precise-interrupt property. *)
+
+val run : ?config:config -> Assembler.Image.t -> Trace.run
+(** Execute a whole program. *)
+
+val run_with_interrupt :
+  ?config:config -> at:int -> Assembler.Image.t -> Trace.run
+(** Take a precise interrupt after [at] retired instructions: checkpoint,
+    destroy the session, rebuild from the checkpoint, continue.  The
+    result must equal an uninterrupted {!run} (tested). *)

@@ -1,0 +1,55 @@
+(* Normalized dynamic-instruction records.
+
+   The functional simulators retire instructions in program order and emit
+   one [uop] per retired instruction.  The cycle-accurate models replay this
+   correct-path trace (oracle outcomes for branches and memory addresses)
+   while fetching wrong-path instructions from the static image — see
+   DESIGN.md "Substitutions" for the wrong-path modelling note. *)
+
+type fu_class =
+  | FU_alu          (* 1-cycle integer op (incl. RMOV and NOP slots) *)
+  | FU_mul
+  | FU_div
+  | FU_branch       (* conditional branch / jump resolution unit *)
+  | FU_load
+  | FU_store
+
+type ctrl =
+  | Not_ctrl
+  | Cond of { taken : bool; target : int }   (* target = taken destination *)
+  | Uncond of { target : int; is_call : bool; is_ret : bool }
+
+type uop = {
+  pc : int;
+  fu : fu_class;
+  (* STRAIGHT dependence representation: source distances (0 = zero reg,
+     i.e. no dependence).  Empty for RISC-V traces. *)
+  srcs_dist : int array;
+  (* RISC-V dependence representation: source logical registers (x0 = no
+     dependence) and destination (0 = none).  Empty/0 for STRAIGHT traces. *)
+  srcs_reg : int array;
+  dest_reg : int;
+  has_dest : bool;        (* STRAIGHT: always true; RISC-V: rd <> x0 *)
+  is_rmov : bool;         (* instruction-mix bucket of Fig. 15 *)
+  is_nop : bool;
+  is_spadd : bool;        (* SPADD: serialized in-order at decode (III-B) *)
+  mem_addr : int;         (* byte address for load/store; 0 otherwise *)
+  ctrl : ctrl;
+}
+
+let kind_label u =
+  match u.fu with
+  | FU_load -> "LD"
+  | FU_store -> "ST"
+  | FU_branch -> "Jump+Branch"
+  | FU_mul | FU_div -> "ALU"
+  | FU_alu -> if u.is_rmov then "RMOV" else if u.is_nop then "NOP" else "ALU"
+
+(* A completed program run. *)
+type run = {
+  output : string;             (* MMIO console output *)
+  retired : int;               (* dynamic instruction count (HALT included) *)
+  trace : uop array;           (* empty unless tracing was requested *)
+  dist_histogram : int array;  (* source-distance counts, index = distance;
+                                  only filled for STRAIGHT runs *)
+}

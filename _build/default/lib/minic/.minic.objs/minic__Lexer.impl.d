@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Char Format Int64 List String

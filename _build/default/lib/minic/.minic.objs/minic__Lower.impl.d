@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Assembler Ast Char Format Hashtbl Int32 List Parser Ssa_ir

@@ -1,0 +1,56 @@
+(* Abstract syntax of MiniC, the C subset our workloads are written in.
+   See DESIGN.md: MiniC + ssa_ir substitute for clang + LLVM IR. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr          (* >> is arithmetic, as C on int *)
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor                          (* short-circuit && and || *)
+
+type unop = Neg | Not | Bnot            (* -e, !e, ~e *)
+
+type expr =
+  | Num of int32
+  | Char of char                        (* 'c' literal *)
+  | Var of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+  | Index of expr * expr                (* base[index], 4-byte scaled *)
+  | Ternary of expr * expr * expr       (* c ? a : b, short-circuit *)
+
+type lvalue =
+  | Lvar of string
+  | Lindex of expr * expr
+
+type stmt =
+  | Decl of string * decl_init
+  | Assign of lvalue * expr
+  | If of expr * stmt * stmt option
+  | While of expr * stmt
+  | Do_while of stmt * expr
+  | For of stmt option * expr option * stmt option * stmt
+  | Return of expr
+  | Break
+  | Continue
+  | Block of stmt list
+  | Expr_stmt of expr
+
+and decl_init =
+  | Scalar of expr option               (* int x; / int x = e; *)
+  | Array of int                        (* int a[n]; *)
+
+type global =
+  | Gvar of string * int32              (* int g = c; *)
+  | Garray of string * int * int32 list (* int a[n] = {...}; *)
+
+type func = {
+  name : string;
+  params : string list;
+  body : stmt list;
+}
+
+type program = {
+  globals : global list;
+  funcs : func list;
+}

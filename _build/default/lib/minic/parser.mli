@@ -1,0 +1,10 @@
+(** Recursive-descent parser for MiniC: C expression precedence,
+    statements ([if]/[while]/[do]/[for]/[break]/[continue]/[return]),
+    compound assignment and increment sugar, global scalars/arrays with
+    initializers, function definitions and prototypes. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.program
+(** [parse src] parses a full translation unit.
+    @raise Parse_error (or {!Lexer.Lex_error}) on malformed input. *)

@@ -1,0 +1,1 @@
+lib/ooo_common/branch_pred.ml: Array Bytes Char Params

@@ -1,0 +1,1 @@
+lib/ooo_common/branch_pred.mli: Params

@@ -1,0 +1,1 @@
+lib/ooo_common/cache.ml: Array Option Params

@@ -1,0 +1,1 @@
+lib/ooo_common/engine.ml: Array Branch_pred Cache Format Hashtbl Iss List Memdep Option Params Printf Queue String

@@ -1,0 +1,1 @@
+lib/ooo_common/engine.mli: Iss Params

@@ -1,0 +1,182 @@
+(* Branch direction predictors: gshare (Table I: 10-bit global history,
+   32 K entries) and an 8-component TAGE (Section VI-A, Fig. 14), plus a
+   return-address stack.  Direct-jump/branch targets are assumed to hit a
+   perfect BTB, as in most academic simulators; returns are predicted by
+   the RAS. *)
+
+type t = {
+  predict : int -> bool;          (* pc -> taken? *)
+  update : int -> bool -> unit;   (* pc -> actual outcome *)
+}
+
+(* ---------- gshare ---------- *)
+
+let gshare ?(history_bits = 10) ?(entries = 32768) () : t =
+  let table = Bytes.make entries '\002' (* 2-bit counters, init weakly taken *) in
+  let history = ref 0 in
+  let index pc =
+    ((pc lsr 2) lxor (!history lsl (14 - history_bits))) land (entries - 1)
+  in
+  let predict pc = Char.code (Bytes.get table (index pc)) >= 2 in
+  let update pc taken =
+    let i = index pc in
+    let c = Char.code (Bytes.get table i) in
+    let c' = if taken then min 3 (c + 1) else max 0 (c - 1) in
+    Bytes.set table i (Char.chr c');
+    history := ((!history lsl 1) lor (if taken then 1 else 0))
+               land ((1 lsl history_bits) - 1)
+  in
+  { predict; update }
+
+(* ---------- TAGE ---------- *)
+
+(* A compact TAGE with a bimodal base and 7 tagged components with
+   geometric history lengths (8 components total, as "8-component
+   CBP-TAGE").  Counters are 3 bits, tags 11 bits, usefulness 2 bits. *)
+
+module Tage = struct
+  type entry = { mutable tag : int; mutable ctr : int; mutable useful : int }
+
+  type component = {
+    entries : entry array;
+    hist_len : int;
+    index_of : int -> int -> int;   (* pc -> folded history -> index *)
+    tag_of : int -> int -> int;
+  }
+
+  type state = {
+    bimodal : Bytes.t;
+    comps : component array;
+    mutable ghist : int;            (* 64-bit global history (low bits) *)
+    mutable tick : int;
+  }
+
+  let log_entries = 10
+  let n_tagged = 7
+
+  let fold hist len bits =
+    (* fold [len] history bits into [bits] bits *)
+    let len = min len 62 in
+    let masked = hist land ((1 lsl len) - 1) in
+    let rec go acc h =
+      if h = 0 then acc else go (acc lxor (h land ((1 lsl bits) - 1))) (h lsr bits)
+    in
+    go 0 masked
+
+  let create () =
+    let hist_lens = [| 4; 8; 16; 24; 32; 44; 60 |] in
+    let comps =
+      Array.map
+        (fun hl ->
+           let entries =
+             Array.init (1 lsl log_entries) (fun _ ->
+                 { tag = 0; ctr = 0; useful = 0 })
+           in
+           { entries;
+             hist_len = hl;
+             index_of =
+               (fun pc h ->
+                  ((pc lsr 2) lxor fold h hl log_entries)
+                  land ((1 lsl log_entries) - 1));
+             tag_of =
+               (fun pc h ->
+                  ((pc lsr 2) lxor fold h hl 11 lxor (fold h hl 10 lsl 1))
+                  land 0x7FF) })
+        hist_lens
+    in
+    { bimodal = Bytes.make 16384 '\002'; comps; ghist = 0; tick = 0 }
+
+  let bimodal_index pc = (pc lsr 2) land 16383
+
+  (* find the longest matching component; return (component idx, entry) *)
+  let lookup st pc =
+    let found = ref None in
+    for i = n_tagged - 1 downto 0 do
+      if !found = None then begin
+        let c = st.comps.(i) in
+        let e = c.entries.(c.index_of pc st.ghist) in
+        if e.tag = c.tag_of pc st.ghist then found := Some (i, e)
+      end
+    done;
+    !found
+
+  let predict st pc =
+    match lookup st pc with
+    | Some (_, e) -> e.ctr >= 0
+    | None -> Char.code (Bytes.get st.bimodal (bimodal_index pc)) >= 2
+
+  let update st pc taken =
+    let provider = lookup st pc in
+    let pred =
+      match provider with
+      | Some (_, e) -> e.ctr >= 0
+      | None -> Char.code (Bytes.get st.bimodal (bimodal_index pc)) >= 2
+    in
+    (match provider with
+     | Some (_, e) ->
+       e.ctr <- (if taken then min 3 (e.ctr + 1) else max (-4) (e.ctr - 1));
+       if pred = taken then e.useful <- min 3 (e.useful + 1)
+       else e.useful <- max 0 (e.useful - 1)
+     | None ->
+       let i = bimodal_index pc in
+       let c = Char.code (Bytes.get st.bimodal i) in
+       let c' = if taken then min 3 (c + 1) else max 0 (c - 1) in
+       Bytes.set st.bimodal i (Char.chr c'));
+    (* allocate a longer-history entry on a misprediction *)
+    if pred <> taken then begin
+      let start = match provider with Some (i, _) -> i + 1 | None -> 0 in
+      let allocated = ref false in
+      for i = start to n_tagged - 1 do
+        if not !allocated then begin
+          let c = st.comps.(i) in
+          let e = c.entries.(c.index_of pc st.ghist) in
+          if e.useful = 0 then begin
+            e.tag <- c.tag_of pc st.ghist;
+            e.ctr <- (if taken then 0 else -1);
+            allocated := true
+          end
+        end
+      done;
+      (* periodically age usefulness so allocation cannot starve *)
+      st.tick <- st.tick + 1;
+      if st.tick land 1023 = 0 then
+        Array.iter
+          (fun c ->
+             Array.iter (fun e -> e.useful <- max 0 (e.useful - 1)) c.entries)
+          st.comps
+    end;
+    st.ghist <- ((st.ghist lsl 1) lor (if taken then 1 else 0))
+                land ((1 lsl 62) - 1)
+end
+
+let tage () : t =
+  let st = Tage.create () in
+  { predict = (fun pc -> Tage.predict st pc);
+    update = (fun pc taken -> Tage.update st pc taken) }
+
+let make = function
+  | Params.Gshare -> gshare ()
+  | Params.Tage -> tage ()
+
+(* ---------- return address stack ---------- *)
+
+module Ras = struct
+  type t = { stack : int array; mutable top : int }
+
+  let create ?(depth = 16) () = { stack = Array.make depth 0; top = 0 }
+
+  let push t addr =
+    t.stack.(t.top mod Array.length t.stack) <- addr;
+    t.top <- t.top + 1
+
+  let pop t =
+    if t.top = 0 then None
+    else begin
+      t.top <- t.top - 1;
+      Some t.stack.(t.top mod Array.length t.stack)
+    end
+
+  (* recovery: snapshot/restore the top-of-stack pointer *)
+  let save t = t.top
+  let restore t top = t.top <- top
+end

@@ -1,0 +1,26 @@
+(** Branch direction predictors — gshare (Table I: 10-bit global history,
+    32 K entries) and an 8-component TAGE (Fig. 14) — plus the return
+    address stack.  Direct branch/jump targets are assumed to hit a
+    perfect BTB; returns are predicted by the RAS. *)
+
+type t = {
+  predict : int -> bool;          (** pc -> predicted taken? *)
+  update : int -> bool -> unit;   (** pc -> actual outcome *)
+}
+
+val gshare : ?history_bits:int -> ?entries:int -> unit -> t
+val tage : unit -> t
+val make : Params.predictor_kind -> t
+
+(** Return-address stack with O(1) save/restore of the top-of-stack
+    pointer for misprediction recovery.  Wrong-path pushes can still
+    overwrite entries, as in real hardware. *)
+module Ras : sig
+  type t
+
+  val create : ?depth:int -> unit -> t
+  val push : t -> int -> unit
+  val pop : t -> int option
+  val save : t -> int
+  val restore : t -> int -> unit
+end

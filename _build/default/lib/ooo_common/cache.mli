@@ -1,0 +1,47 @@
+(** Set-associative caches with LRU replacement, the three-level hierarchy
+    of Table I, and a next-line stream prefetcher on the data side
+    (Section V-A). *)
+
+type cache = {
+  sets : int;
+  ways : int;
+  line_shift : int;
+  tags : int array;
+  lru : int array;
+  hit_latency : int;
+  mutable accesses : int;
+  mutable misses : int;
+  mutable stamp : int;
+}
+
+val create : Params.cache_params -> cache
+
+val touch : cache -> int -> bool
+(** [touch c addr] looks up and fills on miss; [true] on hit. *)
+
+val fill : cache -> int -> unit
+(** Silent install (prefetch): no access/miss accounting. *)
+
+type hierarchy = {
+  l1i : cache;
+  l1d : cache;
+  l2 : cache;
+  l3 : cache option;
+  memory_latency : int;
+  prefetch_degree : int;
+  mutable prefetches : int;
+}
+
+val create_hierarchy : Params.t -> hierarchy
+
+val access_below : hierarchy -> int -> int
+(** Walk L2/L3/memory; returns the additional latency beyond L1. *)
+
+val data_access : hierarchy -> int -> int
+(** Total load-to-use latency for a data access; trains the next-line
+    stream prefetcher on L1D misses. *)
+
+val inst_access : hierarchy -> int -> int
+(** Instruction-fetch penalty for the line at [pc]: 0 on an L1I hit (the
+    hit latency is pipelined into the front-end depth), the miss latency
+    otherwise. *)

@@ -1,0 +1,716 @@
+(* Cycle-level out-of-order core model, shared between the STRAIGHT and the
+   superscalar RV32IM pipelines (Section V-A: "both simulators share common
+   codes for the most part").
+
+   The model is trace-driven on the correct path (the functional simulator
+   supplies oracle branch outcomes and memory addresses) and fetches
+   wrong-path instructions from the static image after a misprediction, so
+   that squash cost — the ROB walk whose length is the number of squashed
+   entries — is modeled faithfully.  See DESIGN.md for the wrong-path
+   modelling notes.
+
+   Differences between the two cores are concentrated in:
+   - operand determination (RMT lookups + free list vs. RP arithmetic),
+   - front-end depth (8 vs. 6 stages),
+   - misprediction recovery (ROB walk at fetch width + RMT restore vs. a
+     single ROB read). *)
+
+module Trace = Iss.Trace
+
+type activity = {
+  mutable rename_reads : int;      (* RMT read ports exercised *)
+  mutable rename_writes : int;     (* RMT writes *)
+  mutable freelist_ops : int;
+  mutable rp_ops : int;            (* STRAIGHT operand-determination adds *)
+  mutable rf_reads : int;
+  mutable rf_writes : int;
+  mutable iq_wakeups : int;
+  mutable rob_writes : int;
+  mutable rob_walk_steps : int;
+  mutable alu_ops : int;
+  mutable agu_ops : int;
+}
+
+let fresh_activity () =
+  { rename_reads = 0; rename_writes = 0; freelist_ops = 0; rp_ops = 0;
+    rf_reads = 0; rf_writes = 0; iq_wakeups = 0; rob_writes = 0;
+    rob_walk_steps = 0; alu_ops = 0; agu_ops = 0 }
+
+type dyn = {
+  seq : int;
+  uop : Trace.uop;
+  wrong_path : bool;
+  trace_idx : int;                  (* -1 on the wrong path *)
+  fetched_at : int;
+  mutable producers : int list;     (* producer seq numbers *)
+  mutable dispatched : bool;
+  mutable dispatched_at : int;
+  mutable issued : bool;
+  mutable ready_at : int;           (* cycle the result is available *)
+  mutable replay_bump : int;        (* extra wakeup delay for consumers *)
+  mutable mispredicted : bool;
+  mutable resume_idx : int;         (* trace index to resume after squash *)
+  mutable addr_known : bool;        (* stores: address resolved *)
+  mutable executed_load : bool;
+  mutable recovery_at : int;        (* pending recovery event; -1 = none *)
+  mutable ras_snapshot : int;       (* RAS top-of-stack for recovery *)
+}
+
+type stats = {
+  cycles : int;
+  committed : int;
+  wrong_path_fetched : int;
+  branch_mispredicts : int;
+  return_mispredicts : int;
+  memdep_violations : int;
+  walk_stall_cycles : int;
+  spadd_stall_slots : int;    (* dispatch slots lost to the SPADD limit *)
+  checkpoint_stall_slots : int;
+  l1i_misses : int;
+  l1d_misses : int;
+  l1d_accesses : int;
+  mix : (string * int) list;        (* retired instruction kinds (Fig. 15) *)
+  activity : activity;
+  ipc : float;
+}
+
+exception Sim_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Sim_error s)) fmt
+
+type fetch_mode =
+  | Fetch_correct of int            (* next trace index *)
+  | Fetch_wrong of int              (* wrong-path static pc *)
+  | Fetch_stalled                   (* waiting for a redirect *)
+
+let fu_latency (p : Params.t) = function
+  | Trace.FU_alu -> p.latency_alu
+  | Trace.FU_mul -> p.latency_mul
+  | Trace.FU_div -> p.latency_div
+  | Trace.FU_branch -> 1
+  | Trace.FU_load -> 1 (* + cache *)
+  | Trace.FU_store -> 1
+
+(* [run p ~trace ~decode_static ~max_dist ()] simulates the whole trace and
+   returns timing statistics.  [decode_static pc] supplies wrong-path
+   instructions; [max_dist] is only used by the Rp model for a sanity check
+   on STRAIGHT distances. *)
+let run (p : Params.t) ~(trace : Trace.uop array)
+    ~(decode_static : int -> Trace.uop option) () : stats =
+  let n_trace = Array.length trace in
+  if n_trace = 0 then fail "empty trace";
+  let hier = Cache.create_hierarchy p in
+  let pred = Branch_pred.make p.predictor in
+  let ras = Branch_pred.Ras.create () in
+  let memdep = Memdep.create () in
+  let act = fresh_activity () in
+  (* dynamic instruction table *)
+  let dyns : (int, dyn) Hashtbl.t = Hashtbl.create 1024 in
+  let next_seq = ref 0 in
+  let trace_seq = Array.make n_trace (-1) in
+  (* pipeline structures, all as lists ordered young-at-head or queues *)
+  let frontend_q : dyn Queue.t = Queue.create () in
+  let rob : dyn Queue.t = Queue.create () in
+  let iq : dyn list ref = ref [] in          (* unordered; scanned by age *)
+  let ldq : dyn list ref = ref [] in
+  let stq : dyn list ref = ref [] in
+  (* rename state (superscalar) *)
+  let rmt = Array.make 32 (-1) in
+  let arch_regs = 32 in
+  let free_regs =
+    ref (match p.rename with
+         | Params.Rmt { phys_regs } | Params.Rmt_checkpoint { phys_regs; _ } ->
+           phys_regs - arch_regs
+         | Params.Rp -> max_int / 2)
+  in
+  let is_rmt = match p.rename with Params.Rmt _ | Params.Rmt_checkpoint _ -> true
+                                 | Params.Rp -> false in
+  let checkpoint_limit =
+    match p.rename with
+    | Params.Rmt_checkpoint { checkpoints; _ } -> checkpoints
+    | _ -> max_int
+  in
+  let inflight_ctrl = ref 0 in
+  let spadd_stalls = ref 0 in
+  let checkpoint_stalls = ref 0 in
+  let rename_blocked_until = ref 0 in
+  let fetch_stall_until = ref 0 in
+  let mode = ref (Fetch_correct 0) in
+  let now = ref 0 in
+  let done_ = ref false in
+  let committed = ref 0 in
+  let wrong_fetched = ref 0 in
+  let branch_misp = ref 0 in
+  let ret_misp = ref 0 in
+  let walk_stalls = ref 0 in
+  let mix : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  (* pending recovery events: (cycle, seq of faulting instr, resume idx,
+     refetch_including_self) *)
+  let recoveries : (int * int * int * bool) list ref = ref [] in
+
+  let producer_ready seqno =
+    match Hashtbl.find_opt dyns seqno with
+    | None -> 0 (* committed or squashed: value available *)
+    | Some d -> d.ready_at + d.replay_bump
+  in
+
+  let mk_dyn ~uop ~wrong_path ~trace_idx =
+    let d =
+      { seq = !next_seq;
+        uop; wrong_path; trace_idx;
+        fetched_at = !now;
+        producers = [];
+        dispatched = false;
+        dispatched_at = 0;
+        issued = false;
+        ready_at = max_int / 2;
+        replay_bump = 0;
+        mispredicted = false;
+        resume_idx = -1;
+        addr_known = false;
+        executed_load = false;
+        recovery_at = -1;
+        ras_snapshot = 0 }
+    in
+    incr next_seq;
+    Hashtbl.replace dyns d.seq d;
+    d
+  in
+
+  (* ---------- squash ---------- *)
+  (* Returns the number of physical registers released by the squash: one
+     per renamed (ROB-resident) squashed instruction with a destination. *)
+  let squash_from first_bad_seq =
+    let keep l = List.filter (fun d -> d.seq < first_bad_seq) l in
+    iq := keep !iq;
+    ldq := keep !ldq;
+    stq := keep !stq;
+    let freed = ref 0 in
+    Queue.iter
+      (fun d ->
+         if d.seq >= first_bad_seq && d.uop.Trace.has_dest
+            && d.uop.Trace.dest_reg <> 0
+         then incr freed)
+      rob;
+    let refilter q =
+      let tmp = Queue.create () in
+      Queue.iter (fun d -> if d.seq < first_bad_seq then Queue.add d tmp) q;
+      Queue.clear q;
+      Queue.transfer tmp q
+    in
+    refilter frontend_q;
+    refilter rob;
+    let to_remove =
+      Hashtbl.fold (fun s _ acc -> if s >= first_bad_seq then s :: acc else acc)
+        dyns []
+    in
+    List.iter (Hashtbl.remove dyns) to_remove;
+    !freed
+  in
+
+  (* RAM-based RMT recovery walks the ROB over the squashed (younger)
+     entries, undoing each mapping (Section II-A; [14] reports the penalty
+     as several tens of cycles with a 256-entry ROB).  The checkpoint-free
+     RMT cannot rename newly fetched instructions until the walk finishes,
+     so the walk serializes with the refetch. *)
+  let walk_entries_after seqno =
+    let c = ref 0 in
+    Queue.iter (fun d -> if d.seq > seqno then incr c) rob;
+    !c
+  in
+
+  (* ---------- recovery ---------- *)
+  let do_recovery ~(faulting : dyn) ~(resume_idx : int) ~(include_self : bool) =
+    let first_bad = if include_self then faulting.seq else faulting.seq + 1 in
+    let walk_len =
+      match p.rename with
+      | Params.Rmt _ ->
+        let n = walk_entries_after (first_bad - 1) in
+        act.rob_walk_steps <- act.rob_walk_steps + n;
+        (n + p.fetch_width - 1) / p.fetch_width
+      | Params.Rmt_checkpoint _ -> 0 (* checkpoint restore *)
+      | Params.Rp -> 0 (* a single ROB entry read restores RP/SP/PC (Fig. 4) *)
+    in
+    let freed = squash_from first_bad in
+    (* recount in-flight control instructions (checkpoint occupancy) *)
+    inflight_ctrl := 0;
+    Queue.iter
+      (fun d ->
+         match d.uop.Trace.ctrl with
+         | Trace.Cond _ | Trace.Uncond _ -> incr inflight_ctrl
+         | Trace.Not_ctrl -> ())
+      rob;
+    (match p.rename with
+     | Params.Rmt _ | Params.Rmt_checkpoint _ ->
+       (* functionally rebuild the RMT from the surviving ROB (the hardware
+          walk does this incrementally; the walk time is modeled below) *)
+       Array.fill rmt 0 32 (-1);
+       Queue.iter
+         (fun d ->
+            if d.uop.Trace.has_dest && d.uop.Trace.dest_reg <> 0 then
+              rmt.(d.uop.Trace.dest_reg) <- d.seq)
+         rob;
+       (* the walk returns the squashed instructions' registers *)
+       free_regs := !free_regs + freed;
+       (* refetch is gated on walk completion (checkpoint-free RMT) *)
+       rename_blocked_until := max !rename_blocked_until (!now + walk_len);
+       fetch_stall_until := max !fetch_stall_until (!now + walk_len);
+       if walk_len > 0 then walk_stalls := !walk_stalls + walk_len
+     | Params.Rp ->
+       fetch_stall_until := max !fetch_stall_until !now);
+    ignore is_rmt;
+    Branch_pred.Ras.restore ras faulting.ras_snapshot;
+    mode := Fetch_correct resume_idx
+  in
+
+  (* ---------- commit ---------- *)
+  let commit () =
+    let budget = ref p.commit_width in
+    let continue_ = ref true in
+    while !continue_ && !budget > 0 && not (Queue.is_empty rob) do
+      let d = Queue.peek rob in
+      (* an instruction with a pending recovery must not retire before the
+         redirect has been processed *)
+      if d.issued && d.ready_at <= !now
+         && (d.recovery_at < 0 || !now >= d.recovery_at)
+      then begin
+        ignore (Queue.pop rob);
+        Hashtbl.remove dyns d.seq;
+        decr budget;
+        ldq := List.filter (fun x -> x.seq <> d.seq) !ldq;
+        stq := List.filter (fun x -> x.seq <> d.seq) !stq;
+        (* orphaned wrong-path instructions drain through commit; their
+           registers must return to the free list *)
+        (match p.rename with
+         | (Params.Rmt _ | Params.Rmt_checkpoint _)
+           when d.wrong_path && d.uop.Trace.has_dest
+                && d.uop.Trace.dest_reg <> 0 ->
+           incr free_regs
+         | _ -> ());
+        (match d.uop.Trace.ctrl with
+         | Trace.Cond _ | Trace.Uncond _ ->
+           if !inflight_ctrl > 0 then decr inflight_ctrl
+         | Trace.Not_ctrl -> ());
+        if not d.wrong_path then begin
+          incr committed;
+          let k = Trace.kind_label d.uop in
+          Hashtbl.replace mix k (1 + Option.value ~default:0 (Hashtbl.find_opt mix k));
+          (match d.uop.Trace.fu with
+           | Trace.FU_store when d.uop.Trace.mem_addr <> 0 ->
+             (* drain through the store buffer: cache effects only *)
+             ignore (Cache.data_access hier d.uop.Trace.mem_addr)
+           | _ -> ());
+          (match p.rename with
+           | (Params.Rmt _ | Params.Rmt_checkpoint _) when d.uop.Trace.has_dest ->
+             (* the previous mapping of the destination becomes free *)
+             incr free_regs;
+             act.freelist_ops <- act.freelist_ops + 1
+           | _ -> ());
+          if d.uop.Trace.fu = Trace.FU_alu && d.uop.Trace.is_nop
+             && d.trace_idx = n_trace - 1
+          then done_ := true;
+          if d.trace_idx = n_trace - 1 then done_ := true
+        end
+      end
+      else continue_ := false
+    done
+  in
+
+  (* ---------- issue ---------- *)
+  let issue () =
+    let ports_alu = ref p.n_alu and ports_mul = ref p.n_mul in
+    let ports_div = ref p.n_div and ports_bc = ref p.n_bc in
+    let ports_mem = ref p.n_mem in
+    let total = ref p.issue_width in
+    let by_age = List.sort (fun a b -> compare a.seq b.seq) !iq in
+    let issued_now = ref [] in
+    List.iter
+      (fun d ->
+         if !total > 0 && not d.issued
+            && !now >= d.dispatched_at + p.dispatch_issue_latency
+         then begin
+           let port =
+             match d.uop.Trace.fu with
+             | Trace.FU_alu -> ports_alu
+             | Trace.FU_mul -> ports_mul
+             | Trace.FU_div -> ports_div
+             | Trace.FU_branch -> ports_bc
+             | Trace.FU_load | Trace.FU_store -> ports_mem
+           in
+           if !port > 0 then begin
+             let ready =
+               List.for_all (fun s -> producer_ready s <= !now) d.producers
+             in
+             if ready then begin
+               (* loads may have to hold for the memory-dependence
+                  predictor *)
+               let lsq_hold =
+                 match d.uop.Trace.fu with
+                 | Trace.FU_load
+                   when (not d.wrong_path) && d.uop.Trace.mem_addr <> 0 ->
+                   let older_unknown =
+                     List.exists
+                       (fun s -> s.seq < d.seq && not s.addr_known)
+                       !stq
+                   in
+                   older_unknown && Memdep.predict_conflict memdep d.uop.Trace.pc
+                 | _ -> false
+               in
+               if not lsq_hold then begin
+                 d.issued <- true;
+                 decr port;
+                 decr total;
+                 issued_now := d :: !issued_now;
+                 act.rf_reads <- act.rf_reads + List.length d.producers;
+                 act.iq_wakeups <- act.iq_wakeups + 1;
+                 (match d.uop.Trace.fu with
+                  | Trace.FU_alu | Trace.FU_mul | Trace.FU_div ->
+                    act.alu_ops <- act.alu_ops + 1;
+                    d.ready_at <- !now + fu_latency p d.uop.Trace.fu
+                  | Trace.FU_branch ->
+                    act.alu_ops <- act.alu_ops + 1;
+                    d.ready_at <- !now + 1;
+                    (* resolution happens one cycle later *)
+                    if not d.wrong_path then begin
+                      if d.mispredicted then begin
+                        d.recovery_at <- !now + p.branch_resolve_latency;
+                        recoveries :=
+                          (d.recovery_at, d.seq, d.resume_idx, false)
+                          :: !recoveries
+                      end
+                    end
+                  | Trace.FU_store ->
+                    act.agu_ops <- act.agu_ops + 1;
+                    d.ready_at <- !now + 1;
+                    d.addr_known <- true;
+                    (* memory-order violation check against younger,
+                       already-executed loads at the same word *)
+                    if (not d.wrong_path) && d.uop.Trace.mem_addr <> 0 then begin
+                      let addr_w = d.uop.Trace.mem_addr lsr 2 in
+                      let victim =
+                        List.fold_left
+                          (fun best (l : dyn) ->
+                             if l.seq > d.seq && l.executed_load
+                                && (not l.wrong_path)
+                                && l.uop.Trace.mem_addr lsr 2 = addr_w
+                             then
+                               match best with
+                               | Some b when b.seq <= l.seq -> best
+                               | _ -> Some l
+                             else best)
+                          None !ldq
+                      in
+                      match victim with
+                      | Some l ->
+                        Memdep.train_violation memdep l.uop.Trace.pc;
+                        l.recovery_at <- !now + p.branch_resolve_latency;
+                        recoveries :=
+                          (l.recovery_at, l.seq, l.trace_idx, true)
+                          :: !recoveries
+                      | None -> ()
+                    end
+                  | Trace.FU_load ->
+                    act.agu_ops <- act.agu_ops + 1;
+                    if d.wrong_path || d.uop.Trace.mem_addr = 0 then
+                      d.ready_at <- !now + 1 + hier.Cache.l1d.Cache.hit_latency
+                    else begin
+                      let addr = d.uop.Trace.mem_addr in
+                      let addr_w = addr lsr 2 in
+                      (* store-to-load forwarding from the youngest older
+                         resolved store to the same word *)
+                      let forward =
+                        List.exists
+                          (fun (s : dyn) ->
+                             s.seq < d.seq && s.addr_known
+                             && s.uop.Trace.mem_addr lsr 2 = addr_w)
+                          !stq
+                      in
+                      if forward then d.ready_at <- !now + 2
+                      else begin
+                        let lat = Cache.data_access hier addr in
+                        d.ready_at <- !now + 1 + lat;
+                        (* cache-hit speculation: consumers woken for a hit
+                           pay a replay penalty on a miss *)
+                        if lat > p.l1d.Params.hit_latency then d.replay_bump <- 1
+                      end;
+                      d.executed_load <- true
+                    end)
+               end
+             end
+           end
+         end)
+      by_age;
+    List.iter
+      (fun d ->
+         if d.uop.Trace.has_dest then act.rf_writes <- act.rf_writes + 1)
+      !issued_now;
+    iq := List.filter (fun d -> not d.issued) !iq
+  in
+
+  (* ---------- dispatch (rename) ---------- *)
+  let dispatch () =
+    let budget = ref p.fetch_width in
+    let continue_ = ref true in
+    let spadds_this_cycle = ref 0 in
+    while !continue_ && !budget > 0 && not (Queue.is_empty frontend_q) do
+      let d = Queue.peek frontend_q in
+      if d.fetched_at + p.frontend_depth > !now then continue_ := false
+      else if !now < !rename_blocked_until then continue_ := false
+      else if Queue.length rob >= p.rob_entries then continue_ := false
+      else if List.length !iq >= p.scheduler_entries then continue_ := false
+      else if d.uop.Trace.fu = Trace.FU_load
+              && List.length !ldq >= p.ldq_entries then continue_ := false
+      else if d.uop.Trace.fu = Trace.FU_store
+              && List.length !stq >= p.stq_entries then continue_ := false
+      else if (match p.rename with
+          | Params.Rmt _ | Params.Rmt_checkpoint _ ->
+            d.uop.Trace.has_dest && !free_regs <= 0
+          | Params.Rp -> false)
+      then continue_ := false
+      else if (match d.uop.Trace.ctrl with
+          | (Trace.Cond _ | Trace.Uncond _) when !inflight_ctrl >= checkpoint_limit ->
+            incr checkpoint_stalls; true
+          | _ -> false)
+      then continue_ := false
+      else if p.rename = Params.Rp && d.uop.Trace.is_spadd
+              && !spadds_this_cycle >= Params.spadd_per_cycle
+      then begin incr spadd_stalls; continue_ := false end
+      else begin
+        ignore (Queue.pop frontend_q);
+        decr budget;
+        (* operand determination *)
+        if d.uop.Trace.is_spadd then incr spadds_this_cycle;
+        (match d.uop.Trace.ctrl with
+         | Trace.Cond _ | Trace.Uncond _ -> incr inflight_ctrl
+         | Trace.Not_ctrl -> ());
+        (match p.rename with
+         | Params.Rmt _ | Params.Rmt_checkpoint _ ->
+           let srcs = d.uop.Trace.srcs_reg in
+           d.producers <-
+             Array.to_list srcs
+             |> List.filter_map (fun r ->
+                 if r = 0 then None
+                 else match rmt.(r) with -1 -> None | s -> Some s);
+           act.rename_reads <- act.rename_reads + Array.length srcs + 1;
+           d.ras_snapshot <- Branch_pred.Ras.save ras;
+           if d.uop.Trace.has_dest && d.uop.Trace.dest_reg <> 0 then begin
+             decr free_regs;
+             act.freelist_ops <- act.freelist_ops + 1;
+             rmt.(d.uop.Trace.dest_reg) <- d.seq;
+             act.rename_writes <- act.rename_writes + 1
+           end
+         | Params.Rp ->
+           let srcs = d.uop.Trace.srcs_dist in
+           d.producers <-
+             (if d.wrong_path then
+                Array.to_list srcs |> List.map (fun dist -> d.seq - dist)
+              else
+                Array.to_list srcs
+                |> List.filter_map (fun dist ->
+                    let pidx = d.trace_idx - dist in
+                    if pidx < 0 then None
+                    else
+                      let s = trace_seq.(pidx) in
+                      if s < 0 then None else Some s));
+           (* keep only still-in-flight producers *)
+           d.producers <-
+             List.filter (fun s -> Hashtbl.mem dyns s) d.producers;
+           act.rp_ops <- act.rp_ops + Array.length srcs + 1;
+           d.ras_snapshot <- Branch_pred.Ras.save ras);
+        if not d.wrong_path then trace_seq.(d.trace_idx) <- d.seq;
+        d.dispatched <- true;
+        d.dispatched_at <- !now;
+        Queue.add d rob;
+        act.rob_writes <- act.rob_writes + 1;
+        iq := d :: !iq;
+        (match d.uop.Trace.fu with
+         | Trace.FU_load -> ldq := d :: !ldq
+         | Trace.FU_store -> stq := d :: !stq
+         | _ -> ())
+      end
+    done
+  in
+
+  (* ---------- fetch ---------- *)
+  let fetch () =
+    if !now >= !fetch_stall_until then begin
+      let budget = ref p.fetch_width in
+      let continue_ = ref true in
+      let line_touched = ref (-1) in
+      while !continue_ && !budget > 0 do
+        match !mode with
+        | Fetch_stalled -> continue_ := false
+        | Fetch_correct idx ->
+          if idx >= n_trace then continue_ := false
+          else begin
+            let uop = trace.(idx) in
+            (* instruction cache: one probe per line per group *)
+            let line = uop.Trace.pc lsr hier.Cache.l1i.Cache.line_shift in
+            if line <> !line_touched then begin
+              line_touched := line;
+              let lat = Cache.inst_access hier uop.Trace.pc in
+              if lat > 0 then begin
+                fetch_stall_until := !now + lat;
+                continue_ := false
+              end
+            end;
+            if !continue_ then begin
+              let d = mk_dyn ~uop ~wrong_path:false ~trace_idx:idx in
+              Queue.add d frontend_q;
+              decr budget;
+              (match uop.Trace.ctrl with
+               | Trace.Not_ctrl -> mode := Fetch_correct (idx + 1)
+               | Trace.Cond { taken; target } ->
+                 let predicted = pred.Branch_pred.predict uop.Trace.pc in
+                 (* train at fetch with the oracle outcome: models perfect
+                    speculative-history repair (see DESIGN.md) *)
+                 pred.Branch_pred.update uop.Trace.pc taken;
+                 if p.ideal_recovery || predicted = taken then begin
+                   mode := Fetch_correct (idx + 1);
+                   if taken then continue_ := false (* group ends *)
+                 end
+                 else begin
+                   incr branch_misp;
+                   d.mispredicted <- true;
+                   d.resume_idx <- idx + 1;
+                   mode :=
+                     Fetch_wrong (if predicted then target else uop.Trace.pc + 4);
+                   continue_ := false
+                 end
+               | Trace.Uncond { target; is_call; is_ret } ->
+                 if is_call then
+                   Branch_pred.Ras.push ras (uop.Trace.pc + 4);
+                 if is_ret then begin
+                   let predicted = Branch_pred.Ras.pop ras in
+                   if p.ideal_recovery || predicted = Some target then
+                     mode := Fetch_correct (idx + 1)
+                   else begin
+                     incr ret_misp;
+                     d.mispredicted <- true;
+                     d.resume_idx <- idx + 1;
+                     mode := Fetch_stalled
+                   end
+                 end
+                 else mode := Fetch_correct (idx + 1);
+                 continue_ := false (* taken transfer ends the group *))
+            end
+          end
+        | Fetch_wrong pc ->
+          (match decode_static pc with
+           | None -> mode := Fetch_stalled; continue_ := false
+           | Some uop ->
+             let line = pc lsr hier.Cache.l1i.Cache.line_shift in
+             if line <> !line_touched then begin
+               line_touched := line;
+               let lat = Cache.inst_access hier pc in
+               if lat > 0 then begin
+                 fetch_stall_until := !now + lat;
+                 continue_ := false
+               end
+             end;
+             if !continue_ then begin
+               let d = mk_dyn ~uop ~wrong_path:true ~trace_idx:(-1) in
+               incr wrong_fetched;
+               Queue.add d frontend_q;
+               decr budget;
+               (match uop.Trace.ctrl with
+                | Trace.Not_ctrl -> mode := Fetch_wrong (pc + 4)
+                | Trace.Cond { target; _ } ->
+                  let predicted = pred.Branch_pred.predict pc in
+                  if predicted then begin
+                    mode := Fetch_wrong target;
+                    continue_ := false
+                  end
+                  else mode := Fetch_wrong (pc + 4)
+                | Trace.Uncond { target; is_call; is_ret } ->
+                  if is_call then Branch_pred.Ras.push ras (pc + 4);
+                  if is_ret || target < 0 then begin
+                    match Branch_pred.Ras.pop ras with
+                    | Some t -> mode := Fetch_wrong t
+                    | None -> mode := Fetch_stalled
+                  end
+                  else mode := Fetch_wrong target;
+                  continue_ := false)
+             end)
+      done
+    end
+  in
+
+  (* ---------- main loop ---------- *)
+  let max_cycles = 40 * n_trace + 200_000 in
+  while not !done_ do
+    if !now > max_cycles then begin
+      let head =
+        if Queue.is_empty rob then
+          Printf.sprintf "rob empty; feq=%d iq=%d ldq=%d stq=%d free=%d head_fu=%s mode=%s stall_until=%d blocked=%d recov=%d"
+            (Queue.length frontend_q) (List.length !iq) (List.length !ldq)
+            (List.length !stq) !free_regs
+            (if Queue.is_empty frontend_q then "-"
+             else
+               match (Queue.peek frontend_q).uop.Trace.fu with
+               | Trace.FU_alu -> "alu" | Trace.FU_mul -> "mul"
+               | Trace.FU_div -> "div" | Trace.FU_branch -> "br"
+               | Trace.FU_load -> "ld" | Trace.FU_store -> "st")
+            (match !mode with
+             | Fetch_correct i -> Printf.sprintf "correct@%d" i
+             | Fetch_wrong pc -> Printf.sprintf "wrong@0x%x" pc
+             | Fetch_stalled -> "stalled")
+            !fetch_stall_until !rename_blocked_until (List.length !recoveries)
+        else
+          let d = Queue.peek rob in
+          Printf.sprintf
+            "rob head: seq=%d wrong=%b fu=%s issued=%b ready_at=%d producers=[%s] \
+             pc=0x%x trace_idx=%d iq=%d stq=%d ldq=%d feq=%d mode=%s"
+            d.seq d.wrong_path
+            (match d.uop.Trace.fu with
+             | Trace.FU_alu -> "alu" | Trace.FU_mul -> "mul"
+             | Trace.FU_div -> "div" | Trace.FU_branch -> "br"
+             | Trace.FU_load -> "ld" | Trace.FU_store -> "st")
+            d.issued d.ready_at
+            (String.concat ","
+               (List.map
+                  (fun s ->
+                     Printf.sprintf "%d%s" s
+                       (if Hashtbl.mem dyns s then "!" else ""))
+                  d.producers))
+            d.uop.Trace.pc d.trace_idx (List.length !iq) (List.length !stq)
+            (List.length !ldq) (Queue.length frontend_q)
+            (match !mode with
+             | Fetch_correct i -> Printf.sprintf "correct@%d" i
+             | Fetch_wrong pc -> Printf.sprintf "wrong@0x%x" pc
+             | Fetch_stalled -> "stalled")
+      in
+      fail "simulation did not converge (cycle %d, %d/%d committed; %s)"
+        !now !committed n_trace head
+    end;
+    (* process recovery events due this cycle, oldest faulting seq first *)
+    let due, later = List.partition (fun (c, _, _, _) -> c <= !now) !recoveries in
+    recoveries := later;
+    let due = List.sort (fun (_, s1, _, _) (_, s2, _, _) -> compare s1 s2) due in
+    List.iter
+      (fun (_, seqno, resume_idx, include_self) ->
+         match Hashtbl.find_opt dyns seqno with
+         | Some d -> do_recovery ~faulting:d ~resume_idx ~include_self
+         | None -> () (* already squashed by an older recovery *))
+      due;
+    commit ();
+    issue ();
+    dispatch ();
+    fetch ();
+    incr now
+  done;
+  { cycles = !now;
+    committed = !committed;
+    wrong_path_fetched = !wrong_fetched;
+    branch_mispredicts = !branch_misp;
+    return_mispredicts = !ret_misp;
+    memdep_violations = memdep.Memdep.violations;
+    walk_stall_cycles = !walk_stalls;
+    spadd_stall_slots = !spadd_stalls;
+    checkpoint_stall_slots = !checkpoint_stalls;
+    l1i_misses = hier.Cache.l1i.Cache.misses;
+    l1d_misses = hier.Cache.l1d.Cache.misses;
+    l1d_accesses = hier.Cache.l1d.Cache.accesses;
+    mix = Hashtbl.fold (fun k v acc -> (k, v) :: acc) mix [];
+    activity = act;
+    ipc = float_of_int !committed /. float_of_int (max 1 !now) }

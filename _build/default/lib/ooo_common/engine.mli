@@ -1,0 +1,57 @@
+(** Cycle-level out-of-order core model, shared between the STRAIGHT and
+    superscalar pipelines (Section V-A: "both simulators share common
+    codes for the most part").
+
+    Trace-driven on the correct path; fetches wrong-path instructions from
+    the static image after a misprediction so that squash cost (walk
+    length, resource pollution) is modeled.  The two cores differ exactly
+    where the paper says they do: operand determination (RMT + free list
+    vs. RP arithmetic), front-end depth, and recovery (serialized ROB walk
+    vs. a single ROB read).  See DESIGN.md for the modeling notes. *)
+
+(** Micro-event counters consumed by the power model (Fig. 17). *)
+type activity = {
+  mutable rename_reads : int;      (** RMT read ports exercised *)
+  mutable rename_writes : int;
+  mutable freelist_ops : int;
+  mutable rp_ops : int;            (** STRAIGHT operand-determination adds *)
+  mutable rf_reads : int;
+  mutable rf_writes : int;
+  mutable iq_wakeups : int;
+  mutable rob_writes : int;
+  mutable rob_walk_steps : int;
+  mutable alu_ops : int;
+  mutable agu_ops : int;
+}
+
+val fresh_activity : unit -> activity
+
+type stats = {
+  cycles : int;
+  committed : int;                 (** correct-path retired instructions *)
+  wrong_path_fetched : int;
+  branch_mispredicts : int;
+  return_mispredicts : int;
+  memdep_violations : int;
+  walk_stall_cycles : int;
+  spadd_stall_slots : int;         (** dispatch slots lost to the SPADD limit *)
+  checkpoint_stall_slots : int;
+  l1i_misses : int;
+  l1d_misses : int;
+  l1d_accesses : int;
+  mix : (string * int) list;       (** retired kinds (Fig. 15 buckets) *)
+  activity : activity;
+  ipc : float;
+}
+
+exception Sim_error of string
+
+val run :
+  Params.t ->
+  trace:Iss.Trace.uop array ->
+  decode_static:(int -> Iss.Trace.uop option) ->
+  unit -> stats
+(** [run p ~trace ~decode_static ()] simulates the whole correct-path
+    [trace] on model [p]; [decode_static pc] supplies wrong-path
+    instructions from the program image ([None] stalls wrong-path fetch).
+    @raise Sim_error on an empty trace or if the pipeline deadlocks. *)

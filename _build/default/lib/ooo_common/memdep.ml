@@ -1,0 +1,24 @@
+(* Memory-dependence predictor: a PC-indexed "conflict" table in the
+   spirit of store sets, trained on memory-order violations.  A load whose
+   PC has a conflict bit waits for all older store addresses; otherwise it
+   speculates past unresolved stores (Section V-A: "memory dependency
+   prediction" with misspeculation recovery). *)
+
+type t = {
+  table : Bytes.t;
+  mask : int;
+  mutable violations : int;
+}
+
+let create ?(entries = 4096) () =
+  { table = Bytes.make entries '\000'; mask = entries - 1; violations = 0 }
+
+let index t pc = (pc lsr 2) land t.mask
+
+(* Should this load wait for older unresolved stores? *)
+let predict_conflict t pc = Bytes.get t.table (index t pc) <> '\000'
+
+(* A violation was detected: the load at [pc] must wait next time. *)
+let train_violation t pc =
+  t.violations <- t.violations + 1;
+  Bytes.set t.table (index t pc) '\001'

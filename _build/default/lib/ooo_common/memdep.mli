@@ -1,0 +1,18 @@
+(** Memory-dependence predictor: a PC-indexed conflict table in the spirit
+    of store sets, trained on memory-order violations (Section V-A).  A
+    load whose PC has the conflict bit waits for all older store
+    addresses; otherwise it speculates past unresolved stores. *)
+
+type t = {
+  table : Bytes.t;
+  mask : int;
+  mutable violations : int;
+}
+
+val create : ?entries:int -> unit -> t
+
+val predict_conflict : t -> int -> bool
+(** Should the load at this PC wait for older unresolved stores? *)
+
+val train_violation : t -> int -> unit
+(** A violation was detected: the load at this PC must wait next time. *)

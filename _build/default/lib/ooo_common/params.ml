@@ -1,0 +1,136 @@
+(* Microarchitectural model parameters (Table I of the paper). *)
+
+type predictor_kind = Gshare | Tage
+
+type cache_params = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;
+  hit_latency : int;
+}
+
+type rename_model =
+  | Rmt of { phys_regs : int }
+  (* RAM-based register mapping table + free list; misprediction recovery
+     walks the ROB at the front-end width (Section V-A). *)
+  | Rmt_checkpoint of { phys_regs : int; checkpoints : int }
+  (* CAM/checkpointed RMT (Section II-A): recovery restores a checkpoint
+     instead of walking, but dispatch stalls when all checkpoints are held
+     by in-flight control instructions, and the physical register file
+     cannot grow (the paper's ROB-scalability argument). *)
+  | Rp
+  (* STRAIGHT: operand determination by register-pointer arithmetic
+     (Fig. 3); recovery is a single ROB read (Fig. 4). *)
+
+type t = {
+  name : string;
+  fetch_width : int;
+  frontend_depth : int;       (* fetch-to-dispatch latency in cycles *)
+  rob_entries : int;
+  scheduler_entries : int;
+  issue_width : int;          (* scheduler width *)
+  commit_width : int;
+  ldq_entries : int;
+  stq_entries : int;
+  n_alu : int;
+  n_mul : int;
+  n_div : int;
+  n_bc : int;                 (* branch units *)
+  n_mem : int;
+  rename : rename_model;
+  predictor : predictor_kind;
+  l1i : cache_params;
+  l1d : cache_params;
+  l2 : cache_params;
+  l3 : cache_params option;
+  memory_latency : int;
+  (* experiment knobs *)
+  ideal_recovery : bool;      (* Fig. 13: zero misprediction penalty *)
+  latency_alu : int;
+  latency_mul : int;
+  latency_div : int;
+  branch_resolve_latency : int;
+  (* issue-to-redirect depth (issue, register read, execute, redirect) *)
+  dispatch_issue_latency : int;
+  (* dispatch-to-earliest-issue depth (schedule + issue stages, Fig. 2) *)
+}
+
+let l1_32k = { size_bytes = 32 * 1024; ways = 4; line_bytes = 64; hit_latency = 4 }
+let l2_256k = { size_bytes = 256 * 1024; ways = 4; line_bytes = 64; hit_latency = 12 }
+let l3_2m = { size_bytes = 2 * 1024 * 1024; ways = 4; line_bytes = 64; hit_latency = 42 }
+
+(* The "SS" (superscalar RV32IM) and "STRAIGHT" models of Table I.  The
+   4-way class models a high-end desktop/server core, the 2-way class a
+   small mobile core.  Sizes are equalized between the pair to isolate the
+   architectural difference, exactly as in the paper. *)
+
+let base =
+  { name = "base";
+    fetch_width = 2;
+    frontend_depth = 8;
+    rob_entries = 64;
+    scheduler_entries = 16;
+    issue_width = 2;
+    commit_width = 3;
+    ldq_entries = 48;
+    stq_entries = 48;
+    n_alu = 2; n_mul = 1; n_div = 1; n_bc = 2; n_mem = 2;
+    rename = Rmt { phys_regs = 96 };
+    predictor = Gshare;
+    l1i = l1_32k; l1d = l1_32k; l2 = l2_256k; l3 = None;
+    memory_latency = 200;
+    ideal_recovery = false;
+    latency_alu = 1; latency_mul = 3; latency_div = 20;
+    branch_resolve_latency = 3;
+    dispatch_issue_latency = 2 }
+
+let ss_2way = { base with name = "SS-2way" }
+
+let straight_2way =
+  { base with
+    name = "STRAIGHT-2way";
+    frontend_depth = 6;
+    rename = Rp }
+
+let ss_4way =
+  { base with
+    name = "SS-4way";
+    fetch_width = 6;
+    rob_entries = 224;
+    scheduler_entries = 96;
+    issue_width = 4;
+    commit_width = 4;
+    ldq_entries = 72;
+    stq_entries = 56;
+    n_alu = 4; n_mul = 2; n_div = 1; n_bc = 4; n_mem = 4;
+    rename = Rmt { phys_regs = 256 };
+    l3 = Some l3_2m }
+
+let straight_4way =
+  { ss_4way with
+    name = "STRAIGHT-4way";
+    frontend_depth = 6;
+    rename = Rp }
+
+(* STRAIGHT's maximum source distance for the evaluated models: chosen so
+   that max_dist + ROB entries matches the SS physical register file
+   (Section V-A: 31 + 64 ~ 96 and 31 + 224 ~ 256). *)
+let straight_max_dist = 31
+
+let with_tage p = { p with predictor = Tage; name = p.name ^ "+TAGE" }
+
+(* Checkpointed-RMT variant of a superscalar model (Section II-A). *)
+let with_checkpoints ?(n = 8) p =
+  match p.rename with
+  | Rmt { phys_regs } ->
+    { p with rename = Rmt_checkpoint { phys_regs; checkpoints = n };
+      name = Printf.sprintf "%s-ckpt%d" p.name n }
+  | Rmt_checkpoint _ | Rp -> p
+
+(* Maximum SPADD instructions dispatched per cycle (Section III-B: cascaded
+   SPADD computations in one fetch group would stretch the clock, so the
+   decoder restricts them by stalling; the paper argues the effect is
+   negligible because SPADDs are rare). *)
+let spadd_per_cycle = 1
+let with_ideal_recovery p =
+  { p with ideal_recovery = true; name = p.name ^ "-nopenalty" }

@@ -1,0 +1,1 @@
+lib/ooo_riscv/pipeline.ml: Array Assembler Iss List Ooo_common Riscv_isa

@@ -1,0 +1,1 @@
+lib/ooo_riscv/pipeline.mli: Assembler Iss Ooo_common

@@ -1,0 +1,15 @@
+(** The superscalar RV32IM baseline pipeline: the shared engine
+    instantiated with RAM-based RMT renaming, an 8-stage front end, and
+    ROB-walk misprediction recovery (Section V-A). *)
+
+val static_uop : Assembler.Image.t -> int -> Iss.Trace.uop option
+(** Decode a static instruction for wrong-path fetch ([None] at EBREAK or
+    outside .text). *)
+
+type result = {
+  stats : Ooo_common.Engine.stats;
+  output : string;
+}
+
+val run :
+  ?max_insns:int -> Ooo_common.Params.t -> Assembler.Image.t -> result

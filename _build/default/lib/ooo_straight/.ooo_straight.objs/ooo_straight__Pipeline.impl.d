@@ -1,0 +1,1 @@
+lib/ooo_straight/pipeline.ml: Array Assembler Iss List Ooo_common Straight_isa

@@ -1,0 +1,1 @@
+lib/ooo_straight/pipeline.mli: Assembler Iss Ooo_common

@@ -1,0 +1,80 @@
+(* The STRAIGHT out-of-order pipeline (Fig. 2): the shared engine
+   instantiated with RP-based operand determination, a 6-stage front end,
+   and single-read recovery. *)
+
+module Isa = Straight_isa.Isa
+module Encoding = Straight_isa.Encoding
+module Image = Assembler.Image
+module Trace = Iss.Trace
+
+(* Decode a static instruction for wrong-path fetch: no dynamic outcomes,
+   only the statically known structure. *)
+let static_uop (image : Image.t) pc : Trace.uop option =
+  match Image.fetch_word image pc with
+  | None -> None
+  | Some w ->
+    (match Encoding.decode w with
+     | None -> None
+     | Some insn ->
+       let fu =
+         match Isa.kind insn with
+         | Isa.Kmul -> Trace.FU_mul
+         | Isa.Kdiv -> Trace.FU_div
+         | Isa.Kload -> Trace.FU_load
+         | Isa.Kstore -> Trace.FU_store
+         | Isa.Kbranch | Isa.Kjump -> Trace.FU_branch
+         | Isa.Kalu | Isa.Krmov | Isa.Knop -> Trace.FU_alu
+         | Isa.Khalt -> Trace.FU_alu
+       in
+       (match insn with
+        | Isa.Halt -> None (* wrong-path fetch stops at HALT *)
+        | _ ->
+          let ctrl =
+            match insn with
+            | Isa.Bez (_, off) | Isa.Bnz (_, off) ->
+              Trace.Cond { taken = false; target = pc + (4 * off) }
+            | Isa.J off ->
+              Trace.Uncond
+                { target = pc + (4 * off); is_call = false; is_ret = false }
+            | Isa.Jal off ->
+              Trace.Uncond
+                { target = pc + (4 * off); is_call = true; is_ret = false }
+            | Isa.Jr _ ->
+              Trace.Uncond { target = -1; is_call = false; is_ret = true }
+            | _ -> Trace.Not_ctrl
+          in
+          Some
+            { Trace.pc;
+              fu;
+              srcs_dist =
+                Array.of_list (List.filter (fun d -> d > 0) (Isa.sources insn));
+              srcs_reg = [||];
+              dest_reg = 0;
+              has_dest = true;
+              is_rmov = (match insn with Isa.Rmov _ -> true | _ -> false);
+              is_nop = (match insn with Isa.Nop -> true | _ -> false);
+              is_spadd = (match insn with Isa.Spadd _ -> true | _ -> false);
+              mem_addr = 0;
+              ctrl }))
+
+type result = {
+  stats : Ooo_common.Engine.stats;
+  output : string;
+  dist_histogram : int array;
+}
+
+(* [run params image] runs the functional simulator to obtain the
+   correct-path trace and then the timing model over it. *)
+let run ?(max_insns = 50_000_000) (params : Ooo_common.Params.t)
+    (image : Image.t) : result =
+  let r =
+    Iss.Straight_iss.run
+      ~config:{ Iss.Straight_iss.collect_trace = true;
+                collect_dist = true; max_insns }
+      image
+  in
+  let stats =
+    Ooo_common.Engine.run params ~trace:r.Trace.trace
+      ~decode_static:(static_uop image) ()
+  in
+  { stats; output = r.Trace.output; dist_histogram = r.Trace.dist_histogram }

@@ -1,0 +1,18 @@
+(** The STRAIGHT out-of-order pipeline (the paper's Fig. 2): the shared
+    engine instantiated with RP-based operand determination (Fig. 3), a
+    6-stage front end, and single-ROB-read recovery (Fig. 4). *)
+
+val static_uop : Assembler.Image.t -> int -> Iss.Trace.uop option
+(** Decode a static instruction for wrong-path fetch ([None] at HALT or
+    outside .text). *)
+
+type result = {
+  stats : Ooo_common.Engine.stats;
+  output : string;                (** the program's console output *)
+  dist_histogram : int array;     (** source-distance histogram (Fig. 16) *)
+}
+
+val run :
+  ?max_insns:int -> Ooo_common.Params.t -> Assembler.Image.t -> result
+(** Run the functional simulator to obtain the correct-path trace, then
+    the timing model over it. *)

@@ -1,0 +1,56 @@
+(** Activity-based power model — the substitute for the paper's RTL power
+    analysis with Cadence Joules (Section V-B / Fig. 17; DESIGN.md
+    substitution notes).
+
+    The cycle simulator counts the micro-events an RTL implementation
+    would exercise; this module multiplies them by per-event energy
+    coefficients and reports relative power for the three module groups
+    of Fig. 17: rename logic, register file, and "other modules". *)
+
+type coefficients = {
+  e_rmt_read : float;          (** one RMT read-port access *)
+  e_rmt_write : float;
+  e_freelist : float;
+  e_walk_step : float;         (** one ROB-walk RMT repair step *)
+  e_rp_add : float;            (** one RP operand-determination add *)
+  e_rf_read : float;
+  e_rf_write : float;
+  e_iq_wakeup : float;         (** wakeup broadcast + select per issue *)
+  e_rob_write : float;
+  e_alu : float;
+  e_agu : float;
+  e_clock_per_cycle : float;   (** clock tree + idle overhead per cycle *)
+}
+
+val default_coefficients : coefficients
+(** Calibrated so that on the 2-way superscalar the rename logic consumes
+    ~5.7 % of the "other modules" power — the paper's own anchor. *)
+
+type report = {
+  rename : float;     (** energy per cycle = relative power at 1.0x *)
+  regfile : float;
+  other : float;
+}
+
+val analyze :
+  ?coeffs:coefficients -> cycles:int -> Ooo_common.Engine.activity -> report
+
+val freq_exponent : float
+(** P(m) = P(1) * m{^freq_exponent}: meeting a tighter clock constraint
+    costs superlinear power, as in the paper's synthesized design
+    points. *)
+
+val scale_power : float -> float -> float
+val multipliers : float list
+(** Fig. 17's frequency points: 1.0x, 2.5x, 4.0x. *)
+
+type figure17_row = {
+  module_name : string;
+  freq : float;
+  ss : float;                 (** normalized to SS at 1.0x, per module *)
+  straight : float;
+}
+
+val figure17 : ss:report -> straight:report -> figure17_row list
+(** The nine bar pairs of Fig. 17, each module normalized to the SS value
+    at 1.0x. *)

@@ -1,0 +1,1 @@
+lib/riscv_cc/codegen.ml: Array Assembler Format Hashtbl Int32 List Option Printf Riscv_isa Ssa_ir

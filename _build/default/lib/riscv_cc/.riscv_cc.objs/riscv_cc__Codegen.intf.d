@@ -1,0 +1,1 @@
+lib/riscv_cc/codegen.mli: Assembler Hashtbl Riscv_isa Ssa_ir

@@ -1,0 +1,1 @@
+lib/riscv_isa/encoding.ml: Format Int32 Isa Option

@@ -1,0 +1,1 @@
+lib/riscv_isa/encoding.mli: Isa

@@ -1,0 +1,1 @@
+lib/riscv_isa/isa.ml: Format Hashtbl Int32 Int64

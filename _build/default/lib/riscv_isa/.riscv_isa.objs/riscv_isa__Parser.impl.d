@@ -1,0 +1,1 @@
+lib/riscv_isa/parser.ml: Format Int32 Isa List String

@@ -1,0 +1,1 @@
+lib/riscv_isa/parser.mli: Isa

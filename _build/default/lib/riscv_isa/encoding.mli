@@ -1,0 +1,11 @@
+(** Standard RV32IM binary encodings (R/I/S/B/U/J formats). *)
+
+exception Encode_error of string
+
+val encode : Isa.resolved -> int32
+(** [encode insn] produces the 32-bit RISC-V machine word.
+    @raise Encode_error when an immediate does not fit its field or a
+    branch/jump offset is odd. *)
+
+val decode : int32 -> Isa.resolved option
+(** [decode w] is the inverse of {!encode}; [None] on unsupported words. *)

@@ -1,0 +1,169 @@
+(* RV32IM subset used by the superscalar baseline (Section V-A: the paper's
+   counterpart is an in-house cycle-accurate RV32IM core fed by clang/LLVM).
+   We implement the user-level integer + M-extension instructions our
+   compiler back-end emits, with the standard RISC-V encodings. *)
+
+type reg = int
+(** Architectural register x0..x31. x0 is hard-wired to zero. *)
+
+type branch_cond = Beq | Bne | Blt | Bge | Bltu | Bgeu
+
+type alu_op =
+  | Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And
+  | Mul | Mulh | Mulhsu | Mulhu | Div | Divu | Rem | Remu
+
+type alui_op = Addi | Slti | Sltiu | Xori | Ori | Andi | Slli | Srli | Srai
+
+(* ['lab] is [string] in symbolic assembly, [int] (byte-granular PC-relative
+   offset) once resolved. *)
+type 'lab t =
+  | Lui of reg * int32                (* rd := imm20 lsl 12 *)
+  | Auipc of reg * int32
+  | Jal of reg * 'lab
+  | Jalr of reg * reg * int           (* rd := PC+4; PC := (rs1 + imm) & ~1 *)
+  | Branch of branch_cond * reg * reg * 'lab
+  | Lw of reg * reg * int             (* rd := mem32[rs1 + imm] *)
+  | Sw of reg * reg * int             (* mem32[rs1 + imm] := rs2 *)
+  | Alui of alui_op * reg * reg * int (* rd, rs1, imm12 *)
+  | Alu of alu_op * reg * reg * reg   (* rd, rs1, rs2 *)
+  | Ebreak                            (* used as HALT in our environment *)
+
+type resolved = int t
+
+type kind = Kalu | Kmul | Kdiv | Kload | Kstore | Kbranch | Kjump | Khalt
+
+let kind = function
+  | Alu ((Mul | Mulh | Mulhsu | Mulhu), _, _, _) -> Kmul
+  | Alu ((Div | Divu | Rem | Remu), _, _, _) -> Kdiv
+  | Alu (_, _, _, _) | Alui (_, _, _, _) | Lui (_, _) | Auipc (_, _) -> Kalu
+  | Lw (_, _, _) -> Kload
+  | Sw (_, _, _) -> Kstore
+  | Branch (_, _, _, _) -> Kbranch
+  | Jal (_, _) | Jalr (_, _, _) -> Kjump
+  | Ebreak -> Khalt
+
+(* Destination register, if any ([x0] writes are discarded). *)
+let dest = function
+  | Lui (rd, _) | Auipc (rd, _) | Jal (rd, _) | Jalr (rd, _, _)
+  | Lw (rd, _, _) | Alui (_, rd, _, _) | Alu (_, rd, _, _) ->
+    if rd = 0 then None else Some rd
+  | Branch (_, _, _, _) | Sw (_, _, _) | Ebreak -> None
+
+(* Source registers read by the instruction (x0 reads included; they are
+   always ready). *)
+let sources = function
+  | Lui (_, _) | Auipc (_, _) | Jal (_, _) | Ebreak -> []
+  | Jalr (_, rs1, _) | Lw (_, rs1, _) | Alui (_, _, rs1, _) -> [ rs1 ]
+  | Branch (_, rs1, rs2, _) | Sw (rs2, rs1, _) -> [ rs1; rs2 ]
+  | Alu (_, _, rs1, rs2) -> [ rs1; rs2 ]
+
+let map_label f = function
+  | Jal (rd, l) -> Jal (rd, f l)
+  | Branch (c, a, b, l) -> Branch (c, a, b, f l)
+  | Lui (rd, i) -> Lui (rd, i)
+  | Auipc (rd, i) -> Auipc (rd, i)
+  | Jalr (rd, rs, i) -> Jalr (rd, rs, i)
+  | Lw (rd, rs, i) -> Lw (rd, rs, i)
+  | Sw (rs2, rs1, i) -> Sw (rs2, rs1, i)
+  | Alui (op, rd, rs, i) -> Alui (op, rd, rs, i)
+  | Alu (op, rd, rs1, rs2) -> Alu (op, rd, rs1, rs2)
+  | Ebreak -> Ebreak
+
+let eval_alu op (a : int32) (b : int32) : int32 =
+  let sh = Int32.to_int (Int32.logand b 31l) in
+  let u x = Int64.logand (Int64.of_int32 x) 0xFFFFFFFFL in
+  match op with
+  | Add -> Int32.add a b
+  | Sub -> Int32.sub a b
+  | Sll -> Int32.shift_left a sh
+  | Slt -> if Int32.compare a b < 0 then 1l else 0l
+  | Sltu -> if Int64.compare (u a) (u b) < 0 then 1l else 0l
+  | Xor -> Int32.logxor a b
+  | Srl -> Int32.shift_right_logical a sh
+  | Sra -> Int32.shift_right a sh
+  | Or -> Int32.logor a b
+  | And -> Int32.logand a b
+  | Mul -> Int32.mul a b
+  | Mulh -> Int64.to_int32 (Int64.shift_right (Int64.mul (Int64.of_int32 a) (Int64.of_int32 b)) 32)
+  | Mulhsu -> Int64.to_int32 (Int64.shift_right (Int64.mul (Int64.of_int32 a) (u b)) 32)
+  | Mulhu -> Int64.to_int32 (Int64.shift_right (Int64.mul (u a) (u b)) 32)
+  | Div ->
+    if b = 0l then -1l
+    else if a = Int32.min_int && b = -1l then Int32.min_int
+    else Int32.div a b
+  | Divu -> if b = 0l then -1l else Int64.to_int32 (Int64.div (u a) (u b))
+  | Rem ->
+    if b = 0l then a
+    else if a = Int32.min_int && b = -1l then 0l
+    else Int32.rem a b
+  | Remu -> if b = 0l then a else Int64.to_int32 (Int64.rem (u a) (u b))
+
+let eval_branch cond (a : int32) (b : int32) : bool =
+  let u x = Int64.logand (Int64.of_int32 x) 0xFFFFFFFFL in
+  match cond with
+  | Beq -> a = b
+  | Bne -> a <> b
+  | Blt -> Int32.compare a b < 0
+  | Bge -> Int32.compare a b >= 0
+  | Bltu -> Int64.compare (u a) (u b) < 0
+  | Bgeu -> Int64.compare (u a) (u b) >= 0
+
+(* ABI register names, used by the printer and parser. *)
+let reg_name r =
+  match r with
+  | 0 -> "zero" | 1 -> "ra" | 2 -> "sp" | 3 -> "gp" | 4 -> "tp"
+  | 5 -> "t0" | 6 -> "t1" | 7 -> "t2" | 8 -> "s0" | 9 -> "s1"
+  | r when r >= 10 && r <= 17 -> "a" ^ string_of_int (r - 10)
+  | r when r >= 18 && r <= 27 -> "s" ^ string_of_int (r - 16)
+  | r when r >= 28 && r <= 31 -> "t" ^ string_of_int (r - 25)
+  | r -> "x" ^ string_of_int r
+
+let reg_of_name =
+  let table = Hashtbl.create 64 in
+  for r = 0 to 31 do
+    Hashtbl.replace table (reg_name r) r;
+    Hashtbl.replace table ("x" ^ string_of_int r) r
+  done;
+  fun s -> Hashtbl.find_opt table s
+
+let branch_name = function
+  | Beq -> "beq" | Bne -> "bne" | Blt -> "blt" | Bge -> "bge"
+  | Bltu -> "bltu" | Bgeu -> "bgeu"
+
+let alu_name = function
+  | Add -> "add" | Sub -> "sub" | Sll -> "sll" | Slt -> "slt" | Sltu -> "sltu"
+  | Xor -> "xor" | Srl -> "srl" | Sra -> "sra" | Or -> "or" | And -> "and"
+  | Mul -> "mul" | Mulh -> "mulh" | Mulhsu -> "mulhsu" | Mulhu -> "mulhu"
+  | Div -> "div" | Divu -> "divu" | Rem -> "rem" | Remu -> "remu"
+
+let alui_name = function
+  | Addi -> "addi" | Slti -> "slti" | Sltiu -> "sltiu" | Xori -> "xori"
+  | Ori -> "ori" | Andi -> "andi" | Slli -> "slli" | Srli -> "srli"
+  | Srai -> "srai"
+
+let alu_of_alui = function
+  | Addi -> Add | Slti -> Slt | Sltiu -> Sltu | Xori -> Xor | Ori -> Or
+  | Andi -> And | Slli -> Sll | Srli -> Srl | Srai -> Sra
+
+let pp pp_lab fmt insn =
+  let r = reg_name in
+  match insn with
+  | Lui (rd, i) -> Format.fprintf fmt "lui %s, %ld" (r rd) i
+  | Auipc (rd, i) -> Format.fprintf fmt "auipc %s, %ld" (r rd) i
+  | Jal (rd, l) -> Format.fprintf fmt "jal %s, %a" (r rd) pp_lab l
+  | Jalr (rd, rs, i) -> Format.fprintf fmt "jalr %s, %s, %d" (r rd) (r rs) i
+  | Branch (c, a, b, l) ->
+    Format.fprintf fmt "%s %s, %s, %a" (branch_name c) (r a) (r b) pp_lab l
+  | Lw (rd, rs, i) -> Format.fprintf fmt "lw %s, %d(%s)" (r rd) i (r rs)
+  | Sw (rs2, rs1, i) -> Format.fprintf fmt "sw %s, %d(%s)" (r rs2) i (r rs1)
+  | Alui (op, rd, rs, i) ->
+    Format.fprintf fmt "%s %s, %s, %d" (alui_name op) (r rd) (r rs) i
+  | Alu (op, rd, rs1, rs2) ->
+    Format.fprintf fmt "%s %s, %s, %s" (alu_name op) (r rd) (r rs1) (r rs2)
+  | Ebreak -> Format.fprintf fmt "ebreak"
+
+let pp_sym fmt i = pp Format.pp_print_string fmt i
+let pp_resolved fmt i = pp (fun fmt o -> Format.fprintf fmt "%+d" o) fmt i
+let to_string_sym i = Format.asprintf "%a" pp_sym i
+
+let insn_bytes = 4

@@ -1,0 +1,1 @@
+lib/ssa_ir/analysis.ml: Array Format Fun Hashtbl Int Ir List Map Printf Set String

@@ -1,0 +1,1 @@
+lib/ssa_ir/analysis.mli: Hashtbl Ir Map Set

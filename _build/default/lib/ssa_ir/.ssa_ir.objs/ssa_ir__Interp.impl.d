@@ -1,0 +1,1 @@
+lib/ssa_ir/interp.ml: Array Assembler Buffer Char Format Hashtbl Int32 Ir List Printf

@@ -1,0 +1,1 @@
+lib/ssa_ir/ir.ml: Format Int32 Int64 List Printf Straight_isa

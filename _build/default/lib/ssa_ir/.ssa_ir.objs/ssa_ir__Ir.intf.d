@@ -1,0 +1,1 @@
+lib/ssa_ir/ir.mli: Format

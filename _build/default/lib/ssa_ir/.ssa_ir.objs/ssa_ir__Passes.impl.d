@@ -1,0 +1,1 @@
+lib/ssa_ir/passes.ml: Analysis Array Hashtbl Int Ir List Set

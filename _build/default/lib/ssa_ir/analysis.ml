@@ -1,0 +1,316 @@
+(* CFG analyses over the SSA IR: predecessors, reverse postorder,
+   dominators (Cooper–Harvey–Kennedy), liveness with phi-aware edge
+   semantics, and natural loops. *)
+
+open Ir
+
+module IntSet = Set.Make (Int)
+module IntMap = Map.Make (Int)
+
+type cfg = {
+  func : func;
+  blocks : block array;            (* indexed by position in RPO *)
+  index_of : (block_id, int) Hashtbl.t;
+  preds : int list array;          (* in RPO indices *)
+  succs : int list array;
+  rpo : int array;                 (* identity permutation, kept for clarity *)
+}
+
+(* [build f] computes the CFG in reverse postorder.  Unreachable blocks are
+   dropped (they cannot affect execution and break dominance reasoning). *)
+let build (f : func) : cfg =
+  let by_id = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace by_id b.bid b) f.blocks;
+  let entry = entry_block f in
+  let visited = Hashtbl.create 16 in
+  let post = ref [] in
+  let rec dfs bid =
+    if not (Hashtbl.mem visited bid) then begin
+      Hashtbl.replace visited bid ();
+      let b = Hashtbl.find by_id bid in
+      List.iter dfs (successors b.term);
+      post := b :: !post
+    end
+  in
+  dfs entry.bid;
+  let blocks = Array.of_list !post in
+  let n = Array.length blocks in
+  let index_of = Hashtbl.create 16 in
+  Array.iteri (fun i b -> Hashtbl.replace index_of b.bid i) blocks;
+  let preds = Array.make n [] and succs = Array.make n [] in
+  Array.iteri
+    (fun i b ->
+       let ss =
+         List.filter_map (fun s -> Hashtbl.find_opt index_of s)
+           (successors b.term)
+       in
+       succs.(i) <- ss;
+       List.iter (fun s -> preds.(s) <- i :: preds.(s)) ss)
+    blocks;
+  { func = f; blocks; index_of; preds; succs; rpo = Array.init n Fun.id }
+
+let block_index cfg bid =
+  match Hashtbl.find_opt cfg.index_of bid with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "block %d unreachable/unknown" bid)
+
+(* ---------- dominators ---------- *)
+
+(* [idom cfg] returns the immediate-dominator array (RPO indices; entry maps
+   to itself), using the Cooper–Harvey–Kennedy iterative algorithm. *)
+let idom (cfg : cfg) : int array =
+  let n = Array.length cfg.blocks in
+  let idom = Array.make n (-1) in
+  idom.(0) <- 0;
+  let intersect b1 b2 =
+    let f1 = ref b1 and f2 = ref b2 in
+    while !f1 <> !f2 do
+      while !f1 > !f2 do f1 := idom.(!f1) done;
+      while !f2 > !f1 do f2 := idom.(!f2) done
+    done;
+    !f1
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 1 to n - 1 do
+      let processed = List.filter (fun p -> idom.(p) >= 0) cfg.preds.(i) in
+      match processed with
+      | [] -> ()
+      | first :: rest ->
+        let new_idom = List.fold_left intersect first rest in
+        if idom.(i) <> new_idom then begin
+          idom.(i) <- new_idom;
+          changed := true
+        end
+    done
+  done;
+  idom
+
+(* [dominates idom a b] — does RPO index [a] dominate [b]? *)
+let dominates (idom : int array) a b =
+  let rec up b = if b = a then true else if b = 0 then a = 0 else up idom.(b) in
+  up b
+
+(* ---------- liveness ---------- *)
+
+type liveness = {
+  live_in : IntSet.t array;   (* at block entry, phi defs NOT included *)
+  live_out : IntSet.t array;  (* at block exit; includes phi inputs the
+                                 successors consume from this block *)
+  phi_defs : IntSet.t array;  (* values defined by phis of the block *)
+}
+
+(* [liveness cfg] computes per-block live sets with the usual SSA edge
+   convention: a phi use is live-out of the corresponding predecessor only,
+   and a phi def becomes live at the phi block itself (it materializes "on
+   the edge", which for STRAIGHT means: in the predecessor's frame tail). *)
+let liveness (cfg : cfg) : liveness =
+  let n = Array.length cfg.blocks in
+  let uses = Array.make n IntSet.empty in
+  let defs = Array.make n IntSet.empty in
+  let phi_defs = Array.make n IntSet.empty in
+  (* phi_in.(p) = values consumed by successors' phis when coming from p *)
+  let phi_in = Array.make n IntSet.empty in
+  Array.iteri
+    (fun i b ->
+       let local_defs = ref IntSet.empty in
+       List.iter
+         (fun (v, inst) ->
+            (match inst with
+             | Phi ins ->
+               phi_defs.(i) <- IntSet.add v phi_defs.(i);
+               List.iter
+                 (fun (pred_bid, op) ->
+                    match operand_value op, Hashtbl.find_opt cfg.index_of pred_bid with
+                    | Some u, Some p -> phi_in.(p) <- IntSet.add u phi_in.(p)
+                    | _ -> ())
+                 ins
+             | _ ->
+               List.iter
+                 (fun u ->
+                    if not (IntSet.mem u !local_defs) then
+                      uses.(i) <- IntSet.add u uses.(i))
+                 (inst_uses inst));
+            local_defs := IntSet.add v !local_defs)
+         b.insts;
+       List.iter
+         (fun u ->
+            if not (IntSet.mem u !local_defs) then
+              uses.(i) <- IntSet.add u uses.(i))
+         (term_uses b.term);
+       defs.(i) <- !local_defs)
+    cfg.blocks;
+  let live_in = Array.make n IntSet.empty in
+  let live_out = Array.make n IntSet.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc s -> IntSet.union acc (IntSet.diff live_in.(s) phi_defs.(s)))
+          phi_in.(i) cfg.succs.(i)
+      in
+      let inn = IntSet.union uses.(i) (IntSet.diff out defs.(i)) in
+      if not (IntSet.equal out live_out.(i)) || not (IntSet.equal inn live_in.(i))
+      then begin
+        live_out.(i) <- out;
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  { live_in; live_out; phi_defs }
+
+(* The STRAIGHT "entry frame" of a block: every value that must sit at a
+   fixed distance when control enters — non-phi live-ins plus phi defs. *)
+let entry_frame (lv : liveness) i : IntSet.t =
+  IntSet.union lv.live_in.(i) lv.phi_defs.(i)
+
+(* ---------- natural loops ---------- *)
+
+type loop = {
+  header : int;               (* RPO index *)
+  body : IntSet.t;            (* RPO indices, header included *)
+  exits : IntSet.t;           (* blocks outside reached from the body *)
+}
+
+(* [natural_loops cfg idom] finds one loop per back edge (loops sharing a
+   header are merged). *)
+let natural_loops (cfg : cfg) (idom : int array) : loop list =
+  let n = Array.length cfg.blocks in
+  let loops = Hashtbl.create 8 in
+  for b = 0 to n - 1 do
+    List.iter
+      (fun s ->
+         if dominates idom s b then begin
+           (* back edge b -> s *)
+           let body = ref (IntSet.of_list [ s; b ]) in
+           let stack = ref (if b = s then [] else [ b ]) in
+           let rec walk () =
+             match !stack with
+             | [] -> ()
+             | x :: rest ->
+               stack := rest;
+               List.iter
+                 (fun p ->
+                    if not (IntSet.mem p !body) then begin
+                      body := IntSet.add p !body;
+                      stack := p :: !stack
+                    end)
+                 cfg.preds.(x);
+               walk ()
+           in
+           walk ();
+           let prev =
+             match Hashtbl.find_opt loops s with
+             | Some set -> set
+             | None -> IntSet.empty
+           in
+           Hashtbl.replace loops s (IntSet.union prev !body)
+         end)
+      cfg.succs.(b)
+  done;
+  Hashtbl.fold
+    (fun header body acc ->
+       let exits =
+         IntSet.fold
+           (fun b acc ->
+              List.fold_left
+                (fun acc s ->
+                   if IntSet.mem s body then acc else IntSet.add s acc)
+                acc cfg.succs.(b))
+           body IntSet.empty
+       in
+       { header; body; exits } :: acc)
+    loops []
+
+(* ---------- validation ---------- *)
+
+exception Invalid_ir of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Invalid_ir s)) fmt
+
+(* [validate f] checks the SSA invariants we rely on:
+   single assignment, defs dominate uses, phi arms match predecessors. *)
+let validate (f : func) : unit =
+  let cfg = build f in
+  let idom_arr = idom cfg in
+  let def_site = Hashtbl.create 64 in
+  for p = 0 to f.nparams - 1 do
+    Hashtbl.replace def_site p (`Param, 0)
+  done;
+  Array.iteri
+    (fun i b ->
+       List.iteri
+         (fun pos (v, inst) ->
+            if Hashtbl.mem def_site v then fail "%s: value %%%d defined twice" f.name v;
+            Hashtbl.replace def_site v (`Block (i, pos), 0);
+            (match inst with
+             | Phi ins ->
+               let pred_ids =
+                 List.map (fun p -> cfg.blocks.(p).bid) cfg.preds.(i)
+                 |> List.sort compare
+               in
+               let arm_ids = List.map fst ins |> List.sort compare in
+               if pred_ids <> arm_ids then
+                 fail "%s: phi %%%d arms %s do not match preds %s of bb%d"
+                   f.name v
+                   (String.concat "," (List.map string_of_int arm_ids))
+                   (String.concat "," (List.map string_of_int pred_ids))
+                   cfg.blocks.(i).bid
+             | _ -> ()))
+         b.insts)
+    cfg.blocks;
+  (* defs dominate uses *)
+  let check_use ~user_block ~user_pos v =
+    match Hashtbl.find_opt def_site v with
+    | None -> fail "%s: use of undefined value %%%d" f.name v
+    | Some (`Param, _) -> ()
+    | Some (`Block (db, dpos), _) ->
+      if db = user_block then begin
+        if dpos >= user_pos then
+          fail "%s: value %%%d used at or before its definition" f.name v
+      end
+      else if not (dominates idom_arr db user_block) then
+        fail "%s: def of %%%d (bb idx %d) does not dominate use (bb idx %d)"
+          f.name v db user_block
+  in
+  Array.iteri
+    (fun i b ->
+       List.iteri
+         (fun pos (_, inst) ->
+            match inst with
+            | Phi ins ->
+              List.iter
+                (fun (pred_bid, op) ->
+                   match operand_value op with
+                   | None -> ()
+                   | Some u ->
+                     let p = block_index cfg pred_bid in
+                     (* the input must be available at the end of pred *)
+                     (match Hashtbl.find_opt def_site u with
+                      | None -> fail "%s: phi input %%%d undefined" f.name u
+                      | Some (`Param, _) -> ()
+                      | Some (`Block (db, _), _) ->
+                        if not (dominates idom_arr db p) then
+                          fail "%s: phi input %%%d does not dominate pred" f.name u))
+                ins
+            | _ ->
+              List.iter (fun u -> check_use ~user_block:i ~user_pos:pos u)
+                (inst_uses inst))
+         b.insts;
+       List.iter
+         (fun u -> check_use ~user_block:i ~user_pos:(List.length b.insts) u)
+         (term_uses b.term);
+       (* phis must be a prefix of the block *)
+       let seen_nonphi = ref false in
+       List.iter
+         (fun (_, inst) ->
+            if is_phi inst then begin
+              if !seen_nonphi then fail "%s: phi after non-phi in bb%d" f.name b.bid
+            end
+            else seen_nonphi := true)
+         b.insts)
+    cfg.blocks

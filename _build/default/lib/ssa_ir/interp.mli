@@ -1,0 +1,16 @@
+(** Reference interpreter for the SSA IR — the semantic oracle of the
+    test suite: a MiniC program must print identical console output when
+    interpreted here, when compiled to STRAIGHT and run on the STRAIGHT
+    ISS, and when compiled to RV32IM and run on the RISC-V ISS.
+
+    Global data is laid out exactly like the back ends lay it out
+    (declaration order from {!Assembler.Layout.data_base}), so address
+    arithmetic agrees across all three executions. *)
+
+exception Interp_error of string
+
+val run : ?max_steps:int -> Ir.program -> string * int32
+(** [run p] interprets the program from [main]; returns the console output
+    and [main]'s return value.
+    @raise Interp_error on unknown globals/functions, unaligned accesses,
+    or when [max_steps] (default 50M) is exceeded. *)

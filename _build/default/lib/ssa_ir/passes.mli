@@ -1,0 +1,56 @@
+(** IR-to-IR passes: constant folding with algebraic simplification, dead
+    code elimination, CFG cleanup, and critical-edge splitting (required
+    by both back ends before phi lowering / distance fixing).
+
+    All passes mutate the function in place and preserve SSA validity. *)
+
+val const_fold : Ir.func -> bool
+(** Rewrite through known constants, fold pure instructions and constant
+    conditional branches (pruning the dropped targets' phi arms).  Returns
+    [true] if anything changed. *)
+
+val dce : Ir.func -> bool
+(** Remove pure instructions whose results are never (transitively)
+    used. *)
+
+val remove_unreachable : Ir.func -> bool
+(** Drop blocks unreachable from the entry and prune the phi arms that
+    referenced them. *)
+
+val merge_blocks : Ir.func -> bool
+(** Merge straight-line pairs [b -> s] where [s]'s only predecessor is
+    [b]. *)
+
+val simplify_cfg : Ir.func -> bool
+
+val cse : Ir.func -> bool
+(** Dominator-scoped common-subexpression elimination over pure
+    instructions (commutative operands normalized). *)
+
+val licm : Ir.func -> bool
+(** Hoist pure loop-invariant instructions into the loop preheader.
+    Speculative hoisting is safe because no pure instruction can trap
+    (division by zero is defined). *)
+
+(** Optimization levels, mirroring -O0/-O1/-O2. *)
+type opt_level = O0 | O1 | O2
+
+val optimize_at : opt_level -> Ir.func -> unit
+(** Run the pipeline to a bounded fixpoint: [O0] nothing, [O1] folding +
+    DCE + CFG cleanup, [O2] additionally CSE and LICM. *)
+
+val optimize : Ir.func -> unit
+(** [optimize = optimize_at O2].  Both back ends receive the same
+    optimized IR — the paper compiles with clang -O2 for both targets, so
+    RAW-vs-RE+ differences come from the STRAIGHT-specific back end
+    only. *)
+
+val split_critical_edges : Ir.func -> unit
+(** Insert an empty block on every edge [P -> S] where [P] has several
+    successors and [S] several predecessors.  STRAIGHT needs this to give
+    every merge predecessor its own frame tail; RISC-V to place phi
+    moves. *)
+
+val layout_rpo : Ir.func -> unit
+(** Order [f.blocks] in reverse postorder (entry first), dropping
+    unreachable blocks; the back ends use this as their layout order. *)

@@ -1,0 +1,1 @@
+lib/straight_cc/codegen.ml: Array Assembler Format Hashtbl Int32 List Option Printf Ssa_ir Straight_isa String

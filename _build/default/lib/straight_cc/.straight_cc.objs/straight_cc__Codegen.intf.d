@@ -1,0 +1,1 @@
+lib/straight_cc/codegen.mli: Assembler Hashtbl Ssa_ir Straight_isa

@@ -1,0 +1,123 @@
+(* Public facade of the STRAIGHT reproduction library.
+
+   Typical use:
+
+   {[
+     let exp = Straight_core.Experiment.run
+         ~model:Straight_core.Models.straight_4way
+         ~target:(Straight `Re_plus)
+         (Workloads.coremark ())
+     in
+     Printf.printf "IPC %.2f\n" exp.ipc
+   ]}
+
+   See examples/ for runnable programs and bench/ for the per-figure
+   reproduction harness. *)
+
+module Models = struct
+  include Ooo_common.Params
+
+  let all = [ ss_2way; straight_2way; ss_4way; straight_4way ]
+end
+
+module Compile = struct
+  type target =
+    | Straight of Straight_cc.Codegen.opt_level   (* RAW or RE+ *)
+    | Riscv
+
+  (* [frontend src] parses + lowers + optimizes MiniC source into SSA IR
+     (each call returns a fresh program: back ends mutate the IR). *)
+  let frontend (src : string) : Ssa_ir.Ir.program =
+    let p = Minic.Lower.compile src in
+    List.iter Ssa_ir.Passes.optimize p.Ssa_ir.Ir.funcs;
+    p
+
+  (* [to_straight ?max_dist ~level src] compiles MiniC to a STRAIGHT
+     image. *)
+  let to_straight ?(max_dist = Ooo_common.Params.straight_max_dist)
+      ~(level : Straight_cc.Codegen.opt_level) (src : string) :
+    Assembler.Image.t * Straight_cc.Codegen.stats =
+    let p = frontend src in
+    let config = { Straight_cc.Codegen.max_dist; level } in
+    let items = Straight_cc.Codegen.compile ~config p in
+    let stats = Straight_cc.Codegen.stats_of_items items in
+    (Assembler.Asm.Straight.assemble ~entry:"_start" items, stats)
+
+  (* [to_riscv src] compiles MiniC to an RV32IM image. *)
+  let to_riscv (src : string) : Assembler.Image.t =
+    Riscv_cc.Codegen.compile_to_image (frontend src)
+
+  (* [straight_asm ...] returns the generated assembly text (Fig. 10). *)
+  let straight_asm ?(max_dist = Ooo_common.Params.straight_max_dist)
+      ~level (src : string) : string =
+    let config = { Straight_cc.Codegen.max_dist; level } in
+    Assembler.Asm.Straight.program_to_string
+      (Straight_cc.Codegen.compile ~config (frontend src))
+
+  let riscv_asm (src : string) : string =
+    Assembler.Asm.Riscv.program_to_string (Riscv_cc.Codegen.compile (frontend src))
+end
+
+module Experiment = struct
+  type target =
+    | Straight_raw
+    | Straight_re
+    | Riscv
+
+  let target_label = function
+    | Straight_raw -> "STRAIGHT(RAW)"
+    | Straight_re -> "STRAIGHT(RE+)"
+    | Riscv -> "SS"
+
+  type result = {
+    workload : string;
+    model : string;
+    target : target;
+    cycles : int;
+    committed : int;
+    ipc : float;
+    output : string;
+    stats : Ooo_common.Engine.stats;
+    dist_histogram : int array;        (* STRAIGHT targets only *)
+  }
+
+  (* [run ~model ~target ?max_dist workload] compiles the workload for the
+     target ISA and simulates it on the cycle-level model. *)
+  let run ?(max_dist = Ooo_common.Params.straight_max_dist)
+      ~(model : Ooo_common.Params.t) ~(target : target)
+      (w : Workloads.t) : result =
+    match target with
+    | Riscv ->
+      let image = Compile.to_riscv w.Workloads.source in
+      let r = Ooo_riscv.Pipeline.run model image in
+      { workload = w.Workloads.name;
+        model = model.Ooo_common.Params.name;
+        target;
+        cycles = r.Ooo_riscv.Pipeline.stats.Ooo_common.Engine.cycles;
+        committed = r.Ooo_riscv.Pipeline.stats.Ooo_common.Engine.committed;
+        ipc = r.Ooo_riscv.Pipeline.stats.Ooo_common.Engine.ipc;
+        output = r.Ooo_riscv.Pipeline.output;
+        stats = r.Ooo_riscv.Pipeline.stats;
+        dist_histogram = [||] }
+    | Straight_raw | Straight_re ->
+      let level =
+        match target with
+        | Straight_raw -> Straight_cc.Codegen.Raw
+        | _ -> Straight_cc.Codegen.Re_plus
+      in
+      let image, _ = Compile.to_straight ~max_dist ~level w.Workloads.source in
+      let r = Ooo_straight.Pipeline.run model image in
+      { workload = w.Workloads.name;
+        model = model.Ooo_common.Params.name;
+        target;
+        cycles = r.Ooo_straight.Pipeline.stats.Ooo_common.Engine.cycles;
+        committed = r.Ooo_straight.Pipeline.stats.Ooo_common.Engine.committed;
+        ipc = r.Ooo_straight.Pipeline.stats.Ooo_common.Engine.ipc;
+        output = r.Ooo_straight.Pipeline.output;
+        stats = r.Ooo_straight.Pipeline.stats;
+        dist_histogram = r.Ooo_straight.Pipeline.dist_histogram }
+
+  (* Relative performance (inverse cycles), the metric of Figs. 11-14. *)
+  let relative_perf ~(baseline : result) (r : result) : float =
+    float_of_int baseline.cycles /. float_of_int r.cycles
+end

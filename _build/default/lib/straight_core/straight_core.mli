@@ -1,0 +1,77 @@
+(** Public facade of the STRAIGHT reproduction library.
+
+    {[
+      let exp =
+        Straight_core.Experiment.run
+          ~model:Straight_core.Models.straight_4way
+          ~target:Straight_core.Experiment.Straight_re
+          (Workloads.coremark ())
+      in
+      Printf.printf "IPC %.2f\n" exp.Straight_core.Experiment.ipc
+    ]}
+
+    See [examples/] for runnable programs and [bench/] for the per-figure
+    reproduction harness. *)
+
+(** The Table-I model configurations (re-exports {!Ooo_common.Params}). *)
+module Models : sig
+  include module type of Ooo_common.Params
+
+  val all : t list
+  (** [ss_2way; straight_2way; ss_4way; straight_4way]. *)
+end
+
+(** Compilation pipelines: MiniC source -> SSA IR -> either target. *)
+module Compile : sig
+  type target =
+    | Straight of Straight_cc.Codegen.opt_level
+    | Riscv
+
+  val frontend : string -> Ssa_ir.Ir.program
+  (** Parse + lower + optimize.  Each call returns a fresh program (the
+      back ends mutate the IR). *)
+
+  val to_straight :
+    ?max_dist:int -> level:Straight_cc.Codegen.opt_level -> string ->
+    Assembler.Image.t * Straight_cc.Codegen.stats
+  (** Compile MiniC to a STRAIGHT image (default max distance: the
+      Table-I value, 31). *)
+
+  val to_riscv : string -> Assembler.Image.t
+
+  val straight_asm :
+    ?max_dist:int -> level:Straight_cc.Codegen.opt_level -> string -> string
+  (** The generated assembly text (Fig. 10-style inspection). *)
+
+  val riscv_asm : string -> string
+end
+
+(** Running a workload on a cycle-level model. *)
+module Experiment : sig
+  type target =
+    | Straight_raw        (** STRAIGHT compiled by the basic algorithm *)
+    | Straight_re         (** STRAIGHT with RE+ redundancy elimination *)
+    | Riscv               (** the superscalar baseline *)
+
+  val target_label : target -> string
+
+  type result = {
+    workload : string;
+    model : string;
+    target : target;
+    cycles : int;
+    committed : int;
+    ipc : float;
+    output : string;                 (** program console output *)
+    stats : Ooo_common.Engine.stats;
+    dist_histogram : int array;      (** STRAIGHT targets only *)
+  }
+
+  val run :
+    ?max_dist:int -> model:Ooo_common.Params.t -> target:target ->
+    Workloads.t -> result
+  (** Compile the workload for the target ISA and simulate it. *)
+
+  val relative_perf : baseline:result -> result -> float
+  (** Inverse-cycles relative performance, the metric of Figs. 11-14. *)
+end

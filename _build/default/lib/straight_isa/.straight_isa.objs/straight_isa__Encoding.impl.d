@@ -1,0 +1,1 @@
+lib/straight_isa/encoding.ml: Format Hashtbl Int32 Isa List

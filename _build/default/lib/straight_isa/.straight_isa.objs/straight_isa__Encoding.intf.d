@@ -1,0 +1,1 @@
+lib/straight_isa/encoding.mli: Isa

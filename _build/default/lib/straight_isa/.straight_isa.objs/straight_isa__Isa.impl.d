@@ -1,0 +1,1 @@
+lib/straight_isa/isa.ml: Format Int32 Int64

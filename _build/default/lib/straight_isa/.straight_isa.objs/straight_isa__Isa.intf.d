@@ -1,0 +1,1 @@
+lib/straight_isa/isa.mli: Format

@@ -1,0 +1,1 @@
+lib/straight_isa/parser.ml: Format Int32 Isa List String

@@ -1,0 +1,1 @@
+lib/straight_isa/parser.mli: Isa

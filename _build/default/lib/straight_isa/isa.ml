@@ -1,0 +1,164 @@
+(* STRAIGHT instruction set (Irie et al., MICRO 2018, Section III-A).
+
+   Source operands are *distances*: "[k]" denotes the result value of the
+   k-th previous instruction in the dynamic (control-flow) order.  Distance 0
+   is the hard-wired zero register.  Every instruction occupies exactly one
+   destination register (identified implicitly by its fetch order), so no
+   destination field exists in the format.  The only overwritable
+   architectural register is SP, manipulated exclusively by SPADD. *)
+
+type dist = int
+(** A source-operand distance. Valid range: [0, max_dist]; 0 reads zero. *)
+
+let max_dist = 1023
+(* A source field spans 10 bits; [0] is the zero register, so the farthest
+   referable producer is 2^10 - 1 = 1023 instructions back (Section III-A). *)
+
+type alu_op =
+  | Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu
+  | Mul | Mulh | Div | Divu | Rem | Remu
+
+type alui_op =
+  | Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti | Sltui
+
+(* Instructions are parameterized by the representation of code targets:
+   ['lab = string] for symbolic assembly, ['lab = int] once the assembler
+   has resolved every target to a word-granular PC-relative offset. *)
+type 'lab t =
+  | Alu of alu_op * dist * dist
+  | Alui of alui_op * dist * int32
+  | Lui of int32                      (* dest := imm20 lsl 12 *)
+  | Rmov of dist                      (* dest := [d] (register move padding) *)
+  | Nop
+  | Ld of dist * int                  (* dest := mem32[[base] + imm16] *)
+  | St of dist * dist * int           (* mem32[[base] + 4*imm6] := [value]; dest := [value] *)
+  | Bez of dist * 'lab                (* branch if [d] = 0 *)
+  | Bnz of dist * 'lab                (* branch if [d] <> 0 *)
+  | J of 'lab
+  | Jal of 'lab                       (* dest := PC + 4; jump *)
+  | Jr of dist                        (* jump to [d] (function return) *)
+  | Spadd of int                      (* SP := SP + imm; dest := new SP *)
+  | Halt
+
+type resolved = int t
+(** Instruction whose control-flow targets are PC-relative word offsets. *)
+
+(* Classification used by the assembler, simulators and statistics
+   (instruction-mix figure 15 buckets RMOV and NOP separately). *)
+type kind = Kalu | Kmul | Kdiv | Kload | Kstore | Kbranch | Kjump | Krmov | Knop | Khalt
+
+let kind = function
+  | Alu ((Mul | Mulh), _, _) -> Kmul
+  | Alu ((Div | Divu | Rem | Remu), _, _) -> Kdiv
+  | Alu (_, _, _) | Alui (_, _, _) | Lui _ | Spadd _ -> Kalu
+  | Rmov _ -> Krmov
+  | Nop -> Knop
+  | Ld (_, _) -> Kload
+  | St (_, _, _) -> Kstore
+  | Bez (_, _) | Bnz (_, _) -> Kbranch
+  | J _ | Jal _ | Jr _ -> Kjump
+  | Halt -> Khalt
+
+(* Source distances of an instruction, in operand order. *)
+let sources = function
+  | Alu (_, a, b) -> [ a; b ]
+  | Alui (_, a, _) -> [ a ]
+  | Lui _ | Nop | J _ | Jal _ | Spadd _ | Halt -> []
+  | Rmov a -> [ a ]
+  | Ld (b, _) -> [ b ]
+  | St (v, b, _) -> [ v; b ]
+  | Bez (a, _) | Bnz (a, _) -> [ a ]
+  | Jr a -> [ a ]
+
+let map_label f = function
+  | Bez (d, l) -> Bez (d, f l)
+  | Bnz (d, l) -> Bnz (d, f l)
+  | J l -> J (f l)
+  | Jal l -> Jal (f l)
+  | Alu (op, a, b) -> Alu (op, a, b)
+  | Alui (op, a, i) -> Alui (op, a, i)
+  | Lui i -> Lui i
+  | Rmov d -> Rmov d
+  | Nop -> Nop
+  | Ld (b, o) -> Ld (b, o)
+  | St (v, b, o) -> St (v, b, o)
+  | Jr d -> Jr d
+  | Spadd i -> Spadd i
+  | Halt -> Halt
+
+let alu_op_name = function
+  | Add -> "ADD" | Sub -> "SUB" | And -> "AND" | Or -> "OR" | Xor -> "XOR"
+  | Sll -> "SLL" | Srl -> "SRL" | Sra -> "SRA" | Slt -> "SLT" | Sltu -> "SLTU"
+  | Mul -> "MUL" | Mulh -> "MULH" | Div -> "DIV" | Divu -> "DIVU"
+  | Rem -> "REM" | Remu -> "REMU"
+
+let alui_op_name = function
+  | Addi -> "ADDi" | Andi -> "ANDi" | Ori -> "ORi" | Xori -> "XORi"
+  | Slli -> "SLLi" | Srli -> "SRLi" | Srai -> "SRAi" | Slti -> "SLTi"
+  | Sltui -> "SLTUi"
+
+(* Evaluate a register-register ALU operation with RV32-style semantics
+   (shared by the functional simulator and constant folding). *)
+let eval_alu op (a : int32) (b : int32) : int32 =
+  let sh = Int32.to_int (Int32.logand b 31l) in
+  match op with
+  | Add -> Int32.add a b
+  | Sub -> Int32.sub a b
+  | And -> Int32.logand a b
+  | Or -> Int32.logor a b
+  | Xor -> Int32.logxor a b
+  | Sll -> Int32.shift_left a sh
+  | Srl -> Int32.shift_right_logical a sh
+  | Sra -> Int32.shift_right a sh
+  | Slt -> if Int32.compare a b < 0 then 1l else 0l
+  | Sltu ->
+    let ua = Int32.logxor a Int32.min_int and ub = Int32.logxor b Int32.min_int in
+    if Int32.compare ua ub < 0 then 1l else 0l
+  | Mul -> Int32.mul a b
+  | Mulh ->
+    let p = Int64.mul (Int64.of_int32 a) (Int64.of_int32 b) in
+    Int64.to_int32 (Int64.shift_right p 32)
+  | Div ->
+    if b = 0l then -1l
+    else if a = Int32.min_int && b = -1l then Int32.min_int
+    else Int32.div a b
+  | Divu ->
+    if b = 0l then -1l else Int64.to_int32 (Int64.div (Int64.logand (Int64.of_int32 a) 0xFFFFFFFFL) (Int64.logand (Int64.of_int32 b) 0xFFFFFFFFL))
+  | Rem ->
+    if b = 0l then a
+    else if a = Int32.min_int && b = -1l then 0l
+    else Int32.rem a b
+  | Remu ->
+    if b = 0l then a else Int64.to_int32 (Int64.rem (Int64.logand (Int64.of_int32 a) 0xFFFFFFFFL) (Int64.logand (Int64.of_int32 b) 0xFFFFFFFFL))
+
+let alu_of_alui = function
+  | Addi -> Add | Andi -> And | Ori -> Or | Xori -> Xor
+  | Slli -> Sll | Srli -> Srl | Srai -> Sra | Slti -> Slt | Sltui -> Sltu
+
+let pp_operand fmt (d : dist) = Format.fprintf fmt "[%d]" d
+
+let pp pp_lab fmt = function
+  | Alu (op, a, b) ->
+    Format.fprintf fmt "%s %a %a" (alu_op_name op) pp_operand a pp_operand b
+  | Alui (op, a, i) ->
+    Format.fprintf fmt "%s %a %ld" (alui_op_name op) pp_operand a i
+  | Lui i -> Format.fprintf fmt "LUI %ld" i
+  | Rmov a -> Format.fprintf fmt "RMOV %a" pp_operand a
+  | Nop -> Format.fprintf fmt "NOP"
+  | Ld (b, o) -> Format.fprintf fmt "LD %a %d" pp_operand b o
+  | St (v, b, o) -> Format.fprintf fmt "ST %a %a %d" pp_operand v pp_operand b o
+  | Bez (a, l) -> Format.fprintf fmt "BEZ %a %a" pp_operand a pp_lab l
+  | Bnz (a, l) -> Format.fprintf fmt "BNZ %a %a" pp_operand a pp_lab l
+  | J l -> Format.fprintf fmt "J %a" pp_lab l
+  | Jal l -> Format.fprintf fmt "JAL %a" pp_lab l
+  | Jr a -> Format.fprintf fmt "JR %a" pp_operand a
+  | Spadd i -> Format.fprintf fmt "SPADD %d" i
+  | Halt -> Format.fprintf fmt "HALT"
+
+let pp_sym fmt i = pp Format.pp_print_string fmt i
+let pp_resolved fmt i = pp (fun fmt o -> Format.fprintf fmt "%+d" o) fmt i
+let to_string_sym i = Format.asprintf "%a" pp_sym i
+let to_string_resolved i = Format.asprintf "%a" pp_resolved i
+
+(* The word-aligned size in bytes of every STRAIGHT instruction. *)
+let insn_bytes = 4

@@ -1,0 +1,41 @@
+(** Benchmark programs in MiniC.
+
+    [dhrystone] and [coremark] re-implement the algorithmic structure of
+    the paper's two benchmarks (Dhrystone 2.1 and CoreMark, Section V-A)
+    in our C subset — see DESIGN.md "Substitutions".  The microkernels
+    serve the tests, the examples, and the ablations. *)
+
+type t = {
+  name : string;
+  source : string;        (** MiniC source text *)
+  iterations : int;       (** iteration count baked into the source *)
+}
+
+val dhrystone : ?iterations:int -> unit -> t
+(** Record assignment, parameter passing, 30-char string comparison,
+    Proc1..Proc8/Func1..Func3-style procedures. *)
+
+val coremark : ?iterations:int -> unit -> t
+(** CoreMark's three kernels — linked-list find/reverse, 8x8 matrix
+    multiply with bit manipulation, a token-classifying state machine —
+    chained through a CRC-16. *)
+
+val fib : ?n:int -> unit -> t
+(** Recursive Fibonacci: deep call tree. *)
+
+val iota : ?n:int -> unit -> t
+(** The paper's Fig. 10 example: fill an array with 0..n-1 through a
+    pointer parameter. *)
+
+val sort : ?n:int -> unit -> t
+(** Bubble sort: nested loops, data-dependent swaps. *)
+
+val quicksort : ?n:int -> unit -> t
+(** Recursive quicksort: stresses the calling convention. *)
+
+val pointer_chase : ?nodes:int -> ?hops:int -> unit -> t
+(** Large-stride pointer chasing: defeats the stream prefetcher and
+    exercises the cache hierarchy. *)
+
+val all_benchmarks : unit -> t list
+(** The two paper benchmarks. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Assembler List Minic Printf QCheck2 QCheck_alcotest Riscv_cc Riscv_isa Ssa_ir Straight_cc Straight_isa String Workloads

@@ -1,0 +1,1 @@
+test/test_backends.ml: Alcotest Assembler Buffer Iss List Minic Printexc Printf QCheck2 QCheck_alcotest Riscv_cc Ssa_ir Straight_cc Straight_isa String

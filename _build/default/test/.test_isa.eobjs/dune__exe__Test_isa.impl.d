@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Format Int32 List QCheck2 QCheck_alcotest Riscv_isa Straight_isa String

@@ -1,0 +1,1 @@
+test/test_iss.ml: Alcotest Array Assembler Iss List Minic Printf Ssa_ir Straight_cc Straight_isa

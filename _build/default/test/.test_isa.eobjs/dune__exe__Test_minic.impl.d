@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Array List Minic Ssa_ir

@@ -1,0 +1,1 @@
+test/test_ooo.ml: Alcotest Array Iss List Minic Ooo_common Ooo_riscv Ooo_straight Printf Riscv_cc Ssa_ir Straight_cc String Workloads

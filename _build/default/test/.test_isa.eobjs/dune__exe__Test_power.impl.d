@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest List Ooo_common Power Printf Straight_core Workloads

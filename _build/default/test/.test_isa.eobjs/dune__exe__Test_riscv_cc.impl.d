@@ -1,0 +1,1 @@
+test/test_riscv_cc.ml: Alcotest Assembler Iss List Minic Printf Riscv_cc Riscv_isa Ssa_ir Straight_cc String Workloads

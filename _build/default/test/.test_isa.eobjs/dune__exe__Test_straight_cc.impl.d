@@ -1,0 +1,1 @@
+test/test_straight_cc.ml: Alcotest Assembler Iss List Minic Printf Ssa_ir Straight_cc Straight_isa String Workloads

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Iss List Minic Ooo_common Power Printf Ssa_ir Straight_cc Straight_core String Workloads

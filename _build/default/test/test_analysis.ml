@@ -1,0 +1,202 @@
+(* Property tests for the CFG analyses the compilers rely on: dominators
+   (checked against the set-based definition on random CFGs), natural
+   loops, liveness, and whole-image disassembly round-trips. *)
+
+module Ir = Ssa_ir.Ir
+module Analysis = Ssa_ir.Analysis
+
+(* Build a function whose CFG has [n] blocks with the given edges (block 0
+   is the entry).  Blocks carry no instructions; terminators encode the
+   out-edges (0 = Ret, 1 = Br, 2 = Cond_br on a dummy constant). *)
+let func_of_edges n (edges : (int * int) list) : Ir.func =
+  let succs = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+       if a < n && b < n && List.length succs.(a) < 2
+          && not (List.mem b succs.(a))
+       then succs.(a) <- succs.(a) @ [ b ])
+    edges;
+  let blocks =
+    List.init n (fun i ->
+        let term =
+          match succs.(i) with
+          | [] -> Ir.Ret (Ir.Const 0l)
+          | [ t ] -> Ir.Br t
+          | [ t1; t2 ] -> Ir.Cond_br (Ir.Const 1l, t1, t2)
+          | _ -> assert false
+        in
+        { Ir.bid = i; insts = []; term })
+  in
+  { Ir.name = "cfg"; nparams = 0; nvalues = 0; blocks; frame_bytes = 0 }
+
+(* Reference dominance: a dominates b iff every path from the entry to b
+   passes through a — equivalently, b is unreachable when a is removed. *)
+let reference_dominates (cfg : Analysis.cfg) a b =
+  if a = b then true
+  else begin
+    let n = Array.length cfg.Analysis.blocks in
+    let reach = Array.make n false in
+    let rec dfs i =
+      if (not reach.(i)) && i <> a then begin
+        reach.(i) <- true;
+        List.iter dfs cfg.Analysis.succs.(i)
+      end
+    in
+    if a <> 0 then dfs 0;
+    not reach.(b)
+  end
+
+let gen_cfg : (int * (int * int) list) QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* n = int_range 2 9 in
+  let* extra = list_size (int_range 0 14) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))) in
+  (* a spine keeps most blocks reachable *)
+  let spine = List.init (n - 1) (fun i -> (i, i + 1)) in
+  return (n, spine @ extra)
+
+let prop_dominators =
+  QCheck2.Test.make ~count:300 ~name:"idom matches set-based dominance"
+    ~print:(fun (n, es) ->
+        Printf.sprintf "n=%d edges=[%s]" n
+          (String.concat ";"
+             (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) es)))
+    gen_cfg
+    (fun (n, edges) ->
+       let f = func_of_edges n edges in
+       let cfg = Analysis.build f in
+       let idom = Analysis.idom cfg in
+       let m = Array.length cfg.Analysis.blocks in
+       let ok = ref true in
+       for a = 0 to m - 1 do
+         for b = 0 to m - 1 do
+           if Analysis.dominates idom a b <> reference_dominates cfg a b then
+             ok := false
+         done
+       done;
+       !ok)
+
+let prop_loops_have_back_edges =
+  QCheck2.Test.make ~count:300 ~name:"every natural loop has its back edge"
+    gen_cfg
+    (fun (n, edges) ->
+       let f = func_of_edges n edges in
+       let cfg = Analysis.build f in
+       let idom = Analysis.idom cfg in
+       let loops = Analysis.natural_loops cfg idom in
+       List.for_all
+         (fun (l : Analysis.loop) ->
+            (* the header is in the body, the body is dominated by the
+               header, and some body block branches back to the header *)
+            Analysis.IntSet.mem l.Analysis.header l.Analysis.body
+            && Analysis.IntSet.for_all
+              (fun b -> Analysis.dominates idom l.Analysis.header b)
+              l.Analysis.body
+            && Analysis.IntSet.exists
+              (fun b -> List.mem l.Analysis.header cfg.Analysis.succs.(b))
+              l.Analysis.body)
+         loops)
+
+let prop_entry_dominates_all =
+  QCheck2.Test.make ~count:200 ~name:"entry dominates every reachable block"
+    gen_cfg
+    (fun (n, edges) ->
+       let f = func_of_edges n edges in
+       let cfg = Analysis.build f in
+       let idom = Analysis.idom cfg in
+       let ok = ref true in
+       Array.iteri
+         (fun i _ -> if not (Analysis.dominates idom 0 i) then ok := false)
+         cfg.Analysis.blocks;
+       !ok)
+
+(* liveness sanity on a concrete diamond *)
+let test_liveness_diamond () =
+  let f = Minic.Lower.compile {|
+int main() {
+  int a = 40;
+  int b = 2;
+  int c;
+  if (a > b) c = a + b; else c = a - b;
+  putint(c);
+}
+|} in
+  let main = List.find (fun g -> g.Ir.name = "main") f.Ir.funcs in
+  Ssa_ir.Passes.optimize main;
+  ignore (Ssa_ir.Passes.remove_unreachable main);
+  let cfg = Analysis.build main in
+  let lv = Analysis.liveness cfg in
+  (* the entry block's live-in must be empty: everything is defined inside *)
+  Alcotest.(check bool) "entry live-in empty" true
+    (Analysis.IntSet.is_empty lv.Analysis.live_in.(0))
+
+(* whole-image disassembly round trip for compiled programs: every word
+   decodes, and re-encoding the decoded instruction gives the same word *)
+let test_disassembly_roundtrip () =
+  let src = (Workloads.coremark ~iterations:1 ()).Workloads.source in
+  let prog = Minic.Lower.compile src in
+  List.iter Ssa_ir.Passes.optimize prog.Ir.funcs;
+  let simage =
+    Straight_cc.Codegen.compile_to_image
+      ~config:{ Straight_cc.Codegen.max_dist = 31;
+                level = Straight_cc.Codegen.Re_plus }
+      prog
+  in
+  Array.iter
+    (fun w ->
+       match Straight_isa.Encoding.decode w with
+       | None -> Alcotest.failf "illegal straight word %08lx" w
+       | Some insn ->
+         Alcotest.(check int32) "straight re-encode" w
+           (Straight_isa.Encoding.encode insn))
+    simage.Assembler.Image.text;
+  let prog2 = Minic.Lower.compile src in
+  List.iter Ssa_ir.Passes.optimize prog2.Ir.funcs;
+  let rimage = Riscv_cc.Codegen.compile_to_image prog2 in
+  Array.iter
+    (fun w ->
+       match Riscv_isa.Encoding.decode w with
+       | None -> Alcotest.failf "illegal riscv word %08lx" w
+       | Some insn ->
+         Alcotest.(check int32) "riscv re-encode" w
+           (Riscv_isa.Encoding.encode insn))
+    rimage.Assembler.Image.text;
+  (* the textual disassemblers must render every instruction *)
+  let contains ~needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let d = Assembler.Asm.disassemble_straight simage in
+  Alcotest.(check bool) "straight disasm nonempty" true (String.length d > 0);
+  Alcotest.(check bool) "no illegal in straight disasm" false
+    (contains ~needle:"illegal" d)
+
+(* assembly text round trip: print a compiled program, re-parse, assemble,
+   and check the images match *)
+let test_asm_text_roundtrip () =
+  let src = (Workloads.fib ~n:10 ()).Workloads.source in
+  let prog = Minic.Lower.compile src in
+  List.iter Ssa_ir.Passes.optimize prog.Ir.funcs;
+  let items =
+    Straight_cc.Codegen.compile
+      ~config:{ Straight_cc.Codegen.max_dist = 31;
+                level = Straight_cc.Codegen.Re_plus }
+      prog
+  in
+  let direct = Assembler.Asm.Straight.assemble ~entry:"_start" items in
+  let text = Assembler.Asm.Straight.program_to_string items in
+  let reparsed = Assembler.Asm.Straight.assemble_source ~entry:"_start" text in
+  Alcotest.(check bool) "text sections equal" true
+    (direct.Assembler.Image.text = reparsed.Assembler.Image.text);
+  Alcotest.(check bool) "data sections equal" true
+    (direct.Assembler.Image.data = reparsed.Assembler.Image.data)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_dominators;
+    QCheck_alcotest.to_alcotest prop_loops_have_back_edges;
+    QCheck_alcotest.to_alcotest prop_entry_dominates_all;
+    ("liveness diamond", `Quick, test_liveness_diamond);
+    ("disassembly roundtrip", `Quick, test_disassembly_roundtrip);
+    ("asm text roundtrip", `Quick, test_asm_text_roundtrip) ]
+
+let () = Alcotest.run "analysis" [ ("analysis", suite) ]

@@ -1,0 +1,95 @@
+(* Unit tests of the activity-based power model (the Fig. 17 substitute). *)
+
+module Engine = Ooo_common.Engine
+
+let activity ~rename_reads ~rp_ops ~rf_reads ~alu_ops =
+  let a = Engine.fresh_activity () in
+  a.Engine.rename_reads <- rename_reads;
+  a.Engine.rp_ops <- rp_ops;
+  a.Engine.rf_reads <- rf_reads;
+  a.Engine.alu_ops <- alu_ops;
+  a
+
+let test_analyze_basics () =
+  let a = activity ~rename_reads:1000 ~rp_ops:0 ~rf_reads:500 ~alu_ops:400 in
+  let r = Power.analyze ~cycles:100 a in
+  Alcotest.(check bool) "rename positive" true (r.Power.rename > 0.0);
+  Alcotest.(check bool) "regfile positive" true (r.Power.regfile > 0.0);
+  Alcotest.(check bool) "other includes clock floor" true
+    (r.Power.other >= Power.default_coefficients.Power.e_clock_per_cycle)
+
+let test_rp_much_cheaper_than_rmt () =
+  (* equal event counts: RP adders must be far cheaper than RMT ports *)
+  let rmt = activity ~rename_reads:10_000 ~rp_ops:0 ~rf_reads:0 ~alu_ops:0 in
+  let rp = activity ~rename_reads:0 ~rp_ops:10_000 ~rf_reads:0 ~alu_ops:0 in
+  let r1 = Power.analyze ~cycles:1000 rmt in
+  let r2 = Power.analyze ~cycles:1000 rp in
+  Alcotest.(check bool) "rp < 15% of rmt" true
+    (r2.Power.rename < 0.15 *. r1.Power.rename)
+
+let test_energy_per_cycle_normalization () =
+  (* doubling both events and cycles leaves power unchanged *)
+  let a1 = activity ~rename_reads:1000 ~rp_ops:0 ~rf_reads:800 ~alu_ops:600 in
+  let a2 = activity ~rename_reads:2000 ~rp_ops:0 ~rf_reads:1600 ~alu_ops:1200 in
+  let r1 = Power.analyze ~cycles:500 a1 in
+  let r2 = Power.analyze ~cycles:1000 a2 in
+  Alcotest.(check (float 1e-9)) "rename power invariant" r1.Power.rename
+    r2.Power.rename;
+  Alcotest.(check (float 1e-9)) "regfile power invariant" r1.Power.regfile
+    r2.Power.regfile
+
+let test_frequency_scaling () =
+  Alcotest.(check (float 1e-9)) "identity at 1x" 2.5 (Power.scale_power 2.5 1.0);
+  Alcotest.(check bool) "superlinear at 4x" true
+    (Power.scale_power 1.0 4.0 > 4.0);
+  Alcotest.(check bool) "monotone" true
+    (Power.scale_power 1.0 2.5 < Power.scale_power 1.0 4.0)
+
+let test_figure17_shape () =
+  let ss = { Power.rename = 2.0; regfile = 4.0; other = 40.0 } in
+  let straight = { Power.rename = 0.1; regfile = 4.5; other = 42.0 } in
+  let rows = Power.figure17 ~ss ~straight in
+  Alcotest.(check int) "nine bar pairs" 9 (List.length rows);
+  (* SS at 1.0x normalizes to 1.0 per module *)
+  List.iter
+    (fun (row : Power.figure17_row) ->
+       if row.Power.freq = 1.0 then
+         Alcotest.(check (float 1e-9)) "ss normalized" 1.0 row.Power.ss)
+    rows;
+  (* the rename bar pair shows the removal *)
+  let rename_1x =
+    List.find
+      (fun (r : Power.figure17_row) ->
+         r.Power.module_name = "Rename Logic" && r.Power.freq = 1.0)
+      rows
+  in
+  Alcotest.(check (float 1e-9)) "straight rename ratio" 0.05
+    rename_1x.Power.straight
+
+let test_calibration_anchor () =
+  (* the committed coefficients keep the SS rename/other ratio near the
+     paper's published 5.7 % anchor on the Fig. 17 kernel *)
+  let w = Workloads.coremark ~iterations:1 () in
+  let r =
+    Straight_core.Experiment.run ~model:Straight_core.Models.ss_2way
+      ~target:Straight_core.Experiment.Riscv w
+  in
+  let rep =
+    Power.analyze ~cycles:r.Straight_core.Experiment.cycles
+      r.Straight_core.Experiment.stats.Engine.activity
+  in
+  let ratio = rep.Power.rename /. rep.Power.other in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.3f within [0.04, 0.08]" ratio)
+    true
+    (ratio > 0.04 && ratio < 0.08)
+
+let suite =
+  [ ("analyze basics", `Quick, test_analyze_basics);
+    ("rp cheaper than rmt", `Quick, test_rp_much_cheaper_than_rmt);
+    ("per-cycle normalization", `Quick, test_energy_per_cycle_normalization);
+    ("frequency scaling", `Quick, test_frequency_scaling);
+    ("figure17 shape", `Quick, test_figure17_shape);
+    ("calibration anchor", `Quick, test_calibration_anchor) ]
+
+let () = Alcotest.run "power" [ ("power", suite) ]
