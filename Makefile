@@ -1,0 +1,15 @@
+.PHONY: check build test bench clean
+
+check: build test
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- --quick
+
+clean:
+	dune clean

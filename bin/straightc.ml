@@ -1,6 +1,13 @@
 (* Command-line compiler driver: MiniC -> STRAIGHT or RV32IM assembly /
-   execution.  See also examples/ for API-level usage. *)
-let () =
+   execution.  See also examples/ for API-level usage.
+
+   Failures are reported as structured diagnostics with a distinct exit
+   code per failure class (see Diag.exit_code): 2 usage, 3 compile
+   errors, 4 execution/memory faults, 5 fuel exhaustion. *)
+
+module Diagnostics = Straight_core.Diagnostics
+
+let main () =
   let usage = "straightc [-target straight|riscv] [-raw] [-maxdist N] [-run] [-asm] FILE" in
   let target = ref "straight" in
   let raw = ref false in
@@ -54,3 +61,12 @@ let () =
       Printf.printf "[retired %d instructions]\n" r.Iss.Trace.retired
     end
   | t -> Printf.eprintf "unknown target %s\n" t; exit 2
+
+let () =
+  try main () with
+  | e ->
+    (match Diagnostics.of_exn e with
+     | None -> raise e
+     | Some d ->
+       Printf.eprintf "straightc: %s\n" (Diagnostics.to_string d);
+       exit (Diagnostics.exit_code d.Diagnostics.code))

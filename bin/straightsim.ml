@@ -3,11 +3,52 @@
 
      straightsim [-model ss-2way|straight-2way|ss-4way|straight-4way]
                  [-target straight|straight-raw|riscv] [-tage] [-ideal]
-                 [-maxdist N] [-workload dhrystone|coremark|fib|sort] [FILE] *)
+                 [-maxdist N] [-rob N] [-sched N] [-no-check]
+                 [-inject all|flip,tag,spurious,stretch] [-seed N]
+                 [-inject-period N] [-dump-on-error FILE]
+                 [-workload NAME] [FILE]
+
+   Every failure is reported as a structured diagnostic and mapped to a
+   distinct exit code per failure class (see Diag.exit_code): 2 usage or
+   configuration, 3 compile-family, 4 execution or memory faults, 5 fuel
+   exhaustion, 6 simulator deadlock, 7 checker divergence.  With
+   [-dump-on-error FILE] the diagnostic's machine-readable context (for
+   a deadlock: the full pipeline snapshot) is also written to FILE
+   ("-" for stderr). *)
 
 module Params = Ooo_common.Params
+module Inject = Ooo_common.Inject
 module Exp = Straight_core.Experiment
+module Diagnostics = Straight_core.Diagnostics
 module Engine = Ooo_common.Engine
+
+let workloads : (string * (unit -> Workloads.t)) list =
+  [ ("dhrystone", fun () -> Workloads.dhrystone ~iterations:100 ());
+    ("coremark", fun () -> Workloads.coremark ~iterations:2 ());
+    ("fib", fun () -> Workloads.fib ());
+    ("iota", fun () -> Workloads.iota ());
+    ("sort", fun () -> Workloads.sort ());
+    ("quicksort", fun () -> Workloads.quicksort ());
+    ("pointer-chase", fun () -> Workloads.pointer_chase ()) ]
+
+let parse_inject_kinds (s : string) : Inject.kind list =
+  if s = "all" then
+    [ Inject.Flip_prediction; Inject.Corrupt_cache_tag;
+      Inject.Spurious_recovery; Inject.Stretch_fu_latency ]
+  else
+    String.split_on_char ',' s
+    |> List.map (fun k ->
+        match String.trim k with
+        | "flip" -> Inject.Flip_prediction
+        | "tag" -> Inject.Corrupt_cache_tag
+        | "spurious" -> Inject.Spurious_recovery
+        | "stretch" -> Inject.Stretch_fu_latency
+        | other ->
+          Printf.eprintf
+            "unknown fault kind %s (valid: flip, tag, spurious, stretch, \
+             all)\n"
+            other;
+          exit 2)
 
 let () =
   let model_name = ref "straight-4way" in
@@ -15,6 +56,13 @@ let () =
   let tage = ref false in
   let ideal = ref false in
   let maxdist = ref Params.straight_max_dist in
+  let rob = ref 0 in
+  let sched = ref (-1) in
+  let no_check = ref false in
+  let inject = ref "" in
+  let seed = ref 1 in
+  let inject_period = ref 1000 in
+  let dump_on_error = ref "" in
   let workload = ref "" in
   let file = ref "" in
   let spec =
@@ -23,6 +71,16 @@ let () =
       ("-tage", Arg.Set tage, "use the TAGE branch predictor");
       ("-ideal", Arg.Set ideal, "idealize misprediction recovery (fig 13)");
       ("-maxdist", Arg.Set_int maxdist, "maximum source distance (STRAIGHT)");
+      ("-rob", Arg.Set_int rob, "override ROB entries");
+      ("-sched", Arg.Set_int sched, "override scheduler entries");
+      ("-no-check", Arg.Set no_check, "disable the lockstep golden-model checker");
+      ("-inject", Arg.Set_string inject,
+       "arm fault injection: all or a comma list of flip,tag,spurious,stretch");
+      ("-seed", Arg.Set_int seed, "fault-injection seed (default 1)");
+      ("-inject-period", Arg.Set_int inject_period,
+       "mean opportunities between faults (default 1000)");
+      ("-dump-on-error", Arg.Set_string dump_on_error,
+       "on failure, write the diagnostic context to FILE (- for stderr)");
       ("-workload", Arg.Set_string workload, "built-in workload name") ]
   in
   Arg.parse spec (fun f -> file := f) "straightsim [options] [FILE]";
@@ -36,6 +94,21 @@ let () =
   in
   let model = if !tage then Params.with_tage model else model in
   let model = if !ideal then Params.with_ideal_recovery model else model in
+  let model =
+    if !rob > 0 then { model with Params.rob_entries = !rob } else model
+  in
+  let model =
+    if !sched >= 0 then { model with Params.scheduler_entries = !sched }
+    else model
+  in
+  let model =
+    if !inject = "" then model
+    else
+      Params.with_faults
+        (Inject.plan ~period:!inject_period
+           ~kinds:(parse_inject_kinds !inject) !seed)
+        model
+  in
   let target =
     match !target_name with
     | "straight" -> Exp.Straight_re
@@ -51,34 +124,58 @@ let () =
    | _ -> ());
   let w =
     match !workload, !file with
-    | "dhrystone", _ -> Workloads.dhrystone ~iterations:100 ()
-    | "coremark", _ -> Workloads.coremark ~iterations:2 ()
-    | "fib", _ -> Workloads.fib ()
-    | "sort", _ -> Workloads.sort ()
     | "", f when f <> "" ->
       { Workloads.name = Filename.basename f;
         source = In_channel.with_open_text f In_channel.input_all;
         iterations = 1 }
-    | _ ->
+    | "", _ ->
       prerr_endline "need a FILE or -workload"; exit 2
+    | name, _ ->
+      (match List.assoc_opt name workloads with
+       | Some mk -> mk ()
+       | None ->
+         Printf.eprintf "unknown workload %s (valid: %s)\n" name
+           (String.concat ", " (List.map fst workloads));
+         exit 2)
   in
-  let r = Exp.run ~max_dist:!maxdist ~model ~target w in
-  let s = r.Exp.stats in
-  Printf.printf "model        : %s\n" r.Exp.model;
-  Printf.printf "target       : %s\n" (Exp.target_label r.Exp.target);
-  Printf.printf "cycles       : %d\n" r.Exp.cycles;
-  Printf.printf "instructions : %d\n" r.Exp.committed;
-  Printf.printf "IPC          : %.3f\n" r.Exp.ipc;
-  Printf.printf "branch misp  : %d (+%d returns)\n" s.Engine.branch_mispredicts
-    s.Engine.return_mispredicts;
-  Printf.printf "memdep viols : %d\n" s.Engine.memdep_violations;
-  Printf.printf "walk stalls  : %d cycles\n" s.Engine.walk_stall_cycles;
-  Printf.printf "L1I misses   : %d\n" s.Engine.l1i_misses;
-  Printf.printf "L1D misses   : %d / %d accesses\n" s.Engine.l1d_misses
-    s.Engine.l1d_accesses;
-  Printf.printf "wrong-path   : %d fetched\n" s.Engine.wrong_path_fetched;
-  Printf.printf "mix          : %s\n"
-    (String.concat ", "
-       (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) s.Engine.mix));
-  print_string "--- program output ---\n";
-  print_string r.Exp.output
+  match Exp.run ~max_dist:!maxdist ~check:(not !no_check) ~model ~target w with
+  | r ->
+    let s = r.Exp.stats in
+    Printf.printf "model        : %s\n" r.Exp.model;
+    Printf.printf "target       : %s\n" (Exp.target_label r.Exp.target);
+    Printf.printf "cycles       : %d\n" r.Exp.cycles;
+    Printf.printf "instructions : %d\n" r.Exp.committed;
+    Printf.printf "IPC          : %.3f\n" r.Exp.ipc;
+    Printf.printf "branch misp  : %d (+%d returns)\n" s.Engine.branch_mispredicts
+      s.Engine.return_mispredicts;
+    Printf.printf "memdep viols : %d\n" s.Engine.memdep_violations;
+    Printf.printf "walk stalls  : %d cycles\n" s.Engine.walk_stall_cycles;
+    Printf.printf "L1I misses   : %d\n" s.Engine.l1i_misses;
+    Printf.printf "L1D misses   : %d / %d accesses\n" s.Engine.l1d_misses
+      s.Engine.l1d_accesses;
+    Printf.printf "wrong-path   : %d fetched\n" s.Engine.wrong_path_fetched;
+    if !inject <> "" then
+      Printf.printf "faults       : %d injected (seed %d)\n"
+        s.Engine.faults_injected !seed;
+    if not !no_check then
+      Printf.printf "checked      : %d commits, zero divergence\n"
+        s.Engine.commits_checked;
+    Printf.printf "mix          : %s\n"
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) s.Engine.mix));
+    print_string "--- program output ---\n";
+    print_string r.Exp.output
+  | exception e ->
+    (match Diagnostics.of_exn e with
+     | None -> raise e
+     | Some d ->
+       Printf.eprintf "straightsim: %s\n" (Diagnostics.to_string d);
+       (match !dump_on_error with
+        | "" -> ()
+        | "-" -> prerr_string (Diagnostics.context_dump d)
+        | path ->
+          Out_channel.with_open_text path (fun oc ->
+              output_string oc (Diagnostics.context_dump d));
+          Printf.eprintf "straightsim: diagnostic context written to %s\n"
+            path);
+       exit (Diagnostics.exit_code d.Diagnostics.code))

@@ -1,0 +1,67 @@
+(** Structured diagnostics shared by every layer of the stack.
+
+    The repository historically grew one [exception Foo_error of string]
+    per library (~12 of them: parser/lexer/lowering errors, codegen
+    errors, assembler errors, ISS execution errors, memory faults, and
+    the cycle models' [Sim_error]).  This module unifies them behind one
+    carrier: an error {!code} naming the failure class, a human-readable
+    message, and a machine-readable [(key, value)] context that callers
+    (e.g. [straightsim -dump-on-error]) can persist verbatim.
+
+    New code raises {!Error} directly; the legacy per-library exceptions
+    are mapped to a {!t} by [Straight_core.Diagnostics.of_exn] so the
+    command-line drivers report every failure uniformly and exit with a
+    {!exit_code} distinct per failure class. *)
+
+(** The failure class.  Codes are stable identifiers: tools may match on
+    {!code_name} output. *)
+type code =
+  | Lex_error           (** MiniC lexer *)
+  | Parse_error         (** MiniC / assembly parsers *)
+  | Lower_error         (** MiniC -> SSA lowering *)
+  | Invalid_ir          (** SSA validation *)
+  | Interp_error        (** SSA interpreter *)
+  | Codegen_error       (** STRAIGHT / RISC-V back ends *)
+  | Encode_error        (** ISA binary encoders *)
+  | Asm_error           (** assembler / linker *)
+  | Exec_error          (** ISS: illegal instruction, PC out of text *)
+  | Mem_unaligned       (** ISS memory: unaligned word access *)
+  | Mem_mmio            (** ISS memory: unknown MMIO load/store *)
+  | Fuel_exhausted      (** ISS: [max_insns] budget overrun *)
+  | Sim_deadlock        (** cycle model: watchdog / non-convergence *)
+  | Checker_divergence  (** lockstep golden-model checker violation *)
+  | Config_error        (** invalid simulation configuration *)
+
+val code_name : code -> string
+(** Stable upper-case identifier, e.g. ["SIM_DEADLOCK"]. *)
+
+val exit_code : code -> int
+(** Process exit code for command-line drivers.  Distinct per failure
+    class: 2 usage/config, 3 compile-family, 4 execution/memory faults,
+    5 fuel exhaustion, 6 simulator deadlock, 7 checker divergence. *)
+
+type t = {
+  code : code;
+  message : string;
+  context : (string * string) list;
+      (** machine-readable key/value pairs, most significant first *)
+}
+
+exception Error of t
+
+val make : ?context:(string * string) list -> code -> string -> t
+
+val error : ?context:(string * string) list -> code ->
+  ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [error ?context code fmt ...] raises {!Error} with the formatted
+    message. *)
+
+val to_string : t -> string
+(** One-line rendering: ["CODE: message (k=v, ...)"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val context_dump : t -> string
+(** Machine-readable dump: one [key=value] line per entry, preceded by
+    [code=] and [message=] lines — the format written by
+    [straightsim -dump-on-error]. *)

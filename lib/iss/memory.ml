@@ -22,15 +22,19 @@ let page t index =
     Hashtbl.replace t.pages index p;
     p
 
-exception Fault of string
-
 let check_aligned addr =
   if addr land 3 <> 0 then
-    raise (Fault (Printf.sprintf "unaligned word access at 0x%x" addr))
+    Diag.error
+      ~context:[ ("addr", Printf.sprintf "0x%x" addr) ]
+      Diag.Mem_unaligned "unaligned word access at 0x%x" addr
 
 (* [read t addr] reads the 32-bit word at byte address [addr]. *)
 let read t addr =
   check_aligned addr;
+  if Layout.is_mmio addr then
+    Diag.error
+      ~context:[ ("addr", Printf.sprintf "0x%x" addr) ]
+      Diag.Mem_mmio "load from write-only MMIO address 0x%x" addr;
   let w = addr lsr 2 in
   (page t (w lsr page_shift)).(w land (page_words - 1))
 
@@ -42,7 +46,10 @@ let write t addr v =
       Buffer.add_string t.console (Printf.sprintf "%ld\n" v)
     else if addr = Layout.mmio_putchar then
       Buffer.add_char t.console (Char.chr (Int32.to_int v land 0xFF))
-    else raise (Fault (Printf.sprintf "unknown MMIO store at 0x%x" addr))
+    else
+      Diag.error
+        ~context:[ ("addr", Printf.sprintf "0x%x" addr) ]
+        Diag.Mem_mmio "unknown MMIO store at 0x%x" addr
   end
   else begin
     let w = addr lsr 2 in

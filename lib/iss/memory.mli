@@ -5,16 +5,16 @@ type t
 
 val create : unit -> t
 
-exception Fault of string
-
 val read : t -> int -> int32
 (** [read t addr] reads the 32-bit word at byte address [addr].
-    @raise Fault on unaligned access. *)
+    @raise Diag.Error with code [Mem_unaligned] on unaligned access, or
+    [Mem_mmio] on a load from the write-only MMIO window. *)
 
 val write : t -> int -> int32 -> unit
 (** [write t addr v] writes [v]; MMIO addresses drive the console instead
     ({!Assembler.Layout.mmio_putint} / [mmio_putchar]).
-    @raise Fault on unaligned access or unknown MMIO address. *)
+    @raise Diag.Error with code [Mem_unaligned] on unaligned access, or
+    [Mem_mmio] on a store to an unmapped MMIO address. *)
 
 val load_image : t -> Assembler.Image.t -> unit
 (** Copy .text and .data into memory. *)

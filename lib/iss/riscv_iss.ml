@@ -37,7 +37,14 @@ let run ?(config = default_config) (image : Image.t) : Trace.run =
   let text_len = Array.length code in
   let set rd v = if rd <> 0 then regs.(rd) <- v in
   while not !halted do
-    if !count >= config.max_insns then fail "instruction budget exceeded";
+    if !count >= config.max_insns then
+      Diag.error
+        ~context:[ ("retired", string_of_int !count);
+                   ("max_insns", string_of_int config.max_insns);
+                   ("pc", Printf.sprintf "0x%x" !pc) ]
+        Diag.Fuel_exhausted
+        "instruction budget exceeded: %d instructions retired (max_insns=%d)"
+        !count config.max_insns;
     let idx = (!pc - text_base) asr 2 in
     if idx < 0 || idx >= text_len then fail "PC out of text: 0x%x" !pc;
     let insn = code.(idx) in

@@ -9,4 +9,7 @@ val default_config : config
 val run : ?config:config -> Assembler.Image.t -> Trace.run
 (** Execute from the entry point until [ebreak]; SP (x2) starts at the
     stack top.
-    @raise Exec_error on illegal instructions/PC or budget overrun. *)
+    @raise Exec_error on illegal instructions or PC out of text.
+    @raise Diag.Error with code [Fuel_exhausted] (context carries the
+    retired count) on budget overrun, or [Mem_unaligned]/[Mem_mmio] on
+    memory faults. *)

@@ -128,7 +128,14 @@ let resume ?(config = default_config) (image : Image.t) (mem : Memory.t)
 
 (* [step s] executes one instruction. *)
 let step (s : session) : unit =
-  if s.count >= s.config.max_insns then fail "instruction budget exceeded";
+  if s.count >= s.config.max_insns then
+    Diag.error
+      ~context:[ ("retired", string_of_int s.count);
+                 ("max_insns", string_of_int s.config.max_insns);
+                 ("pc", Printf.sprintf "0x%x" s.pc) ]
+      Diag.Fuel_exhausted
+      "instruction budget exceeded: %d instructions retired (max_insns=%d)"
+      s.count s.config.max_insns;
   let idx = (s.pc - s.text_base) asr 2 in
   if idx < 0 || idx >= Array.length s.code then fail "PC out of text: 0x%x" s.pc;
   let insn = s.code.(idx) in

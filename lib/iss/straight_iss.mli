@@ -29,7 +29,10 @@ val start : ?config:config -> Assembler.Image.t -> session
 
 val step : session -> unit
 (** Execute one instruction.
-    @raise Exec_error on illegal PC, memory faults, or budget overrun. *)
+    @raise Exec_error on illegal instructions or PC out of text.
+    @raise Diag.Error with code [Fuel_exhausted] (context carries the
+    retired count) on budget overrun, or [Mem_unaligned]/[Mem_mmio] on
+    memory faults. *)
 
 val run_session : ?until:int -> session -> unit
 (** Execute until HALT, or until the retired count reaches [until]. *)

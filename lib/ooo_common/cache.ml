@@ -78,6 +78,17 @@ let fill (c : cache) addr : unit =
     c.lru.(!victim) <- c.stamp
   end
 
+(* [corrupt_tag c ~victim ~flip] models a transient fault in the tag
+   array: the tag of line [victim mod lines] is xored with [flip].  The
+   model stores no data, so the effect is timing-only — the corrupted
+   entry stops matching its resident line (an induced miss) or starts
+   matching a different one (a false hit with the wrong latency). *)
+let corrupt_tag (c : cache) ~victim ~flip : unit =
+  let lines = Array.length c.tags in
+  let i = ((victim mod lines) + lines) mod lines in
+  if c.tags.(i) >= 0 then
+    c.tags.(i) <- c.tags.(i) lxor (max 1 (flip land 0xFF))
+
 (* ---------- hierarchy ---------- *)
 
 type hierarchy = {

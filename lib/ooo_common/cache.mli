@@ -22,6 +22,12 @@ val touch : cache -> int -> bool
 val fill : cache -> int -> unit
 (** Silent install (prefetch): no access/miss accounting. *)
 
+val corrupt_tag : cache -> victim:int -> flip:int -> unit
+(** Fault injection: xor [flip] (low 8 bits, at least 1) into the tag of
+    line [victim mod lines].  Timing-only — the model stores no data, so
+    a corrupted tag induces extra misses or false hits, never wrong
+    values.  Invalid lines are left untouched. *)
+
 type hierarchy = {
   l1i : cache;
   l1d : cache;

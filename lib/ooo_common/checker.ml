@@ -1,0 +1,146 @@
+(* Lockstep golden-model checker: validates commit-stream invariants
+   against the ISS trace and reports divergence as a structured
+   Diag.Error instead of a crash.  See the interface for the invariant
+   list. *)
+
+module Trace = Iss.Trace
+
+type t = {
+  trace : Trace.uop array;
+  rename : Params.rename_model;
+  max_dist : int option;
+  phys_regs : int option;          (* RMT models only *)
+  mutable last_trace_idx : int;    (* last correct-path index committed *)
+  mutable last_seq : int;
+  mutable last_cycle : int;
+  mutable checked : int;
+}
+
+let create ?max_dist ~rename ~trace () =
+  let phys_regs =
+    match rename with
+    | Params.Rmt { phys_regs } | Params.Rmt_checkpoint { phys_regs; _ } ->
+      Some phys_regs
+    | Params.Rp -> None
+  in
+  { trace; rename;
+    max_dist = (match rename with Params.Rp -> max_dist | _ -> None);
+    phys_regs;
+    last_trace_idx = -1;
+    last_seq = -1;
+    last_cycle = 0;
+    checked = 0 }
+
+let fu_name = function
+  | Trace.FU_alu -> "alu" | Trace.FU_mul -> "mul" | Trace.FU_div -> "div"
+  | Trace.FU_branch -> "br" | Trace.FU_load -> "ld" | Trace.FU_store -> "st"
+
+let diverge t ~invariant ~cycle ~seq ~trace_idx fmt =
+  Format.kasprintf
+    (fun msg ->
+       raise
+         (Diag.Error
+            (Diag.make
+               ~context:
+                 [ ("invariant", invariant);
+                   ("cycle", string_of_int cycle);
+                   ("seq", string_of_int seq);
+                   ("trace_idx", string_of_int trace_idx);
+                   ("last_trace_idx", string_of_int t.last_trace_idx);
+                   ("commits_checked", string_of_int t.checked) ]
+               Diag.Checker_divergence msg)))
+    fmt
+
+let on_commit t ~cycle ~seq ~trace_idx ~wrong_path ~free_regs uop =
+  let fail invariant fmt = diverge t ~invariant ~cycle ~seq ~trace_idx fmt in
+  (* ROB FIFO discipline: seq strictly increasing, cycle nondecreasing *)
+  if seq <= t.last_seq then
+    fail "rob-fifo" "commit seq %d not younger than previous %d" seq t.last_seq;
+  if cycle < t.last_cycle then
+    fail "commit-cycle-monotone" "commit at cycle %d after cycle %d" cycle
+      t.last_cycle;
+  if wrong_path then begin
+    if trace_idx >= 0 then
+      fail "wrong-path-untraced"
+        "wrong-path commit carries trace index %d" trace_idx
+  end
+  else begin
+    (* program-order, exactly-once retirement *)
+    if trace_idx <> t.last_trace_idx + 1 then
+      fail "program-order"
+        "committed trace index %d, expected %d" trace_idx
+        (t.last_trace_idx + 1);
+    if trace_idx < 0 || trace_idx >= Array.length t.trace then
+      fail "trace-bounds" "trace index %d outside [0, %d)" trace_idx
+        (Array.length t.trace);
+    (* golden lockstep: the retired uop is the golden trace entry *)
+    let g = t.trace.(trace_idx) in
+    if uop.Trace.pc <> g.Trace.pc then
+      fail "pc-lockstep" "retired pc 0x%x, golden model has 0x%x"
+        uop.Trace.pc g.Trace.pc;
+    if uop.Trace.fu <> g.Trace.fu then
+      fail "fu-lockstep" "retired fu %s, golden model has %s"
+        (fu_name uop.Trace.fu) (fu_name g.Trace.fu);
+    (match t.rename with
+     | Params.Rp ->
+       (* STRAIGHT: write-once (every instruction produces exactly one
+          fresh register) and the bounded distance window *)
+       if not uop.Trace.has_dest then
+         fail "write-once"
+           "STRAIGHT uop at 0x%x retires without a destination" uop.Trace.pc;
+       if Array.length uop.Trace.srcs_reg <> 0 then
+         fail "isa-shape" "STRAIGHT uop at 0x%x carries register operands"
+           uop.Trace.pc;
+       (match t.max_dist with
+        | None -> ()
+        | Some md ->
+          Array.iter
+            (fun d ->
+               if d < 1 || d > md then
+                 fail "max-dist"
+                   "source distance %d at 0x%x outside [1, %d]" d
+                   uop.Trace.pc md)
+            uop.Trace.srcs_dist)
+     | Params.Rmt _ | Params.Rmt_checkpoint _ ->
+       if Array.length uop.Trace.srcs_dist <> 0 then
+         fail "isa-shape" "RISC-V uop at 0x%x carries distance operands"
+           uop.Trace.pc;
+       if uop.Trace.dest_reg < 0 || uop.Trace.dest_reg > 31 then
+         fail "rmt-range" "destination register x%d out of range"
+           uop.Trace.dest_reg;
+       if uop.Trace.has_dest <> (uop.Trace.dest_reg <> 0) then
+         fail "rmt-dest" "has_dest inconsistent with dest x%d at 0x%x"
+           uop.Trace.dest_reg uop.Trace.pc);
+    t.last_trace_idx <- trace_idx
+  end;
+  (* free-list accounting is global: wrong-path drains release too *)
+  (match t.phys_regs with
+   | Some phys ->
+     if free_regs < 0 || free_regs > phys - 32 then
+       fail "free-list"
+         "free physical registers %d outside [0, %d]" free_regs (phys - 32)
+   | None -> ());
+  t.last_seq <- seq;
+  t.last_cycle <- cycle;
+  t.checked <- t.checked + 1
+
+let on_finish t ~cycles ~committed ~free_regs =
+  let n = Array.length t.trace in
+  let fail invariant fmt =
+    diverge t ~invariant ~cycle:cycles ~seq:t.last_seq
+      ~trace_idx:t.last_trace_idx fmt
+  in
+  if committed <> n then
+    fail "exactly-once" "committed %d instructions, trace has %d" committed n;
+  if t.last_trace_idx <> n - 1 then
+    fail "exactly-once" "last committed trace index %d, expected %d"
+      t.last_trace_idx (n - 1);
+  match t.phys_regs with
+  | Some phys ->
+    if free_regs <> phys - 32 then
+      fail "free-list"
+        "free list not whole after drain: %d free, expected %d (leak or \
+         double free)" free_regs (phys - 32)
+  | None -> ()
+
+let commits_checked t = t.checked

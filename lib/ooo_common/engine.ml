@@ -72,11 +72,9 @@ type stats = {
   mix : (string * int) list;        (* retired instruction kinds (Fig. 15) *)
   activity : activity;
   ipc : float;
+  faults_injected : int;            (* fault-injection events fired *)
+  commits_checked : int;            (* lockstep-checker validations; 0 = off *)
 }
-
-exception Sim_error of string
-
-let fail fmt = Format.kasprintf (fun s -> raise (Sim_error s)) fmt
 
 type fetch_mode =
   | Fetch_correct of int            (* next trace index *)
@@ -91,18 +89,24 @@ let fu_latency (p : Params.t) = function
   | Trace.FU_load -> 1 (* + cache *)
   | Trace.FU_store -> 1
 
-(* [run p ~trace ~decode_static ~max_dist ()] simulates the whole trace and
-   returns timing statistics.  [decode_static pc] supplies wrong-path
-   instructions; [max_dist] is only used by the Rp model for a sanity check
-   on STRAIGHT distances. *)
+(* [run p ~trace ~decode_static ?checker ()] simulates the whole trace
+   and returns timing statistics.  [decode_static pc] supplies wrong-path
+   instructions.  [checker] is the lockstep golden-model checker, fed at
+   every commit.  Faults from [p.inject] are injected at fetch/issue
+   opportunities; a deadlock or lack of forward progress trips the
+   watchdog, which raises [Diag.Error Sim_deadlock] carrying a full
+   machine-readable pipeline snapshot. *)
 let run (p : Params.t) ~(trace : Trace.uop array)
-    ~(decode_static : int -> Trace.uop option) () : stats =
+    ~(decode_static : int -> Trace.uop option)
+    ?(checker : Checker.t option) () : stats =
   let n_trace = Array.length trace in
-  if n_trace = 0 then fail "empty trace";
+  if n_trace = 0 then
+    Diag.error Diag.Config_error "empty trace: nothing to simulate";
   let hier = Cache.create_hierarchy p in
   let pred = Branch_pred.make p.predictor in
   let ras = Branch_pred.Ras.create () in
   let memdep = Memdep.create () in
+  let inj = Inject.make p.inject in
   let act = fresh_activity () in
   (* dynamic instruction table *)
   let dyns : (int, dyn) Hashtbl.t = Hashtbl.create 1024 in
@@ -147,6 +151,9 @@ let run (p : Params.t) ~(trace : Trace.uop array)
   (* pending recovery events: (cycle, seq of faulting instr, resume idx,
      refetch_including_self) *)
   let recoveries : (int * int * int * bool) list ref = ref [] in
+  (* watchdog + diagnostics state *)
+  let last_commit_cycle = ref 0 in
+  let last_commits : (int * int) Queue.t = Queue.create () in
 
   let producer_ready seqno =
     match Hashtbl.find_opt dyns seqno with
@@ -291,7 +298,10 @@ let run (p : Params.t) ~(trace : Trace.uop array)
          | Trace.Cond _ | Trace.Uncond _ ->
            if !inflight_ctrl > 0 then decr inflight_ctrl
          | Trace.Not_ctrl -> ());
+        last_commit_cycle := !now;
         if not d.wrong_path then begin
+          Queue.add (d.trace_idx, d.uop.Trace.pc) last_commits;
+          if Queue.length last_commits > 8 then ignore (Queue.pop last_commits);
           incr committed;
           let k = Trace.kind_label d.uop in
           Hashtbl.replace mix k (1 + Option.value ~default:0 (Hashtbl.find_opt mix k));
@@ -310,7 +320,13 @@ let run (p : Params.t) ~(trace : Trace.uop array)
              && d.trace_idx = n_trace - 1
           then done_ := true;
           if d.trace_idx = n_trace - 1 then done_ := true
-        end
+        end;
+        (match checker with
+         | Some ck ->
+           Checker.on_commit ck ~cycle:!now ~seq:d.seq
+             ~trace_idx:d.trace_idx ~wrong_path:d.wrong_path
+             ~free_regs:!free_regs d.uop
+         | None -> ())
       end
       else continue_ := false
     done
@@ -378,6 +394,17 @@ let run (p : Params.t) ~(trace : Trace.uop array)
                           (d.recovery_at, d.seq, d.resume_idx, false)
                           :: !recoveries
                       end
+                      else if d.trace_idx >= 0 && d.trace_idx < n_trace - 1
+                              && Inject.fire inj Inject.Spurious_recovery
+                      then begin
+                        (* fault: a correctly predicted branch resolves as
+                           mispredicted, forcing a full squash-and-refetch
+                           from its own fall-through point *)
+                        d.recovery_at <- !now + p.branch_resolve_latency;
+                        recoveries :=
+                          (d.recovery_at, d.seq, d.trace_idx + 1, false)
+                          :: !recoveries
+                      end
                     end
                   | Trace.FU_store ->
                     act.agu_ops <- act.agu_ops + 1;
@@ -427,6 +454,12 @@ let run (p : Params.t) ~(trace : Trace.uop array)
                       in
                       if forward then d.ready_at <- !now + 2
                       else begin
+                        if Inject.fire inj Inject.Corrupt_cache_tag then
+                          Cache.corrupt_tag hier.Cache.l1d
+                            ~victim:
+                              (Inject.draw inj
+                                 (Array.length hier.Cache.l1d.Cache.tags))
+                            ~flip:(Inject.draw inj 256);
                         let lat = Cache.data_access hier addr in
                         d.ready_at <- !now + 1 + lat;
                         (* cache-hit speculation: consumers woken for a hit
@@ -434,7 +467,10 @@ let run (p : Params.t) ~(trace : Trace.uop array)
                         if lat > p.l1d.Params.hit_latency then d.replay_bump <- 1
                       end;
                       d.executed_load <- true
-                    end)
+                    end);
+                 (* fault: a transiently slow functional unit *)
+                 if Inject.fire inj Inject.Stretch_fu_latency then
+                   d.ready_at <- d.ready_at + 1 + Inject.draw inj 8
                end
              end
            end
@@ -548,6 +584,11 @@ let run (p : Params.t) ~(trace : Trace.uop array)
             let line = uop.Trace.pc lsr hier.Cache.l1i.Cache.line_shift in
             if line <> !line_touched then begin
               line_touched := line;
+              if Inject.fire inj Inject.Corrupt_cache_tag then
+                Cache.corrupt_tag hier.Cache.l1i
+                  ~victim:
+                    (Inject.draw inj (Array.length hier.Cache.l1i.Cache.tags))
+                  ~flip:(Inject.draw inj 256);
               let lat = Cache.inst_access hier uop.Trace.pc in
               if lat > 0 then begin
                 fetch_stall_until := !now + lat;
@@ -565,6 +606,11 @@ let run (p : Params.t) ~(trace : Trace.uop array)
                  (* train at fetch with the oracle outcome: models perfect
                     speculative-history repair (see DESIGN.md) *)
                  pred.Branch_pred.update uop.Trace.pc taken;
+                 (* fault: a bit flip in the predictor output *)
+                 let predicted =
+                   if Inject.fire inj Inject.Flip_prediction then not predicted
+                   else predicted
+                 in
                  if p.ideal_recovery || predicted = taken then begin
                    mode := Fetch_correct (idx + 1);
                    if taken then continue_ := false (* group ends *)
@@ -636,53 +682,93 @@ let run (p : Params.t) ~(trace : Trace.uop array)
     end
   in
 
-  (* ---------- main loop ---------- *)
+  (* ---------- watchdog ---------- *)
+  (* Two trip wires: a total cycle budget scaled to the trace length, and
+     a forward-progress limit (no commit for [watchdog_limit] cycles —
+     the worst legitimate commit gap, a serialized chain of full-memory-
+     latency loads, is more than an order of magnitude shorter).  Either
+     raises [Diag.Error Sim_deadlock] carrying a machine-readable
+     pipeline snapshot that names the stuck instruction. *)
   let max_cycles = 40 * n_trace + 200_000 in
-  while not !done_ do
-    if !now > max_cycles then begin
-      let head =
-        if Queue.is_empty rob then
-          Printf.sprintf "rob empty; feq=%d iq=%d ldq=%d stq=%d free=%d head_fu=%s mode=%s stall_until=%d blocked=%d recov=%d"
-            (Queue.length frontend_q) (List.length !iq) (List.length !ldq)
-            (List.length !stq) !free_regs
-            (if Queue.is_empty frontend_q then "-"
-             else
-               match (Queue.peek frontend_q).uop.Trace.fu with
-               | Trace.FU_alu -> "alu" | Trace.FU_mul -> "mul"
-               | Trace.FU_div -> "div" | Trace.FU_branch -> "br"
-               | Trace.FU_load -> "ld" | Trace.FU_store -> "st")
-            (match !mode with
-             | Fetch_correct i -> Printf.sprintf "correct@%d" i
-             | Fetch_wrong pc -> Printf.sprintf "wrong@0x%x" pc
-             | Fetch_stalled -> "stalled")
-            !fetch_stall_until !rename_blocked_until (List.length !recoveries)
-        else
-          let d = Queue.peek rob in
-          Printf.sprintf
-            "rob head: seq=%d wrong=%b fu=%s issued=%b ready_at=%d producers=[%s] \
-             pc=0x%x trace_idx=%d iq=%d stq=%d ldq=%d feq=%d mode=%s"
-            d.seq d.wrong_path
-            (match d.uop.Trace.fu with
-             | Trace.FU_alu -> "alu" | Trace.FU_mul -> "mul"
-             | Trace.FU_div -> "div" | Trace.FU_branch -> "br"
-             | Trace.FU_load -> "ld" | Trace.FU_store -> "st")
-            d.issued d.ready_at
-            (String.concat ","
+  let watchdog_limit = 20_000 in
+  let fu_name = function
+    | Trace.FU_alu -> "alu" | Trace.FU_mul -> "mul" | Trace.FU_div -> "div"
+    | Trace.FU_branch -> "br" | Trace.FU_load -> "ld" | Trace.FU_store -> "st"
+  in
+  let snapshot reason =
+    let i = string_of_int in
+    let base =
+      [ ("reason", reason);
+        ("cycle", i !now);
+        ("committed", i !committed);
+        ("trace_length", i n_trace);
+        ("rob_occupancy", i (Queue.length rob));
+        ("iq_occupancy", i (List.length !iq));
+        ("ldq_occupancy", i (List.length !ldq));
+        ("stq_occupancy", i (List.length !stq));
+        ("frontend_occupancy", i (Queue.length frontend_q));
+        ("free_regs", if is_rmt then i !free_regs else "n/a");
+        ("fetch_mode",
+         (match !mode with
+          | Fetch_correct idx -> Printf.sprintf "correct@%d" idx
+          | Fetch_wrong pc -> Printf.sprintf "wrong@0x%x" pc
+          | Fetch_stalled -> "stalled"));
+        ("fetch_stall_until", i !fetch_stall_until);
+        ("rename_blocked_until", i !rename_blocked_until);
+        ("pending_recoveries", i (List.length !recoveries));
+        ("faults_injected", i (Inject.total inj));
+        ("last_commits",
+         if Queue.is_empty last_commits then "none"
+         else
+           String.concat ","
+             (List.rev
+                (Queue.fold
+                   (fun acc (idx, pc) ->
+                      Printf.sprintf "%d:0x%x" idx pc :: acc)
+                   [] last_commits))) ]
+    in
+    let head =
+      if not (Queue.is_empty rob) then
+        let d = Queue.peek rob in
+        [ ("stuck_at", "rob_head");
+          ("head_seq", i d.seq);
+          ("head_pc", Printf.sprintf "0x%x" d.uop.Trace.pc);
+          ("head_fu", fu_name d.uop.Trace.fu);
+          ("head_wrong_path", string_of_bool d.wrong_path);
+          ("head_trace_idx", i d.trace_idx);
+          ("head_issued", string_of_bool d.issued);
+          ("head_ready_at", i d.ready_at);
+          ("head_recovery_at", i d.recovery_at);
+          ("head_producers",
+           if d.producers = [] then "none"
+           else
+             String.concat ","
                (List.map
                   (fun s ->
                      Printf.sprintf "%d%s" s
-                       (if Hashtbl.mem dyns s then "!" else ""))
-                  d.producers))
-            d.uop.Trace.pc d.trace_idx (List.length !iq) (List.length !stq)
-            (List.length !ldq) (Queue.length frontend_q)
-            (match !mode with
-             | Fetch_correct i -> Printf.sprintf "correct@%d" i
-             | Fetch_wrong pc -> Printf.sprintf "wrong@0x%x" pc
-             | Fetch_stalled -> "stalled")
-      in
-      fail "simulation did not converge (cycle %d, %d/%d committed; %s)"
-        !now !committed n_trace head
-    end;
+                       (if Hashtbl.mem dyns s then "(inflight)" else ""))
+                  d.producers)) ]
+      else if not (Queue.is_empty frontend_q) then
+        let d = Queue.peek frontend_q in
+        [ ("stuck_at", "frontend_head");
+          ("head_seq", i d.seq);
+          ("head_pc", Printf.sprintf "0x%x" d.uop.Trace.pc);
+          ("head_fu", fu_name d.uop.Trace.fu) ]
+      else [ ("stuck_at", "fetch") ]
+    in
+    base @ head
+  in
+  (* ---------- main loop ---------- *)
+  while not !done_ do
+    if !now > max_cycles then
+      Diag.error ~context:(snapshot "cycle-budget") Diag.Sim_deadlock
+        "simulation did not converge: %d cycles elapsed, %d/%d committed"
+        !now !committed n_trace;
+    if !now - !last_commit_cycle > watchdog_limit then
+      Diag.error ~context:(snapshot "no-forward-progress") Diag.Sim_deadlock
+        "pipeline deadlock: no commit for %d cycles (cycle %d, %d/%d \
+         committed)"
+        (!now - !last_commit_cycle) !now !committed n_trace;
     (* process recovery events due this cycle, oldest faulting seq first *)
     let due, later = List.partition (fun (c, _, _, _) -> c <= !now) !recoveries in
     recoveries := later;
@@ -699,6 +785,11 @@ let run (p : Params.t) ~(trace : Trace.uop array)
     fetch ();
     incr now
   done;
+  (match checker with
+   | Some ck ->
+     Checker.on_finish ck ~cycles:!now ~committed:!committed
+       ~free_regs:!free_regs
+   | None -> ());
   { cycles = !now;
     committed = !committed;
     wrong_path_fetched = !wrong_fetched;
@@ -713,4 +804,7 @@ let run (p : Params.t) ~(trace : Trace.uop array)
     l1d_accesses = hier.Cache.l1d.Cache.accesses;
     mix = Hashtbl.fold (fun k v acc -> (k, v) :: acc) mix [];
     activity = act;
-    ipc = float_of_int !committed /. float_of_int (max 1 !now) }
+    ipc = float_of_int !committed /. float_of_int (max 1 !now);
+    faults_injected = Inject.total inj;
+    commits_checked =
+      (match checker with Some ck -> Checker.commits_checked ck | None -> 0) }

@@ -42,16 +42,25 @@ type stats = {
   mix : (string * int) list;       (** retired kinds (Fig. 15 buckets) *)
   activity : activity;
   ipc : float;
+  faults_injected : int;           (** fault-injection events fired *)
+  commits_checked : int;           (** lockstep-checker validations; 0 = off *)
 }
-
-exception Sim_error of string
 
 val run :
   Params.t ->
   trace:Iss.Trace.uop array ->
   decode_static:(int -> Iss.Trace.uop option) ->
+  ?checker:Checker.t ->
   unit -> stats
-(** [run p ~trace ~decode_static ()] simulates the whole correct-path
-    [trace] on model [p]; [decode_static pc] supplies wrong-path
-    instructions from the program image ([None] stalls wrong-path fetch).
-    @raise Sim_error on an empty trace or if the pipeline deadlocks. *)
+(** [run p ~trace ~decode_static ?checker ()] simulates the whole
+    correct-path [trace] on model [p]; [decode_static pc] supplies
+    wrong-path instructions from the program image ([None] stalls
+    wrong-path fetch).  [checker], when present, is fed every commit and
+    the end-of-run state (lockstep golden-model checking).  Faults from
+    [p.inject] are injected at fetch and issue opportunities.
+
+    @raise Diag.Error with code [Config_error] on an empty trace, code
+    [Sim_deadlock] when the watchdog trips (total cycle budget exceeded,
+    or no commit for 20k cycles) — the diagnostic context is a pipeline
+    snapshot naming the stuck instruction and all queue occupancies —
+    and code [Checker_divergence] from the checker. *)

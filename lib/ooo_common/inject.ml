@@ -1,0 +1,93 @@
+(* Seeded microarchitectural fault injection.  See the interface for the
+   model; the PRNG is splitmix64 so campaigns are reproducible from the
+   seed alone. *)
+
+type kind =
+  | Flip_prediction
+  | Corrupt_cache_tag
+  | Spurious_recovery
+  | Stretch_fu_latency
+
+let all_kinds =
+  [ Flip_prediction; Corrupt_cache_tag; Spurious_recovery;
+    Stretch_fu_latency ]
+
+let kind_name = function
+  | Flip_prediction -> "flip"
+  | Corrupt_cache_tag -> "tag"
+  | Spurious_recovery -> "spurious"
+  | Stretch_fu_latency -> "stretch"
+
+let kind_of_string = function
+  | "flip" -> Some Flip_prediction
+  | "tag" -> Some Corrupt_cache_tag
+  | "spurious" -> Some Spurious_recovery
+  | "stretch" -> Some Stretch_fu_latency
+  | _ -> None
+
+type plan = {
+  seed : int;
+  period : int;
+  kinds : kind list;
+}
+
+let plan ?(period = 1000) ?(kinds = all_kinds) seed = { seed; period; kinds }
+
+type t = {
+  mutable state : int64;
+  period : int;
+  armed : kind list;
+  counters : int array;           (* indexed by kind order in all_kinds *)
+}
+
+let kind_index = function
+  | Flip_prediction -> 0
+  | Corrupt_cache_tag -> 1
+  | Spurious_recovery -> 2
+  | Stretch_fu_latency -> 3
+
+let disabled () =
+  { state = 0L; period = 0; armed = []; counters = Array.make 4 0 }
+
+let make = function
+  | None -> disabled ()
+  | Some p ->
+    { state = Int64.of_int ((p.seed * 2) + 1);
+      period = max 1 p.period;
+      armed = p.kinds;
+      counters = Array.make 4 0 }
+
+let active t = t.armed <> []
+
+(* splitmix64 step, truncated to a nonnegative OCaml int. *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int (Int64.logand z 0x3FFF_FFFF_FFFF_FFFFL)
+
+let fire t kind =
+  if t.armed = [] || not (List.mem kind t.armed) then false
+  else begin
+    let hit = next t mod t.period = 0 in
+    if hit then begin
+      let i = kind_index kind in
+      t.counters.(i) <- t.counters.(i) + 1
+    end;
+    hit
+  end
+
+let draw t n = if n <= 0 then 0 else next t mod n
+
+let counts t =
+  List.filter_map
+    (fun k ->
+       let n = t.counters.(kind_index k) in
+       if List.mem k t.armed then Some (k, n) else None)
+    all_kinds
+
+let total t = Array.fold_left ( + ) 0 t.counters

@@ -1,0 +1,61 @@
+(** Seeded microarchitectural fault injection for the cycle models.
+
+    A {!plan} names which fault classes to arm, a deterministic seed,
+    and a mean injection period (one fault per [period] opportunities).
+    The engine consults {!fire} at each opportunity — a branch
+    prediction, a cache probe, a functional-unit completion — and the
+    run must either absorb the fault through the normal recovery
+    machinery or trip the lockstep checker / watchdog with a structured
+    diagnostic.  All faults are timing-level: architectural results come
+    from the ISS oracle, so a survived campaign demonstrates that the
+    squash/recovery paths (the paper's "hazardless recovery" claim) are
+    robust, not that wrong values are tolerated.
+
+    Randomness is a private splitmix64 stream: runs are reproducible
+    from the seed alone, independent of the OCaml stdlib [Random]
+    state. *)
+
+type kind =
+  | Flip_prediction     (** invert a branch predictor's answer at fetch *)
+  | Corrupt_cache_tag   (** flip bits in a random L1 tag-array entry *)
+  | Spurious_recovery   (** force a full mispredict-recovery on a
+                            correctly-predicted branch *)
+  | Stretch_fu_latency  (** stretch a functional unit's latency *)
+
+val all_kinds : kind list
+
+val kind_name : kind -> string
+val kind_of_string : string -> kind option
+(** Accepts the short names ["flip"], ["tag"], ["spurious"],
+    ["stretch"] (and ["all"] is handled by callers). *)
+
+type plan = {
+  seed : int;
+  period : int;        (** mean opportunities between injections *)
+  kinds : kind list;   (** armed fault classes *)
+}
+
+val plan : ?period:int -> ?kinds:kind list -> int -> plan
+(** [plan seed] arms every fault class at the default period (1000). *)
+
+type t
+(** Runtime injector state (PRNG + per-kind counters). *)
+
+val disabled : unit -> t
+
+val make : plan option -> t
+(** [make None] never fires. *)
+
+val active : t -> bool
+
+val fire : t -> kind -> bool
+(** Decide whether to inject at this opportunity; advances the PRNG and
+    counts the injection when it fires. *)
+
+val draw : t -> int -> int
+(** [draw t n] is a uniform victim index in [\[0, n)]; [0] when [n <= 0]. *)
+
+val counts : t -> (kind * int) list
+(** Injections fired so far, per armed kind. *)
+
+val total : t -> int

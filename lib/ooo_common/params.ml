@@ -53,6 +53,8 @@ type t = {
   (* issue-to-redirect depth (issue, register read, execute, redirect) *)
   dispatch_issue_latency : int;
   (* dispatch-to-earliest-issue depth (schedule + issue stages, Fig. 2) *)
+  inject : Inject.plan option;
+  (* seeded fault-injection plan; None = no faults (robustness harness) *)
 }
 
 let l1_32k = { size_bytes = 32 * 1024; ways = 4; line_bytes = 64; hit_latency = 4 }
@@ -82,7 +84,8 @@ let base =
     ideal_recovery = false;
     latency_alu = 1; latency_mul = 3; latency_div = 20;
     branch_resolve_latency = 3;
-    dispatch_issue_latency = 2 }
+    dispatch_issue_latency = 2;
+    inject = None }
 
 let ss_2way = { base with name = "SS-2way" }
 
@@ -134,3 +137,8 @@ let with_checkpoints ?(n = 8) p =
 let spadd_per_cycle = 1
 let with_ideal_recovery p =
   { p with ideal_recovery = true; name = p.name ^ "-nopenalty" }
+
+(* Arm a seeded fault-injection plan (robustness campaigns). *)
+let with_faults plan p =
+  { p with inject = Some plan;
+    name = Printf.sprintf "%s-faults@%d" p.name plan.Inject.seed }

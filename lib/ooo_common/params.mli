@@ -55,6 +55,8 @@ type t = {
       (** issue-to-redirect depth (issue, register read, execute) *)
   dispatch_issue_latency : int;
       (** dispatch-to-earliest-issue depth (schedule + issue stages) *)
+  inject : Inject.plan option;
+      (** seeded fault-injection plan; [None] = no faults *)
 }
 
 val l1_32k : cache_params
@@ -78,6 +80,11 @@ val straight_max_dist : int
 
 val with_tage : t -> t
 val with_ideal_recovery : t -> t
+
+val with_faults : Inject.plan -> t -> t
+(** Arm a seeded fault-injection plan (robustness campaigns); the run
+    must absorb every fault through normal recovery or trip the lockstep
+    checker / deadlock watchdog with a structured diagnostic. *)
 
 val with_checkpoints : ?n:int -> t -> t
 (** Checkpointed-RMT variant of a superscalar model (Section II-A);

@@ -59,15 +59,24 @@ type result = {
   output : string;
 }
 
-let run ?(max_insns = 50_000_000) (params : Ooo_common.Params.t)
-    (image : Image.t) : result =
+(* The ISS trace doubles as the golden model: unless [check] is false, a
+   lockstep checker validates every commit against it. *)
+let run ?(max_insns = 50_000_000) ?(check = true)
+    (params : Ooo_common.Params.t) (image : Image.t) : result =
   let r =
     Iss.Riscv_iss.run
       ~config:{ Iss.Riscv_iss.collect_trace = true; max_insns }
       image
   in
+  let checker =
+    if check then
+      Some
+        (Ooo_common.Checker.create
+           ~rename:params.Ooo_common.Params.rename ~trace:r.Trace.trace ())
+    else None
+  in
   let stats =
     Ooo_common.Engine.run params ~trace:r.Trace.trace
-      ~decode_static:(static_uop image) ()
+      ~decode_static:(static_uop image) ?checker ()
   in
   { stats; output = r.Trace.output }

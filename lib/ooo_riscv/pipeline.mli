@@ -12,4 +12,9 @@ type result = {
 }
 
 val run :
-  ?max_insns:int -> Ooo_common.Params.t -> Assembler.Image.t -> result
+  ?max_insns:int -> ?check:bool ->
+  Ooo_common.Params.t -> Assembler.Image.t -> result
+(** Run the functional simulator to obtain the correct-path trace, then
+    the timing model over it.  [check] (default [true]) arms the lockstep
+    golden-model checker against the ISS trace.
+    @raise Diag.Error on simulator deadlock or checker divergence. *)

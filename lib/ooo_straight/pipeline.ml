@@ -64,17 +64,26 @@ type result = {
 }
 
 (* [run params image] runs the functional simulator to obtain the
-   correct-path trace and then the timing model over it. *)
-let run ?(max_insns = 50_000_000) (params : Ooo_common.Params.t)
-    (image : Image.t) : result =
+   correct-path trace and then the timing model over it.  The ISS trace
+   doubles as the golden model: unless [check] is false, a lockstep
+   checker validates every commit against it. *)
+let run ?(max_insns = 50_000_000) ?(check = true) ?(max_dist = Isa.max_dist)
+    (params : Ooo_common.Params.t) (image : Image.t) : result =
   let r =
     Iss.Straight_iss.run
       ~config:{ Iss.Straight_iss.collect_trace = true;
                 collect_dist = true; max_insns }
       image
   in
+  let checker =
+    if check then
+      Some
+        (Ooo_common.Checker.create ~max_dist
+           ~rename:params.Ooo_common.Params.rename ~trace:r.Trace.trace ())
+    else None
+  in
   let stats =
     Ooo_common.Engine.run params ~trace:r.Trace.trace
-      ~decode_static:(static_uop image) ()
+      ~decode_static:(static_uop image) ?checker ()
   in
   { stats; output = r.Trace.output; dist_histogram = r.Trace.dist_histogram }

@@ -20,6 +20,41 @@ module Models = struct
   let all = [ ss_2way; straight_2way; ss_4way; straight_4way ]
 end
 
+(* Structured diagnostics: one place that understands every error the
+   toolchain and the simulators can produce.  New code raises
+   [Diag.Error] directly; the per-library [..._error of string]
+   exceptions predate [Diag] and are mapped here so drivers and tests
+   can report uniformly and pick exit codes without a catch-all. *)
+module Diagnostics = struct
+  include Diag
+
+  let of_exn : exn -> Diag.t option = function
+    | Diag.Error d -> Some d
+    | Minic.Lexer.Lex_error m -> Some (Diag.make Diag.Lex_error m)
+    | Minic.Parser.Parse_error m -> Some (Diag.make Diag.Parse_error m)
+    | Minic.Lower.Lower_error m -> Some (Diag.make Diag.Lower_error m)
+    | Ssa_ir.Analysis.Invalid_ir m -> Some (Diag.make Diag.Invalid_ir m)
+    | Ssa_ir.Interp.Interp_error m -> Some (Diag.make Diag.Interp_error m)
+    | Straight_cc.Codegen.Codegen_error m ->
+      Some (Diag.make ~context:[ ("target", "straight") ] Diag.Codegen_error m)
+    | Riscv_cc.Codegen.Codegen_error m ->
+      Some (Diag.make ~context:[ ("target", "riscv") ] Diag.Codegen_error m)
+    | Straight_isa.Encoding.Encode_error m ->
+      Some (Diag.make ~context:[ ("target", "straight") ] Diag.Encode_error m)
+    | Riscv_isa.Encoding.Encode_error m ->
+      Some (Diag.make ~context:[ ("target", "riscv") ] Diag.Encode_error m)
+    | Straight_isa.Parser.Parse_error m ->
+      Some (Diag.make ~context:[ ("source", "straight-asm") ] Diag.Parse_error m)
+    | Riscv_isa.Parser.Parse_error m ->
+      Some (Diag.make ~context:[ ("source", "riscv-asm") ] Diag.Parse_error m)
+    | Assembler.Asm.Asm_error m -> Some (Diag.make Diag.Asm_error m)
+    | Iss.Straight_iss.Exec_error m ->
+      Some (Diag.make ~context:[ ("iss", "straight") ] Diag.Exec_error m)
+    | Iss.Riscv_iss.Exec_error m ->
+      Some (Diag.make ~context:[ ("iss", "riscv") ] Diag.Exec_error m)
+    | _ -> None
+end
+
 module Compile = struct
   type target =
     | Straight of Straight_cc.Codegen.opt_level   (* RAW or RE+ *)
@@ -83,13 +118,13 @@ module Experiment = struct
 
   (* [run ~model ~target ?max_dist workload] compiles the workload for the
      target ISA and simulates it on the cycle-level model. *)
-  let run ?(max_dist = Ooo_common.Params.straight_max_dist)
+  let run ?(max_dist = Ooo_common.Params.straight_max_dist) ?(check = true)
       ~(model : Ooo_common.Params.t) ~(target : target)
       (w : Workloads.t) : result =
     match target with
     | Riscv ->
       let image = Compile.to_riscv w.Workloads.source in
-      let r = Ooo_riscv.Pipeline.run model image in
+      let r = Ooo_riscv.Pipeline.run ~check model image in
       { workload = w.Workloads.name;
         model = model.Ooo_common.Params.name;
         target;
@@ -106,7 +141,7 @@ module Experiment = struct
         | _ -> Straight_cc.Codegen.Re_plus
       in
       let image, _ = Compile.to_straight ~max_dist ~level w.Workloads.source in
-      let r = Ooo_straight.Pipeline.run model image in
+      let r = Ooo_straight.Pipeline.run ~check ~max_dist model image in
       { workload = w.Workloads.name;
         model = model.Ooo_common.Params.name;
         target;

@@ -21,6 +21,18 @@ module Models : sig
   (** [ss_2way; straight_2way; ss_4way; straight_4way]. *)
 end
 
+(** Structured diagnostics (re-exports {!Diag}, plus the mapping from
+    the legacy per-library exceptions). *)
+module Diagnostics : sig
+  include module type of struct include Diag end
+
+  val of_exn : exn -> Diag.t option
+  (** Map any toolchain or simulator exception to its structured
+      diagnostic: [Diag.Error] payloads pass through, the legacy
+      [..._error of string] exceptions are classified by origin, and
+      anything unrecognized yields [None]. *)
+end
+
 (** Compilation pipelines: MiniC source -> SSA IR -> either target. *)
 module Compile : sig
   type target =
@@ -68,9 +80,11 @@ module Experiment : sig
   }
 
   val run :
-    ?max_dist:int -> model:Ooo_common.Params.t -> target:target ->
+    ?max_dist:int -> ?check:bool ->
+    model:Ooo_common.Params.t -> target:target ->
     Workloads.t -> result
-  (** Compile the workload for the target ISA and simulate it. *)
+  (** Compile the workload for the target ISA and simulate it.  [check]
+      (default [true]) arms the lockstep golden-model checker. *)
 
   val relative_perf : baseline:result -> result -> float
   (** Inverse-cycles relative performance, the metric of Figs. 11-14. *)

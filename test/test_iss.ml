@@ -274,6 +274,77 @@ let test_checkpoint_window_only () =
   Alcotest.(check int32) "window.(0)" 2l st.Iss.Straight_iss.a_window.(0);
   Alcotest.(check int32) "window.(1)" 1l st.Iss.Straight_iss.a_window.(1)
 
+(* ---------- structured memory/fuel faults (Diag) ---------- *)
+
+let expect_diag code f =
+  match f () with
+  | _ -> Alcotest.fail ("expected " ^ code ^ " diagnostic")
+  | exception Diag.Error d ->
+    Alcotest.(check string) "diag code" code (Diag.code_name d.Diag.code);
+    d
+
+let test_straight_memory_faults () =
+  (* unaligned word access *)
+  let d =
+    expect_diag "MEM_UNALIGNED" (fun () ->
+        run_straight
+          ".text\nmain:\n  LUI 0x100\n  ADDi [1] 2\n  LD [1] 0\n  HALT\n")
+  in
+  Alcotest.(check (option string)) "faulting address"
+    (Some "0x100002") (List.assoc_opt "addr" d.Diag.context);
+  (* store to an unmapped MMIO address *)
+  ignore
+    (expect_diag "MEM_MMIO" (fun () ->
+         run_straight
+           ".text\nmain:\n  LUI 0xFFFF0\n  ADDi [0] 1\n  ST [1] [2] 8\n  HALT\n"));
+  (* load from the write-only MMIO window *)
+  ignore
+    (expect_diag "MEM_MMIO" (fun () ->
+         run_straight ".text\nmain:\n  LUI 0xFFFF0\n  LD [1] 0\n  HALT\n"))
+
+let test_riscv_memory_faults () =
+  let d =
+    expect_diag "MEM_UNALIGNED" (fun () ->
+        run_riscv
+          ".text\nmain:\n  lui t0, 0x100\n  addi t0, t0, 2\n  lw a0, 0(t0)\n  ebreak\n")
+  in
+  Alcotest.(check (option string)) "faulting address"
+    (Some "0x100002") (List.assoc_opt "addr" d.Diag.context);
+  ignore
+    (expect_diag "MEM_MMIO" (fun () ->
+         run_riscv
+           ".text\nmain:\n  lui t2, 0xFFFF0\n  sw zero, 8(t2)\n  ebreak\n"));
+  ignore
+    (expect_diag "MEM_MMIO" (fun () ->
+         run_riscv
+           ".text\nmain:\n  lui t2, 0xFFFF0\n  lw a0, 0(t2)\n  ebreak\n"))
+
+let test_fuel_exhaustion () =
+  (* both ISSes must report a budget overrun as FUEL_EXHAUSTED carrying
+     the retired count, not as a generic execution error *)
+  let ds =
+    expect_diag "FUEL_EXHAUSTED" (fun () ->
+        let image =
+          SAsm.assemble_source ".text\nmain:\nloop:\n  J loop\n  HALT\n"
+        in
+        Iss.Straight_iss.run
+          ~config:{ Iss.Straight_iss.default_config with max_insns = 100 }
+          image)
+  in
+  Alcotest.(check (option string)) "straight retired count"
+    (Some "100") (List.assoc_opt "retired" ds.Diag.context);
+  let dr =
+    expect_diag "FUEL_EXHAUSTED" (fun () ->
+        let image =
+          RAsm.assemble_source ".text\nmain:\nloop:\n  j loop\n  ebreak\n"
+        in
+        Iss.Riscv_iss.run
+          ~config:{ Iss.Riscv_iss.default_config with max_insns = 100 }
+          image)
+  in
+  Alcotest.(check (option string)) "riscv retired count"
+    (Some "100") (List.assoc_opt "retired" dr.Diag.context)
+
 let test_asm_errors () =
   (try
      ignore (SAsm.assemble_source ".text\nmain:\n  J nowhere\n  HALT\n");
@@ -299,6 +370,9 @@ let suite =
     ("trace collection", `Quick, test_trace_collection);
     ("precise interrupt resume", `Quick, test_precise_interrupt);
     ("checkpoint window", `Quick, test_checkpoint_window_only);
+    ("straight memory faults", `Quick, test_straight_memory_faults);
+    ("riscv memory faults", `Quick, test_riscv_memory_faults);
+    ("fuel exhaustion", `Quick, test_fuel_exhaustion);
     ("assembler errors", `Quick, test_asm_errors) ]
 
 let () = Alcotest.run "iss" [ ("iss", suite) ]

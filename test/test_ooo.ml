@@ -287,6 +287,36 @@ let test_spadd_limit_negligible () =
     (float_of_int s.Engine.spadd_stall_slots
      < 0.02 *. float_of_int s.Engine.cycles)
 
+(* the lockstep golden-model checker is on by default in Pipeline.run;
+   every built-in workload must retire through it with zero violations
+   on both a STRAIGHT and a superscalar model *)
+let test_checker_on_builtin_workloads () =
+  let workloads =
+    [ Workloads.dhrystone ~iterations:5 ();
+      Workloads.coremark ~iterations:1 ();
+      Workloads.fib ();
+      Workloads.iota ();
+      Workloads.sort ();
+      Workloads.quicksort ();
+      Workloads.pointer_chase ~nodes:256 ~hops:200 () ]
+  in
+  List.iter
+    (fun w ->
+       List.iter
+         (fun (model, target) ->
+            let r =
+              Straight_core.Experiment.run ~model ~target w
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s on %s: checker ran" w.Workloads.name
+                 model.Params.name)
+              true
+              (r.Straight_core.Experiment.stats.Engine.commits_checked
+               >= r.Straight_core.Experiment.stats.Engine.committed))
+         [ (Params.straight_2way, Straight_core.Experiment.Straight_re);
+           (Params.ss_2way, Straight_core.Experiment.Riscv) ])
+    workloads
+
 (* pointer chasing defeats the next-line prefetcher: many L1D misses *)
 let test_pointer_chase_misses () =
   let w = Workloads.pointer_chase ~nodes:16384 ~hops:3000 () in
@@ -320,6 +350,7 @@ let suite =
     ("engine: checkpointed RMT", `Quick, test_checkpointed_rmt_between);
     ("engine: checkpoint starvation", `Quick, test_checkpoint_starvation);
     ("engine: spadd limit negligible", `Quick, test_spadd_limit_negligible);
+    ("engine: checker on built-in workloads", `Slow, test_checker_on_builtin_workloads);
     ("engine: pointer chase misses", `Slow, test_pointer_chase_misses) ]
 
 let () = Alcotest.run "ooo" [ ("ooo", suite) ]

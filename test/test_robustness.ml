@@ -1,0 +1,172 @@
+(* Robustness harness: seeded fault-injection campaigns over the four
+   Table-I models, watchdog deadlock detection, and lockstep-checker
+   divergence.  The contract under test: every injected fault is either
+   absorbed (the run completes and the golden-model checker sees a full,
+   exact retirement) or reported as a structured Diag.Error — never an
+   uncaught exception, never a hang. *)
+
+module Params = Ooo_common.Params
+module Inject = Ooo_common.Inject
+module Checker = Ooo_common.Checker
+module Engine = Ooo_common.Engine
+module Trace = Iss.Trace
+
+let compile_straight src =
+  let p = Minic.Lower.compile src in
+  List.iter Ssa_ir.Passes.optimize p.Ssa_ir.Ir.funcs;
+  let config =
+    { Straight_cc.Codegen.max_dist = 31; level = Straight_cc.Codegen.Re_plus }
+  in
+  Straight_cc.Codegen.compile_to_image ~config p
+
+let compile_riscv src =
+  let p = Minic.Lower.compile src in
+  List.iter Ssa_ir.Passes.optimize p.Ssa_ir.Ir.funcs;
+  Riscv_cc.Codegen.compile_to_image p
+
+(* a small workload with branches, calls, loads, stores, and a multiply:
+   every fault kind has targets, and 100 runs stay fast *)
+let campaign_source = (Workloads.sort ~n:40 ()).Workloads.source
+
+let straight_image = lazy (compile_straight campaign_source)
+let riscv_image = lazy (compile_riscv campaign_source)
+
+let all_kinds =
+  [ Inject.Flip_prediction; Inject.Corrupt_cache_tag;
+    Inject.Spurious_recovery; Inject.Stretch_fu_latency ]
+
+(* One campaign run: returns [Ok faults_injected] when the faults were
+   absorbed (the checker validated a full exact retirement) or
+   [Error diag] when the simulator reported structured divergence or
+   deadlock.  Anything else escapes and fails the test. *)
+let campaign_run (model : Params.t) ~seed : (int, Diag.t) result =
+  let model = Params.with_faults (Inject.plan ~period:200 ~kinds:all_kinds seed) model in
+  match model.Params.rename with
+  | Params.Rp ->
+    (try
+       let r = Ooo_straight.Pipeline.run model (Lazy.force straight_image) in
+       Ok r.Ooo_straight.Pipeline.stats.Engine.faults_injected
+     with Diag.Error d -> Error d)
+  | Params.Rmt _ | Params.Rmt_checkpoint _ ->
+    (try
+       let r = Ooo_riscv.Pipeline.run model (Lazy.force riscv_image) in
+       Ok r.Ooo_riscv.Pipeline.stats.Engine.faults_injected
+     with Diag.Error d -> Error d)
+
+let test_fault_campaign () =
+  let models =
+    [ Params.ss_2way; Params.straight_2way; Params.ss_4way;
+      Params.straight_4way ]
+  in
+  let runs = ref 0 and absorbed = ref 0 and diagnosed = ref 0 in
+  let faults = ref 0 in
+  List.iter
+    (fun model ->
+       for seed = 1 to 25 do
+         incr runs;
+         match campaign_run model ~seed with
+         | Ok n -> incr absorbed; faults := !faults + n
+         | Error _ -> incr diagnosed
+       done)
+    models;
+  Alcotest.(check int) "100-run campaign" 100 !runs;
+  Alcotest.(check int) "every run absorbed or diagnosed" !runs
+    (!absorbed + !diagnosed);
+  (* the campaign must actually inject: an idle fault plan proves nothing *)
+  Alcotest.(check bool)
+    (Printf.sprintf "faults were injected (%d)" !faults)
+    true (!faults > 100);
+  (* these fault kinds perturb timing, never architectural state, so the
+     lockstep checker should absorb every run *)
+  Alcotest.(check int) "timing faults are absorbed" 0 !diagnosed
+
+let test_campaign_determinism () =
+  let r1 = campaign_run Params.straight_4way ~seed:11 in
+  let r2 = campaign_run Params.straight_4way ~seed:11 in
+  (match r1, r2 with
+   | Ok f1, Ok f2 ->
+     Alcotest.(check int) "same seed, same fault count" f1 f2
+   | _ -> Alcotest.fail "seeded campaign run did not complete")
+
+(* ---------- watchdog ---------- *)
+
+let test_watchdog_deadlock () =
+  (* a scheduler with zero entries can never dispatch: no commit ever
+     happens and the forward-progress watchdog must trip with a
+     structured snapshot instead of hanging *)
+  let model =
+    { Params.straight_2way with Params.scheduler_entries = 0; name = "wedged" }
+  in
+  match Ooo_straight.Pipeline.run model (Lazy.force straight_image) with
+  | _ -> Alcotest.fail "deadlocked configuration completed"
+  | exception Diag.Error d ->
+    Alcotest.(check string) "deadlock code" "SIM_DEADLOCK"
+      (Diag.code_name d.Diag.code);
+    Alcotest.(check int) "deadlock exit code" 6 (Diag.exit_code d.Diag.code);
+    let ctx k = List.assoc_opt k d.Diag.context in
+    Alcotest.(check (option string)) "no forward progress"
+      (Some "no-forward-progress") (ctx "reason");
+    (* the snapshot names the stuck instruction and the queue occupancies *)
+    Alcotest.(check bool) "names the stuck instruction" true
+      (ctx "head_pc" <> None && ctx "head_fu" <> None);
+    List.iter
+      (fun k ->
+         Alcotest.(check bool) (k ^ " present") true (ctx k <> None))
+      [ "rob_occupancy"; "iq_occupancy"; "ldq_occupancy"; "stq_occupancy";
+        "frontend_occupancy"; "fetch_mode"; "last_commits" ]
+
+(* ---------- checker divergence ---------- *)
+
+let test_checker_divergence () =
+  (* feed the checker a tampered golden trace: the engine's (correct)
+     commit stream must be reported as divergence at the first commit *)
+  let image = Lazy.force straight_image in
+  let r =
+    Iss.Straight_iss.run
+      ~config:{ Iss.Straight_iss.collect_trace = true; collect_dist = false;
+                max_insns = 10_000_000 }
+      image
+  in
+  let trace = r.Trace.trace in
+  let tampered = Array.copy trace in
+  tampered.(0) <- { tampered.(0) with Trace.pc = tampered.(0).Trace.pc + 4 };
+  let checker =
+    Checker.create ~rename:Params.Rp ~trace:tampered ()
+  in
+  match
+    Engine.run Params.straight_2way ~trace
+      ~decode_static:(Ooo_straight.Pipeline.static_uop image) ~checker ()
+  with
+  | _ -> Alcotest.fail "checker accepted a divergent golden trace"
+  | exception Diag.Error d ->
+    Alcotest.(check string) "divergence code" "CHECKER_DIVERGENCE"
+      (Diag.code_name d.Diag.code);
+    Alcotest.(check int) "divergence exit code" 7 (Diag.exit_code d.Diag.code);
+    Alcotest.(check (option string)) "pc-lockstep invariant"
+      (Some "pc-lockstep")
+      (List.assoc_opt "invariant" d.Diag.context)
+
+(* ---------- exit-code scheme ---------- *)
+
+let test_exit_codes_distinct () =
+  (* one representative per failure class a driver can exit with *)
+  let codes =
+    [ Diag.Config_error; Diag.Parse_error; Diag.Exec_error;
+      Diag.Fuel_exhausted; Diag.Sim_deadlock; Diag.Checker_divergence ]
+  in
+  let exits = List.map Diag.exit_code codes in
+  Alcotest.(check int) "distinct exit codes"
+    (List.length exits)
+    (List.length (List.sort_uniq compare exits));
+  List.iter
+    (fun e -> Alcotest.(check bool) "nonzero, non-1 exit" true (e >= 2))
+    exits
+
+let suite =
+  [ ("fault campaign (100 seeded runs, 4 models)", `Slow, test_fault_campaign);
+    ("campaign determinism", `Quick, test_campaign_determinism);
+    ("watchdog: deadlock snapshot", `Quick, test_watchdog_deadlock);
+    ("checker: divergence reported", `Quick, test_checker_divergence);
+    ("exit codes distinct", `Quick, test_exit_codes_distinct) ]
+
+let () = Alcotest.run "robustness" [ ("robustness", suite) ]
