@@ -1,4 +1,4 @@
-.PHONY: check build test bench clean
+.PHONY: check build test bench bench-json bench-gate fmt clean
 
 check: build test
 
@@ -8,8 +8,26 @@ build:
 test:
 	dune runtest
 
+fmt:
+	dune build @fmt
+
 bench:
 	dune exec bench/main.exe -- --quick
+
+# Measure the perf suite (engine host throughput + CPI stacks) into
+# bench.json.  Pass QUICK= (empty) for the full workload sizes.
+QUICK ?= --quick
+bench-json:
+	dune exec bench/main.exe -- $(QUICK) --json bench.json
+
+# Perf-regression gate: fresh measurement vs the checked-in baseline.
+# Host throughput is noisy, so a failing comparison gets one fresh
+# re-measurement before the verdict sticks.
+bench-gate: bench-json
+	dune exec scripts/bench_gate.exe -- BENCH_baseline.json bench.json \
+	  || { echo "bench-gate: retrying with a fresh measurement"; \
+	       $(MAKE) bench-json; \
+	       dune exec scripts/bench_gate.exe -- BENCH_baseline.json bench.json; }
 
 clean:
 	dune clean

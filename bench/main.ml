@@ -4,7 +4,16 @@
 
      dune exec bench/main.exe [-- table1|fig10|fig11|fig12|fig13|fig14|
                                   fig15|fig16|fig17|sweep_maxdist|ablation|
-                                  micro|all] [--quick]
+                                  micro|all] [--quick] [--json OUT]
+
+   With [--json OUT] the perf suite also runs: every Table-I model on
+   dhrystone and coremark, several repetitions each, timing the engine
+   alone (compile and the functional ISS run are hoisted out of the
+   timed region).  OUT receives the median host throughput (simulated
+   kilocycles per host second), IPC, and the CPI stack per model x
+   workload — the format scripts/bench_gate.ml consumes (see
+   EXPERIMENTS.md for the schema).  With --json and no subcommand, only
+   the perf suite runs.
 
    Absolute cycle counts differ from the paper (our substrate is our own
    simulator, not the authors' testbed); the reproduced quantities are the
@@ -14,6 +23,8 @@
 module Models = Straight_core.Models
 module Exp = Straight_core.Experiment
 module Engine = Ooo_common.Engine
+module Stats = Ooo_common.Stats
+module Inject = Ooo_common.Inject
 
 let quick = ref false
 
@@ -23,19 +34,30 @@ let coremark () = Workloads.coremark ~iterations:(if !quick then 2 else 5) ()
 let header title =
   Printf.printf "\n==================== %s ====================\n%!" title
 
-(* memoize experiment runs: several figures reuse the same configurations *)
+(* memoize experiment runs: several figures reuse the same configurations.
+   The key carries everything that shapes the run — including the checker
+   flag and the fault-injection plan, which share a model name with the
+   clean configuration and must not alias its cached result. *)
 let cache : (string, Exp.result) Hashtbl.t = Hashtbl.create 32
 
-let run ?max_dist ~model ~target w =
+let run ?max_dist ?(check = true) ~model ~target w =
+  let inject_tag =
+    match model.Ooo_common.Params.inject with
+    | None -> "noinj"
+    | Some pl ->
+      Printf.sprintf "inj:%d:%d:%s" pl.Inject.seed pl.Inject.period
+        (String.concat "+" (List.map Inject.kind_name pl.Inject.kinds))
+  in
   let key =
-    Printf.sprintf "%s/%s/%s/%d" model.Ooo_common.Params.name
+    Printf.sprintf "%s/%s/%s/%d/%b/%s" model.Ooo_common.Params.name
       (Exp.target_label target) w.Workloads.name
       (Option.value ~default:Ooo_common.Params.straight_max_dist max_dist)
+      check inject_tag
   in
   match Hashtbl.find_opt cache key with
   | Some r -> r
   | None ->
-    let r = Exp.run ?max_dist ~model ~target w in
+    let r = Exp.run ?max_dist ~check ~model ~target w in
     Hashtbl.replace cache key r;
     r
 
@@ -452,6 +474,124 @@ let micro () =
          results)
     tests
 
+(* ---------- perf suite (--json): host throughput + CPI stack ---------- *)
+
+(* Times the cycle engine alone: compilation and the functional ISS run
+   happen once per configuration outside the timed region, and each
+   repetition re-creates only the lockstep checker (part of the default
+   simulation loop, so it stays inside the measurement).  Throughput is
+   reported as simulated kilocycles per host second. *)
+let json_suite out =
+  header (Printf.sprintf "perf suite --> %s" out);
+  let reps = if !quick then 7 else 9 in
+  let combos =
+    [ (Models.ss_2way, Exp.Riscv);
+      (Models.ss_4way, Exp.Riscv);
+      (Models.straight_2way, Exp.Straight_re);
+      (Models.straight_4way, Exp.Straight_re) ]
+  in
+  let workloads = [ dhrystone (); coremark () ] in
+  let median xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let time_engine (model : Ooo_common.Params.t) target (w : Workloads.t) =
+    let run_reps mk_checker trace decode_static =
+      (* one untimed warmup settles the heap before measuring *)
+      ignore (Engine.run model ~trace ~decode_static ~checker:(mk_checker ()) ());
+      List.init reps (fun _ ->
+          let checker = mk_checker () in
+          let t0 = Unix.gettimeofday () in
+          let s = Engine.run model ~trace ~decode_static ~checker () in
+          let dt = Unix.gettimeofday () -. t0 in
+          (float_of_int s.Engine.cycles /. dt /. 1000., s))
+    in
+    match target with
+    | Exp.Riscv ->
+      let image = Straight_core.Compile.to_riscv w.Workloads.source in
+      let r =
+        Iss.Riscv_iss.run
+          ~config:{ Iss.Riscv_iss.collect_trace = true;
+                    max_insns = 50_000_000 }
+          image
+      in
+      run_reps
+        (fun () ->
+           Ooo_common.Checker.create ~rename:model.Ooo_common.Params.rename
+             ~trace:r.Iss.Trace.trace ())
+        r.Iss.Trace.trace
+        (Ooo_riscv.Pipeline.static_uop image)
+    | Exp.Straight_re | Exp.Straight_raw ->
+      let level =
+        match target with
+        | Exp.Straight_raw -> Straight_cc.Codegen.Raw
+        | _ -> Straight_cc.Codegen.Re_plus
+      in
+      let image, _ =
+        Straight_core.Compile.to_straight ~level w.Workloads.source
+      in
+      let r =
+        Iss.Straight_iss.run
+          ~config:{ Iss.Straight_iss.collect_trace = true;
+                    collect_dist = false; max_insns = 50_000_000 }
+          image
+      in
+      run_reps
+        (fun () ->
+           Ooo_common.Checker.create
+             ~max_dist:Ooo_common.Params.straight_max_dist
+             ~rename:model.Ooo_common.Params.rename ~trace:r.Iss.Trace.trace ())
+        r.Iss.Trace.trace
+        (Ooo_straight.Pipeline.static_uop image)
+  in
+  let entries =
+    List.concat_map
+      (fun (model, target) ->
+         List.map
+           (fun (w : Workloads.t) ->
+              let results = time_engine model target w in
+              let khz = List.map fst results in
+              let s = snd (List.hd results) in
+              let med = median khz in
+              (* best-of-N: the noise-robust statistic the gate compares *)
+              let best = List.fold_left Float.max 0.0 khz in
+              Printf.printf "%-14s %-14s %-10s %9d cyc  ipc %5.3f  %8.1f kc/s\n%!"
+                model.Ooo_common.Params.name (Exp.target_label target)
+                w.Workloads.name s.Engine.cycles s.Engine.ipc med;
+              Stats.Json.Obj
+                [ ("model", Stats.Json.Str model.Ooo_common.Params.name);
+                  ("target", Stats.Json.Str (Exp.target_label target));
+                  ("workload", Stats.Json.Str w.Workloads.name);
+                  ("cycles", Stats.Json.Int s.Engine.cycles);
+                  ("instructions", Stats.Json.Int s.Engine.committed);
+                  ("ipc", Stats.Json.Float s.Engine.ipc);
+                  ("khz_reps",
+                   Stats.Json.List (List.map (fun k -> Stats.Json.Float k) khz));
+                  ("khz_median", Stats.Json.Float med);
+                  ("khz_best", Stats.Json.Float best);
+                  ("cpi_stack", Stats.cpi_to_json s.Engine.cpi_stack) ])
+           workloads)
+      combos
+  in
+  let label =
+    let base = Filename.remove_extension (Filename.basename out) in
+    if String.length base > 6 && String.sub base 0 6 = "BENCH_" then
+      String.sub base 6 (String.length base - 6)
+    else base
+  in
+  let json =
+    Stats.Json.Obj
+      [ ("schema", Stats.Json.Str "straight-bench/1");
+        ("label", Stats.Json.Str label);
+        ("quick", Stats.Json.Bool !quick);
+        ("reps", Stats.Json.Int reps);
+        ("entries", Stats.Json.List entries) ]
+  in
+  Out_channel.with_open_text out (fun oc ->
+      output_string oc (Stats.Json.to_string json));
+  Printf.printf "wrote %s (%d entries)\n%!" out (List.length entries)
+
 (* ---------- driver ---------- *)
 
 let all () =
@@ -466,21 +606,26 @@ let () =
       ("ablation", ablation); ("rob_sweep", rob_sweep); ("micro", micro);
       ("all", all) ]
   in
-  let args = Array.to_list Sys.argv |> List.tl in
-  let args =
-    List.filter
-      (fun a -> if a = "--quick" then (quick := true; false) else true)
-      args
+  let json_out = ref "" in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest -> quick := true; parse acc rest
+    | "--json" :: out :: rest -> json_out := out; parse acc rest
+    | [ "--json" ] ->
+      prerr_endline "--json needs an output path"; exit 2
+    | a :: rest -> parse (a :: acc) rest
   in
-  match args with
-  | [] -> all ()
-  | names ->
-    List.iter
-      (fun name ->
-         match List.assoc_opt name cmds with
-         | Some f -> f ()
-         | None ->
-           Printf.eprintf "unknown bench %S; available: %s\n" name
-             (String.concat ", " (List.map fst cmds));
-           exit 2)
-      names
+  let names = parse [] (Array.to_list Sys.argv |> List.tl) in
+  (match names with
+   | [] -> if !json_out = "" then all ()
+   | names ->
+     List.iter
+       (fun name ->
+          match List.assoc_opt name cmds with
+          | Some f -> f ()
+          | None ->
+            Printf.eprintf "unknown bench %S; available: %s\n" name
+              (String.concat ", " (List.map fst cmds));
+            exit 2)
+       names);
+  if !json_out <> "" then json_suite !json_out

@@ -6,7 +6,7 @@
                  [-maxdist N] [-rob N] [-sched N] [-no-check]
                  [-inject all|flip,tag,spurious,stretch] [-seed N]
                  [-inject-period N] [-dump-on-error FILE]
-                 [-workload NAME] [FILE]
+                 [-stats-json FILE] [-workload NAME] [FILE]
 
    Every failure is reported as a structured diagnostic and mapped to a
    distinct exit code per failure class (see Diag.exit_code): 2 usage or
@@ -21,6 +21,7 @@ module Inject = Ooo_common.Inject
 module Exp = Straight_core.Experiment
 module Diagnostics = Straight_core.Diagnostics
 module Engine = Ooo_common.Engine
+module Stats = Ooo_common.Stats
 
 let workloads : (string * (unit -> Workloads.t)) list =
   [ ("dhrystone", fun () -> Workloads.dhrystone ~iterations:100 ());
@@ -63,6 +64,7 @@ let () =
   let seed = ref 1 in
   let inject_period = ref 1000 in
   let dump_on_error = ref "" in
+  let stats_json = ref "" in
   let workload = ref "" in
   let file = ref "" in
   let spec =
@@ -81,6 +83,9 @@ let () =
        "mean opportunities between faults (default 1000)");
       ("-dump-on-error", Arg.Set_string dump_on_error,
        "on failure, write the diagnostic context to FILE (- for stderr)");
+      ("-stats-json", Arg.Set_string stats_json,
+       "write run statistics (cycles, IPC, CPI stack, mix) as JSON to FILE \
+        (- for stdout)");
       ("-workload", Arg.Set_string workload, "built-in workload name") ]
   in
   Arg.parse spec (fun f -> file := f) "straightsim [options] [FILE]";
@@ -163,6 +168,42 @@ let () =
     Printf.printf "mix          : %s\n"
       (String.concat ", "
          (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) s.Engine.mix));
+    Printf.printf "CPI stack    : %s\n"
+      (String.concat ", "
+         (List.map
+            (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+            (Stats.cpi_to_assoc s.Engine.cpi_stack)));
+    (if !stats_json <> "" then begin
+       let json =
+         Stats.Json.Obj
+           [ ("schema", Stats.Json.Str "straightsim-stats/1");
+             ("model", Stats.Json.Str r.Exp.model);
+             ("target", Stats.Json.Str (Exp.target_label r.Exp.target));
+             ("workload", Stats.Json.Str w.Workloads.name);
+             ("cycles", Stats.Json.Int r.Exp.cycles);
+             ("instructions", Stats.Json.Int r.Exp.committed);
+             ("ipc", Stats.Json.Float r.Exp.ipc);
+             ("cpi_stack", Stats.cpi_to_json s.Engine.cpi_stack);
+             ("branch_mispredicts", Stats.Json.Int s.Engine.branch_mispredicts);
+             ("return_mispredicts", Stats.Json.Int s.Engine.return_mispredicts);
+             ("memdep_violations", Stats.Json.Int s.Engine.memdep_violations);
+             ("walk_stall_cycles", Stats.Json.Int s.Engine.walk_stall_cycles);
+             ("l1i_misses", Stats.Json.Int s.Engine.l1i_misses);
+             ("l1d_misses", Stats.Json.Int s.Engine.l1d_misses);
+             ("l1d_accesses", Stats.Json.Int s.Engine.l1d_accesses);
+             ("wrong_path_fetched", Stats.Json.Int s.Engine.wrong_path_fetched);
+             ("faults_injected", Stats.Json.Int s.Engine.faults_injected);
+             ("commits_checked", Stats.Json.Int s.Engine.commits_checked);
+             ("mix",
+              Stats.Json.Obj
+                (List.map (fun (k, v) -> (k, Stats.Json.Int v)) s.Engine.mix)) ]
+       in
+       let text = Stats.Json.to_string json in
+       match !stats_json with
+       | "-" -> print_string text
+       | path ->
+         Out_channel.with_open_text path (fun oc -> output_string oc text)
+     end);
     print_string "--- program output ---\n";
     print_string r.Exp.output
   | exception e ->

@@ -13,7 +13,20 @@
    - operand determination (RMT lookups + free list vs. RP arithmetic),
    - front-end depth (8 vs. 6 stages),
    - misprediction recovery (ROB walk at fetch width + RMT restore vs. a
-     single ROB read). *)
+     single ROB read).
+
+   Hot-path organization: because sequence numbers are allocated
+   monotonically, committed at the head, and squashed as a suffix, every
+   pipeline structure is a seq-sorted sequence.  The in-flight window is
+   an open-addressed ring indexed by [seq land mask]; the ROB, front-end
+   queue, and LSQs are ring deques whose squash is a suffix truncation;
+   the issue queue is an age-sorted array compacted in place.  Operand
+   readiness is event-driven: a consumer holds a count of outstanding
+   producers, producers hold wakeup edges fired either from a timing
+   wheel when the value becomes available or when the producer leaves
+   the window.  None of this changes simulated timing — cycle counts are
+   bit-identical to the original list/Hashtbl engine (asserted by
+   test_stats.ml against recorded golden counts). *)
 
 module Trace = Iss.Trace
 
@@ -54,7 +67,14 @@ type dyn = {
   mutable executed_load : bool;
   mutable recovery_at : int;        (* pending recovery event; -1 = none *)
   mutable ras_snapshot : int;       (* RAS top-of-stack for recovery *)
+  mutable n_unready : int;          (* producers whose value is pending *)
+  mutable waiters : edge list;      (* consumers to wake on availability *)
 }
+
+(* A wakeup edge fires exactly once: either from the timing wheel at the
+   producer's availability cycle, or when the producer leaves the window
+   (commit — the value is then readable from the register file). *)
+and edge = { consumer : dyn; mutable fired : bool }
 
 type stats = {
   cycles : int;
@@ -74,6 +94,7 @@ type stats = {
   ipc : float;
   faults_injected : int;            (* fault-injection events fired *)
   commits_checked : int;            (* lockstep-checker validations; 0 = off *)
+  cpi_stack : Stats.cpi_stack;      (* per-cycle attribution; sums to cycles *)
 }
 
 type fetch_mode =
@@ -88,6 +109,58 @@ let fu_latency (p : Params.t) = function
   | Trace.FU_branch -> 1
   | Trace.FU_load -> 1 (* + cache *)
   | Trace.FU_store -> 1
+
+(* Seq-sorted ring deque: push at the back, commit pops the front, squash
+   truncates the back.  Capacity grows on demand (the front-end queue is
+   unbounded while dispatch stalls). *)
+module Ring = struct
+  type t = {
+    dummy : dyn;
+    mutable buf : dyn array;
+    mutable head : int;
+    mutable len : int;
+  }
+
+  let create dummy = { dummy; buf = Array.make 64 dummy; head = 0; len = 0 }
+  let length t = t.len
+  let is_empty t = t.len = 0
+  let get t i = t.buf.((t.head + i) land (Array.length t.buf - 1))
+  let front t = t.buf.(t.head)
+  let back t = get t (t.len - 1)
+
+  let grow t =
+    let cap = Array.length t.buf in
+    let nbuf = Array.make (2 * cap) t.dummy in
+    for i = 0 to t.len - 1 do nbuf.(i) <- t.buf.((t.head + i) land (cap - 1)) done;
+    t.buf <- nbuf;
+    t.head <- 0
+
+  let push_back t x =
+    if t.len = Array.length t.buf then grow t;
+    t.buf.((t.head + t.len) land (Array.length t.buf - 1)) <- x;
+    t.len <- t.len + 1
+
+  let pop_front t =
+    let x = t.buf.(t.head) in
+    t.buf.(t.head) <- t.dummy;
+    t.head <- (t.head + 1) land (Array.length t.buf - 1);
+    t.len <- t.len - 1;
+    x
+
+  let pop_back t =
+    let i = (t.head + t.len - 1) land (Array.length t.buf - 1) in
+    let x = t.buf.(i) in
+    t.buf.(i) <- t.dummy;
+    t.len <- t.len - 1;
+    x
+
+  let iter f t = for i = 0 to t.len - 1 do f (get t i) done
+end
+
+let next_pow2 n =
+  let r = ref 1 in
+  while !r < n do r := !r * 2 done;
+  !r
 
 (* [run p ~trace ~decode_static ?checker ()] simulates the whole trace
    and returns timing statistics.  [decode_static pc] supplies wrong-path
@@ -108,16 +181,83 @@ let run (p : Params.t) ~(trace : Trace.uop array)
   let memdep = Memdep.create () in
   let inj = Inject.make p.inject in
   let act = fresh_activity () in
-  (* dynamic instruction table *)
-  let dyns : (int, dyn) Hashtbl.t = Hashtbl.create 1024 in
+  let dummy_uop =
+    { Trace.pc = -1; fu = Trace.FU_alu; srcs_dist = [||]; srcs_reg = [||];
+      dest_reg = 0; has_dest = false; is_rmov = false; is_nop = false;
+      is_spadd = false; mem_addr = 0; ctrl = Trace.Not_ctrl }
+  in
+  let dummy =
+    { seq = -1; uop = dummy_uop; wrong_path = false; trace_idx = -1;
+      fetched_at = 0; producers = []; dispatched = false; dispatched_at = 0;
+      issued = false; ready_at = 0; replay_bump = 0; mispredicted = false;
+      resume_idx = -1; addr_known = false; executed_load = false;
+      recovery_at = -1; ras_snapshot = 0; n_unready = 0; waiters = [] }
+  in
+  (* in-flight window: open-addressed ring indexed by seq.  A slot is
+     occupied only by a live entry (cleared at commit and squash), so a
+     collision on insert means the window span outgrew the capacity. *)
+  let win = ref (Array.make 1024 dummy) in
+  let win_mask = ref 1023 in
+  (* allocation-free lookup: [dummy] plays the role of [None] *)
+  let win_get s =
+    let d = !win.(s land !win_mask) in
+    if d.seq = s then d else dummy
+  in
+  let win_mem s = (!win.(s land !win_mask)).seq = s in
+  let win_clear d =
+    let i = d.seq land !win_mask in
+    if !win.(i) == d then !win.(i) <- dummy
+  in
+  let win_grow () =
+    (* live seqs are pairwise distinct modulo the old capacity, hence
+       also modulo the doubled capacity: rehashing cannot collide *)
+    let old = !win in
+    let ncap = 2 * Array.length old in
+    win := Array.make ncap dummy;
+    win_mask := ncap - 1;
+    Array.iter (fun d -> if d != dummy then !win.(d.seq land !win_mask) <- d) old
+  in
+  let rec win_insert d =
+    let i = d.seq land !win_mask in
+    if !win.(i) != dummy then begin win_grow (); win_insert d end
+    else !win.(i) <- d
+  in
   let next_seq = ref 0 in
   let trace_seq = Array.make n_trace (-1) in
-  (* pipeline structures, all as lists ordered young-at-head or queues *)
-  let frontend_q : dyn Queue.t = Queue.create () in
-  let rob : dyn Queue.t = Queue.create () in
-  let iq : dyn list ref = ref [] in          (* unordered; scanned by age *)
-  let ldq : dyn list ref = ref [] in
-  let stq : dyn list ref = ref [] in
+  (* pipeline structures, all seq-sorted *)
+  let frontend_q = Ring.create dummy in
+  let rob = Ring.create dummy in
+  let ldq = Ring.create dummy in
+  let stq = Ring.create dummy in
+  (* issue queue: age-sorted array, compacted in place after selection *)
+  let iq_buf = ref (Array.make 128 dummy) in
+  let iq_len = ref 0 in
+  let iq_push d =
+    if !iq_len = Array.length !iq_buf then begin
+      let nbuf = Array.make (2 * !iq_len) dummy in
+      Array.blit !iq_buf 0 nbuf 0 !iq_len;
+      iq_buf := nbuf
+    end;
+    !iq_buf.(!iq_len) <- d;
+    incr iq_len
+  in
+  (* timing wheel for operand wakeups: every issued instruction is
+     scheduled at the cycle its value becomes available; the wheel spans
+     the worst-case latency (full memory hierarchy + fault stretch) *)
+  let wheel_size =
+    let mem =
+      p.l1d.Params.hit_latency + p.l2.Params.hit_latency
+      + (match p.l3 with Some c -> c.Params.hit_latency | None -> 0)
+      + p.memory_latency
+    in
+    let lat =
+      max (max p.latency_alu (max p.latency_mul p.latency_div)) (1 + mem)
+    in
+    (* + injected stretch (<= 9), replay bump, issue cycle, margin *)
+    next_pow2 (lat + 32)
+  in
+  let wheel : dyn list array = Array.make wheel_size [] in
+  let wheel_mask = wheel_size - 1 in
   (* rename state (superscalar) *)
   let rmt = Array.make 32 (-1) in
   let arch_regs = 32 in
@@ -143,22 +283,74 @@ let run (p : Params.t) ~(trace : Trace.uop array)
   let now = ref 0 in
   let done_ = ref false in
   let committed = ref 0 in
+  let commits_now = ref 0 in        (* correct-path commits this cycle *)
   let wrong_fetched = ref 0 in
   let branch_misp = ref 0 in
   let ret_misp = ref 0 in
   let walk_stalls = ref 0 in
-  let mix : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let cpi = Stats.fresh_acc () in
+  let redirect_until = ref 0 in     (* CPI attribution of post-squash refill *)
+  (* retired-kind mix, counted without hashing (labels from
+     Trace.kind_label: LD ST Jump+Branch ALU RMOV NOP) *)
+  let mix_counts = Array.make 6 0 in
+  let mix_slot (u : Trace.uop) =
+    match u.Trace.fu with
+    | Trace.FU_load -> 0
+    | Trace.FU_store -> 1
+    | Trace.FU_branch -> 2
+    | Trace.FU_mul | Trace.FU_div -> 3
+    | Trace.FU_alu ->
+      if u.Trace.is_rmov then 4 else if u.Trace.is_nop then 5 else 3
+  in
+  let mix_labels = [| "LD"; "ST"; "Jump+Branch"; "ALU"; "RMOV"; "NOP" |] in
   (* pending recovery events: (cycle, seq of faulting instr, resume idx,
      refetch_including_self) *)
   let recoveries : (int * int * int * bool) list ref = ref [] in
-  (* watchdog + diagnostics state *)
+  (* watchdog + diagnostics state; last 8 commits kept in a ring *)
   let last_commit_cycle = ref 0 in
-  let last_commits : (int * int) Queue.t = Queue.create () in
+  let lc_idx = Array.make 8 0 in
+  let lc_pc = Array.make 8 0 in
+  let lc_n = ref 0 in
 
-  let producer_ready seqno =
-    match Hashtbl.find_opt dyns seqno with
-    | None -> 0 (* committed or squashed: value available *)
-    | Some d -> d.ready_at + d.replay_bump
+  (* ---------- wakeup plumbing ---------- *)
+  let fire_edges d =
+    List.iter
+      (fun e ->
+         if not e.fired then begin
+           e.fired <- true;
+           e.consumer.n_unready <- e.consumer.n_unready - 1
+         end)
+      d.waiters;
+    d.waiters <- []
+  in
+  (* called once per issued instruction, with the final availability
+     cycle (base latency + cache + injected stretch + replay bump) *)
+  let schedule_wakeup d =
+    let avail = d.ready_at + d.replay_bump in
+    assert (avail - !now < wheel_size);
+    let i = avail land wheel_mask in
+    wheel.(i) <- d :: wheel.(i)
+  in
+  let drain_wheel () =
+    let i = !now land wheel_mask in
+    match wheel.(i) with
+    | [] -> ()
+    | ds -> wheel.(i) <- []; List.iter fire_edges ds
+  in
+  (* register d's dependence edges at dispatch: a producer outside the
+     window (committed or never renamed) is readable immediately; one
+     already issued with an availability in the past likewise *)
+  let register_producers d =
+    List.iter
+      (fun s ->
+         let pr = win_get s in
+         if pr == dummy then ()
+         else if pr.issued && pr.ready_at + pr.replay_bump <= !now then ()
+         else begin
+           d.n_unready <- d.n_unready + 1;
+           pr.waiters <- { consumer = d; fired = false } :: pr.waiters
+         end)
+      d.producers
   in
 
   let mk_dyn ~uop ~wrong_path ~trace_idx =
@@ -177,41 +369,41 @@ let run (p : Params.t) ~(trace : Trace.uop array)
         addr_known = false;
         executed_load = false;
         recovery_at = -1;
-        ras_snapshot = 0 }
+        ras_snapshot = 0;
+        n_unready = 0;
+        waiters = [] }
     in
     incr next_seq;
-    Hashtbl.replace dyns d.seq d;
+    win_insert d;
     d
   in
 
   (* ---------- squash ---------- *)
-  (* Returns the number of physical registers released by the squash: one
-     per renamed (ROB-resident) squashed instruction with a destination. *)
+  (* Every structure is seq-sorted, so a squash is a suffix truncation:
+     O(squashed) instead of a full-window walk.  Returns the number of
+     physical registers released: one per renamed (ROB-resident) squashed
+     instruction with a destination. *)
   let squash_from first_bad_seq =
-    let keep l = List.filter (fun d -> d.seq < first_bad_seq) l in
-    iq := keep !iq;
-    ldq := keep !ldq;
-    stq := keep !stq;
+    while !iq_len > 0 && !iq_buf.(!iq_len - 1).seq >= first_bad_seq do
+      decr iq_len;
+      !iq_buf.(!iq_len) <- dummy
+    done;
+    while Ring.length ldq > 0 && (Ring.back ldq).seq >= first_bad_seq do
+      ignore (Ring.pop_back ldq)
+    done;
+    while Ring.length stq > 0 && (Ring.back stq).seq >= first_bad_seq do
+      ignore (Ring.pop_back stq)
+    done;
     let freed = ref 0 in
-    Queue.iter
-      (fun d ->
-         if d.seq >= first_bad_seq && d.uop.Trace.has_dest
-            && d.uop.Trace.dest_reg <> 0
-         then incr freed)
-      rob;
-    let refilter q =
-      let tmp = Queue.create () in
-      Queue.iter (fun d -> if d.seq < first_bad_seq then Queue.add d tmp) q;
-      Queue.clear q;
-      Queue.transfer tmp q
-    in
-    refilter frontend_q;
-    refilter rob;
-    let to_remove =
-      Hashtbl.fold (fun s _ acc -> if s >= first_bad_seq then s :: acc else acc)
-        dyns []
-    in
-    List.iter (Hashtbl.remove dyns) to_remove;
+    while Ring.length rob > 0 && (Ring.back rob).seq >= first_bad_seq do
+      let d = Ring.pop_back rob in
+      if d.uop.Trace.has_dest && d.uop.Trace.dest_reg <> 0 then incr freed;
+      win_clear d
+    done;
+    while Ring.length frontend_q > 0
+          && (Ring.back frontend_q).seq >= first_bad_seq do
+      win_clear (Ring.pop_back frontend_q)
+    done;
     !freed
   in
 
@@ -221,9 +413,13 @@ let run (p : Params.t) ~(trace : Trace.uop array)
      RMT cannot rename newly fetched instructions until the walk finishes,
      so the walk serializes with the refetch. *)
   let walk_entries_after seqno =
-    let c = ref 0 in
-    Queue.iter (fun d -> if d.seq > seqno then incr c) rob;
-    !c
+    (* the ROB is seq-sorted: binary-search the first younger entry *)
+    let lo = ref 0 and hi = ref (Ring.length rob) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if (Ring.get rob mid).seq > seqno then hi := mid else lo := mid + 1
+    done;
+    Ring.length rob - !lo
   in
 
   (* ---------- recovery ---------- *)
@@ -241,7 +437,7 @@ let run (p : Params.t) ~(trace : Trace.uop array)
     let freed = squash_from first_bad in
     (* recount in-flight control instructions (checkpoint occupancy) *)
     inflight_ctrl := 0;
-    Queue.iter
+    Ring.iter
       (fun d ->
          match d.uop.Trace.ctrl with
          | Trace.Cond _ | Trace.Uncond _ -> incr inflight_ctrl
@@ -252,7 +448,7 @@ let run (p : Params.t) ~(trace : Trace.uop array)
        (* functionally rebuild the RMT from the surviving ROB (the hardware
           walk does this incrementally; the walk time is modeled below) *)
        Array.fill rmt 0 32 (-1);
-       Queue.iter
+       Ring.iter
          (fun d ->
             if d.uop.Trace.has_dest && d.uop.Trace.dest_reg <> 0 then
               rmt.(d.uop.Trace.dest_reg) <- d.seq)
@@ -266,6 +462,9 @@ let run (p : Params.t) ~(trace : Trace.uop array)
      | Params.Rp ->
        fetch_stall_until := max !fetch_stall_until !now);
     ignore is_rmt;
+    (* CPI: walk + refetch pipe refill are squash cost *)
+    redirect_until :=
+      max !redirect_until (!now + walk_len + p.frontend_depth);
     Branch_pred.Ras.restore ras faulting.ras_snapshot;
     mode := Fetch_correct resume_idx
   in
@@ -274,18 +473,27 @@ let run (p : Params.t) ~(trace : Trace.uop array)
   let commit () =
     let budget = ref p.commit_width in
     let continue_ = ref true in
-    while !continue_ && !budget > 0 && not (Queue.is_empty rob) do
-      let d = Queue.peek rob in
+    while !continue_ && !budget > 0 && not (Ring.is_empty rob) do
+      let d = Ring.front rob in
       (* an instruction with a pending recovery must not retire before the
          redirect has been processed *)
       if d.issued && d.ready_at <= !now
          && (d.recovery_at < 0 || !now >= d.recovery_at)
       then begin
-        ignore (Queue.pop rob);
-        Hashtbl.remove dyns d.seq;
+        ignore (Ring.pop_front rob);
+        win_clear d;
+        (* the value is now in the committed register file: consumers
+           still counting on this producer become ready *)
+        fire_edges d;
         decr budget;
-        ldq := List.filter (fun x -> x.seq <> d.seq) !ldq;
-        stq := List.filter (fun x -> x.seq <> d.seq) !stq;
+        (match d.uop.Trace.fu with
+         | Trace.FU_load ->
+           if Ring.length ldq > 0 && (Ring.front ldq).seq = d.seq then
+             ignore (Ring.pop_front ldq)
+         | Trace.FU_store ->
+           if Ring.length stq > 0 && (Ring.front stq).seq = d.seq then
+             ignore (Ring.pop_front stq)
+         | _ -> ());
         (* orphaned wrong-path instructions drain through commit; their
            registers must return to the free list *)
         (match p.rename with
@@ -300,11 +508,12 @@ let run (p : Params.t) ~(trace : Trace.uop array)
          | Trace.Not_ctrl -> ());
         last_commit_cycle := !now;
         if not d.wrong_path then begin
-          Queue.add (d.trace_idx, d.uop.Trace.pc) last_commits;
-          if Queue.length last_commits > 8 then ignore (Queue.pop last_commits);
+          lc_idx.(!lc_n land 7) <- d.trace_idx;
+          lc_pc.(!lc_n land 7) <- d.uop.Trace.pc;
+          incr lc_n;
           incr committed;
-          let k = Trace.kind_label d.uop in
-          Hashtbl.replace mix k (1 + Option.value ~default:0 (Hashtbl.find_opt mix k));
+          incr commits_now;
+          mix_counts.(mix_slot d.uop) <- mix_counts.(mix_slot d.uop) + 1;
           (match d.uop.Trace.fu with
            | Trace.FU_store when d.uop.Trace.mem_addr <> 0 ->
              (* drain through the store buffer: cache effects only *)
@@ -338,149 +547,152 @@ let run (p : Params.t) ~(trace : Trace.uop array)
     let ports_div = ref p.n_div and ports_bc = ref p.n_bc in
     let ports_mem = ref p.n_mem in
     let total = ref p.issue_width in
-    let by_age = List.sort (fun a b -> compare a.seq b.seq) !iq in
-    let issued_now = ref [] in
-    List.iter
-      (fun d ->
-         if !total > 0 && not d.issued
-            && !now >= d.dispatched_at + p.dispatch_issue_latency
-         then begin
-           let port =
-             match d.uop.Trace.fu with
-             | Trace.FU_alu -> ports_alu
-             | Trace.FU_mul -> ports_mul
-             | Trace.FU_div -> ports_div
-             | Trace.FU_branch -> ports_bc
-             | Trace.FU_load | Trace.FU_store -> ports_mem
-           in
-           if !port > 0 then begin
-             let ready =
-               List.for_all (fun s -> producer_ready s <= !now) d.producers
-             in
-             if ready then begin
-               (* loads may have to hold for the memory-dependence
-                  predictor *)
-               let lsq_hold =
-                 match d.uop.Trace.fu with
-                 | Trace.FU_load
-                   when (not d.wrong_path) && d.uop.Trace.mem_addr <> 0 ->
-                   let older_unknown =
-                     List.exists
-                       (fun s -> s.seq < d.seq && not s.addr_known)
-                       !stq
-                   in
-                   older_unknown && Memdep.predict_conflict memdep d.uop.Trace.pc
-                 | _ -> false
-               in
-               if not lsq_hold then begin
-                 d.issued <- true;
-                 decr port;
-                 decr total;
-                 issued_now := d :: !issued_now;
-                 act.rf_reads <- act.rf_reads + List.length d.producers;
-                 act.iq_wakeups <- act.iq_wakeups + 1;
-                 (match d.uop.Trace.fu with
-                  | Trace.FU_alu | Trace.FU_mul | Trace.FU_div ->
-                    act.alu_ops <- act.alu_ops + 1;
-                    d.ready_at <- !now + fu_latency p d.uop.Trace.fu
-                  | Trace.FU_branch ->
-                    act.alu_ops <- act.alu_ops + 1;
-                    d.ready_at <- !now + 1;
-                    (* resolution happens one cycle later *)
-                    if not d.wrong_path then begin
-                      if d.mispredicted then begin
-                        d.recovery_at <- !now + p.branch_resolve_latency;
-                        recoveries :=
-                          (d.recovery_at, d.seq, d.resume_idx, false)
-                          :: !recoveries
-                      end
-                      else if d.trace_idx >= 0 && d.trace_idx < n_trace - 1
-                              && Inject.fire inj Inject.Spurious_recovery
-                      then begin
-                        (* fault: a correctly predicted branch resolves as
-                           mispredicted, forcing a full squash-and-refetch
-                           from its own fall-through point *)
-                        d.recovery_at <- !now + p.branch_resolve_latency;
-                        recoveries :=
-                          (d.recovery_at, d.seq, d.trace_idx + 1, false)
-                          :: !recoveries
-                      end
-                    end
-                  | Trace.FU_store ->
-                    act.agu_ops <- act.agu_ops + 1;
-                    d.ready_at <- !now + 1;
-                    d.addr_known <- true;
-                    (* memory-order violation check against younger,
-                       already-executed loads at the same word *)
-                    if (not d.wrong_path) && d.uop.Trace.mem_addr <> 0 then begin
-                      let addr_w = d.uop.Trace.mem_addr lsr 2 in
-                      let victim =
-                        List.fold_left
-                          (fun best (l : dyn) ->
-                             if l.seq > d.seq && l.executed_load
-                                && (not l.wrong_path)
-                                && l.uop.Trace.mem_addr lsr 2 = addr_w
-                             then
-                               match best with
-                               | Some b when b.seq <= l.seq -> best
-                               | _ -> Some l
-                             else best)
-                          None !ldq
-                      in
-                      match victim with
-                      | Some l ->
-                        Memdep.train_violation memdep l.uop.Trace.pc;
-                        l.recovery_at <- !now + p.branch_resolve_latency;
-                        recoveries :=
-                          (l.recovery_at, l.seq, l.trace_idx, true)
-                          :: !recoveries
-                      | None -> ()
-                    end
-                  | Trace.FU_load ->
-                    act.agu_ops <- act.agu_ops + 1;
-                    if d.wrong_path || d.uop.Trace.mem_addr = 0 then
-                      d.ready_at <- !now + 1 + hier.Cache.l1d.Cache.hit_latency
-                    else begin
-                      let addr = d.uop.Trace.mem_addr in
-                      let addr_w = addr lsr 2 in
-                      (* store-to-load forwarding from the youngest older
-                         resolved store to the same word *)
-                      let forward =
-                        List.exists
-                          (fun (s : dyn) ->
-                             s.seq < d.seq && s.addr_known
-                             && s.uop.Trace.mem_addr lsr 2 = addr_w)
-                          !stq
-                      in
-                      if forward then d.ready_at <- !now + 2
-                      else begin
-                        if Inject.fire inj Inject.Corrupt_cache_tag then
-                          Cache.corrupt_tag hier.Cache.l1d
-                            ~victim:
-                              (Inject.draw inj
-                                 (Array.length hier.Cache.l1d.Cache.tags))
-                            ~flip:(Inject.draw inj 256);
-                        let lat = Cache.data_access hier addr in
-                        d.ready_at <- !now + 1 + lat;
-                        (* cache-hit speculation: consumers woken for a hit
-                           pay a replay penalty on a miss *)
-                        if lat > p.l1d.Params.hit_latency then d.replay_bump <- 1
-                      end;
-                      d.executed_load <- true
-                    end);
-                 (* fault: a transiently slow functional unit *)
-                 if Inject.fire inj Inject.Stretch_fu_latency then
-                   d.ready_at <- d.ready_at + 1 + Inject.draw inj 8
-               end
-             end
-           end
-         end)
-      by_age;
-    List.iter
-      (fun d ->
-         if d.uop.Trace.has_dest then act.rf_writes <- act.rf_writes + 1)
-      !issued_now;
-    iq := List.filter (fun d -> not d.issued) !iq
+    let n = !iq_len in
+    let kept = ref 0 in
+    let i = ref 0 in
+    while !i < n && !total > 0 do
+      let d = !iq_buf.(!i) in
+      if not d.issued && !now >= d.dispatched_at + p.dispatch_issue_latency
+      then begin
+        let port =
+          match d.uop.Trace.fu with
+          | Trace.FU_alu -> ports_alu
+          | Trace.FU_mul -> ports_mul
+          | Trace.FU_div -> ports_div
+          | Trace.FU_branch -> ports_bc
+          | Trace.FU_load | Trace.FU_store -> ports_mem
+        in
+        if !port > 0 then begin
+          if d.n_unready = 0 then begin
+            (* loads may have to hold for the memory-dependence
+               predictor *)
+            let lsq_hold =
+              match d.uop.Trace.fu with
+              | Trace.FU_load
+                when (not d.wrong_path) && d.uop.Trace.mem_addr <> 0 ->
+                let older_unknown = ref false in
+                Ring.iter
+                  (fun s ->
+                     if s.seq < d.seq && not s.addr_known then
+                       older_unknown := true)
+                  stq;
+                !older_unknown && Memdep.predict_conflict memdep d.uop.Trace.pc
+              | _ -> false
+            in
+            if not lsq_hold then begin
+              d.issued <- true;
+              decr port;
+              decr total;
+              act.rf_reads <- act.rf_reads + List.length d.producers;
+              act.iq_wakeups <- act.iq_wakeups + 1;
+              if d.uop.Trace.has_dest then
+                act.rf_writes <- act.rf_writes + 1;
+              (match d.uop.Trace.fu with
+               | Trace.FU_alu | Trace.FU_mul | Trace.FU_div ->
+                 act.alu_ops <- act.alu_ops + 1;
+                 d.ready_at <- !now + fu_latency p d.uop.Trace.fu
+               | Trace.FU_branch ->
+                 act.alu_ops <- act.alu_ops + 1;
+                 d.ready_at <- !now + 1;
+                 (* resolution happens one cycle later *)
+                 if not d.wrong_path then begin
+                   if d.mispredicted then begin
+                     d.recovery_at <- !now + p.branch_resolve_latency;
+                     recoveries :=
+                       (d.recovery_at, d.seq, d.resume_idx, false)
+                       :: !recoveries
+                   end
+                   else if d.trace_idx >= 0 && d.trace_idx < n_trace - 1
+                           && Inject.fire inj Inject.Spurious_recovery
+                   then begin
+                     (* fault: a correctly predicted branch resolves as
+                        mispredicted, forcing a full squash-and-refetch
+                        from its own fall-through point *)
+                     d.recovery_at <- !now + p.branch_resolve_latency;
+                     recoveries :=
+                       (d.recovery_at, d.seq, d.trace_idx + 1, false)
+                       :: !recoveries
+                   end
+                 end
+               | Trace.FU_store ->
+                 act.agu_ops <- act.agu_ops + 1;
+                 d.ready_at <- !now + 1;
+                 d.addr_known <- true;
+                 (* memory-order violation check against younger,
+                    already-executed loads at the same word *)
+                 if (not d.wrong_path) && d.uop.Trace.mem_addr <> 0 then begin
+                   let addr_w = d.uop.Trace.mem_addr lsr 2 in
+                   let victim = ref dummy in
+                   Ring.iter
+                     (fun (l : dyn) ->
+                        if l.seq > d.seq && l.executed_load
+                           && (not l.wrong_path)
+                           && l.uop.Trace.mem_addr lsr 2 = addr_w
+                           && (!victim == dummy || l.seq < !victim.seq)
+                        then victim := l)
+                     ldq;
+                   if !victim != dummy then begin
+                     let l = !victim in
+                     Memdep.train_violation memdep l.uop.Trace.pc;
+                     l.recovery_at <- !now + p.branch_resolve_latency;
+                     recoveries :=
+                       (l.recovery_at, l.seq, l.trace_idx, true)
+                       :: !recoveries
+                   end
+                 end
+               | Trace.FU_load ->
+                 act.agu_ops <- act.agu_ops + 1;
+                 if d.wrong_path || d.uop.Trace.mem_addr = 0 then
+                   d.ready_at <- !now + 1 + hier.Cache.l1d.Cache.hit_latency
+                 else begin
+                   let addr = d.uop.Trace.mem_addr in
+                   let addr_w = addr lsr 2 in
+                   (* store-to-load forwarding from the youngest older
+                      resolved store to the same word *)
+                   let forward = ref false in
+                   Ring.iter
+                     (fun (s : dyn) ->
+                        if s.seq < d.seq && s.addr_known
+                           && s.uop.Trace.mem_addr lsr 2 = addr_w
+                        then forward := true)
+                     stq;
+                   if !forward then d.ready_at <- !now + 2
+                   else begin
+                     if Inject.fire inj Inject.Corrupt_cache_tag then
+                       Cache.corrupt_tag hier.Cache.l1d
+                         ~victim:
+                           (Inject.draw inj
+                              (Array.length hier.Cache.l1d.Cache.tags))
+                         ~flip:(Inject.draw inj 256);
+                     let lat = Cache.data_access hier addr in
+                     d.ready_at <- !now + 1 + lat;
+                     (* cache-hit speculation: consumers woken for a hit
+                        pay a replay penalty on a miss *)
+                     if lat > p.l1d.Params.hit_latency then d.replay_bump <- 1
+                   end;
+                   d.executed_load <- true
+                 end);
+              (* fault: a transiently slow functional unit *)
+              if Inject.fire inj Inject.Stretch_fu_latency then
+                d.ready_at <- d.ready_at + 1 + Inject.draw inj 8;
+              schedule_wakeup d
+            end
+          end
+        end
+      end;
+      if not d.issued then begin
+        !iq_buf.(!kept) <- d;
+        incr kept
+      end;
+      incr i
+    done;
+    (* issue width exhausted: shift the unscanned tail down in place *)
+    if !kept < !i then begin
+      if !i < n then Array.blit !iq_buf !i !iq_buf !kept (n - !i);
+      let nlen = n - (!i - !kept) in
+      for j = nlen to n - 1 do !iq_buf.(j) <- dummy done;
+      iq_len := nlen
+    end
   in
 
   (* ---------- dispatch (rename) ---------- *)
@@ -488,16 +700,16 @@ let run (p : Params.t) ~(trace : Trace.uop array)
     let budget = ref p.fetch_width in
     let continue_ = ref true in
     let spadds_this_cycle = ref 0 in
-    while !continue_ && !budget > 0 && not (Queue.is_empty frontend_q) do
-      let d = Queue.peek frontend_q in
+    while !continue_ && !budget > 0 && not (Ring.is_empty frontend_q) do
+      let d = Ring.front frontend_q in
       if d.fetched_at + p.frontend_depth > !now then continue_ := false
       else if !now < !rename_blocked_until then continue_ := false
-      else if Queue.length rob >= p.rob_entries then continue_ := false
-      else if List.length !iq >= p.scheduler_entries then continue_ := false
+      else if Ring.length rob >= p.rob_entries then continue_ := false
+      else if !iq_len >= p.scheduler_entries then continue_ := false
       else if d.uop.Trace.fu = Trace.FU_load
-              && List.length !ldq >= p.ldq_entries then continue_ := false
+              && Ring.length ldq >= p.ldq_entries then continue_ := false
       else if d.uop.Trace.fu = Trace.FU_store
-              && List.length !stq >= p.stq_entries then continue_ := false
+              && Ring.length stq >= p.stq_entries then continue_ := false
       else if (match p.rename with
           | Params.Rmt _ | Params.Rmt_checkpoint _ ->
             d.uop.Trace.has_dest && !free_regs <= 0
@@ -512,7 +724,7 @@ let run (p : Params.t) ~(trace : Trace.uop array)
               && !spadds_this_cycle >= Params.spadd_per_cycle
       then begin incr spadd_stalls; continue_ := false end
       else begin
-        ignore (Queue.pop frontend_q);
+        ignore (Ring.pop_front frontend_q);
         decr budget;
         (* operand determination *)
         if d.uop.Trace.is_spadd then incr spadds_this_cycle;
@@ -522,11 +734,13 @@ let run (p : Params.t) ~(trace : Trace.uop array)
         (match p.rename with
          | Params.Rmt _ | Params.Rmt_checkpoint _ ->
            let srcs = d.uop.Trace.srcs_reg in
-           d.producers <-
-             Array.to_list srcs
-             |> List.filter_map (fun r ->
-                 if r = 0 then None
-                 else match rmt.(r) with -1 -> None | s -> Some s);
+           let ps = ref [] in
+           for k = Array.length srcs - 1 downto 0 do
+             let r = srcs.(k) in
+             if r <> 0 then
+               match rmt.(r) with -1 -> () | s -> ps := s :: !ps
+           done;
+           d.producers <- !ps;
            act.rename_reads <- act.rename_reads + Array.length srcs + 1;
            d.ras_snapshot <- Branch_pred.Ras.save ras;
            if d.uop.Trace.has_dest && d.uop.Trace.dest_reg <> 0 then begin
@@ -536,32 +750,37 @@ let run (p : Params.t) ~(trace : Trace.uop array)
              act.rename_writes <- act.rename_writes + 1
            end
          | Params.Rp ->
+           (* RP arithmetic keyed by distance; only still-in-flight
+              producers are kept *)
            let srcs = d.uop.Trace.srcs_dist in
-           d.producers <-
-             (if d.wrong_path then
-                Array.to_list srcs |> List.map (fun dist -> d.seq - dist)
-              else
-                Array.to_list srcs
-                |> List.filter_map (fun dist ->
-                    let pidx = d.trace_idx - dist in
-                    if pidx < 0 then None
-                    else
-                      let s = trace_seq.(pidx) in
-                      if s < 0 then None else Some s));
-           (* keep only still-in-flight producers *)
-           d.producers <-
-             List.filter (fun s -> Hashtbl.mem dyns s) d.producers;
+           let ps = ref [] in
+           for k = Array.length srcs - 1 downto 0 do
+             let dist = srcs.(k) in
+             if d.wrong_path then begin
+               let s = d.seq - dist in
+               if win_mem s then ps := s :: !ps
+             end
+             else begin
+               let pidx = d.trace_idx - dist in
+               if pidx >= 0 then begin
+                 let s = trace_seq.(pidx) in
+                 if s >= 0 && win_mem s then ps := s :: !ps
+               end
+             end
+           done;
+           d.producers <- !ps;
            act.rp_ops <- act.rp_ops + Array.length srcs + 1;
            d.ras_snapshot <- Branch_pred.Ras.save ras);
+        register_producers d;
         if not d.wrong_path then trace_seq.(d.trace_idx) <- d.seq;
         d.dispatched <- true;
         d.dispatched_at <- !now;
-        Queue.add d rob;
+        Ring.push_back rob d;
         act.rob_writes <- act.rob_writes + 1;
-        iq := d :: !iq;
+        iq_push d;
         (match d.uop.Trace.fu with
-         | Trace.FU_load -> ldq := d :: !ldq
-         | Trace.FU_store -> stq := d :: !stq
+         | Trace.FU_load -> Ring.push_back ldq d
+         | Trace.FU_store -> Ring.push_back stq d
          | _ -> ())
       end
     done
@@ -597,7 +816,7 @@ let run (p : Params.t) ~(trace : Trace.uop array)
             end;
             if !continue_ then begin
               let d = mk_dyn ~uop ~wrong_path:false ~trace_idx:idx in
-              Queue.add d frontend_q;
+              Ring.push_back frontend_q d;
               decr budget;
               (match uop.Trace.ctrl with
                | Trace.Not_ctrl -> mode := Fetch_correct (idx + 1)
@@ -657,7 +876,7 @@ let run (p : Params.t) ~(trace : Trace.uop array)
              if !continue_ then begin
                let d = mk_dyn ~uop ~wrong_path:true ~trace_idx:(-1) in
                incr wrong_fetched;
-               Queue.add d frontend_q;
+               Ring.push_back frontend_q d;
                decr budget;
                (match uop.Trace.ctrl with
                 | Trace.Not_ctrl -> mode := Fetch_wrong (pc + 4)
@@ -682,6 +901,37 @@ let run (p : Params.t) ~(trace : Trace.uop array)
     end
   in
 
+  (* ---------- CPI-stack classification ---------- *)
+  (* One bucket per cycle, judged at the head of the window after commit
+     and issue have run (see Stats and EXPERIMENTS.md for the
+     heuristics).  Observability only: no effect on simulated timing. *)
+  let classify_cycle () : Stats.bucket =
+    if !commits_now > 0 then Stats.Base
+    else if not (Ring.is_empty rob) then begin
+      let d = Ring.front rob in
+      if d.recovery_at >= 0 && !now < d.recovery_at then Stats.Branch_squash
+      else if d.issued then
+        (match d.uop.Trace.fu with
+         | Trace.FU_load | Trace.FU_store -> Stats.Memory
+         | _ -> Stats.Base)
+      else if d.n_unready > 0 then begin
+        (* a dependence stall: charge memory when waiting (directly) on
+           an in-flight load, otherwise count it against base ILP *)
+        let on_load =
+          List.exists
+            (fun s -> (win_get s).uop.Trace.fu = Trace.FU_load)
+            d.producers
+        in
+        if on_load then Stats.Memory else Stats.Base
+      end
+      else Stats.Structural
+    end
+    else if not (Ring.is_empty frontend_q) then
+      (if !now < !redirect_until then Stats.Branch_squash else Stats.Frontend)
+    else if !now < !redirect_until then Stats.Branch_squash
+    else Stats.Frontend
+  in
+
   (* ---------- watchdog ---------- *)
   (* Two trip wires: a total cycle budget scaled to the trace length, and
      a forward-progress limit (no commit for [watchdog_limit] cycles —
@@ -702,11 +952,11 @@ let run (p : Params.t) ~(trace : Trace.uop array)
         ("cycle", i !now);
         ("committed", i !committed);
         ("trace_length", i n_trace);
-        ("rob_occupancy", i (Queue.length rob));
-        ("iq_occupancy", i (List.length !iq));
-        ("ldq_occupancy", i (List.length !ldq));
-        ("stq_occupancy", i (List.length !stq));
-        ("frontend_occupancy", i (Queue.length frontend_q));
+        ("rob_occupancy", i (Ring.length rob));
+        ("iq_occupancy", i !iq_len);
+        ("ldq_occupancy", i (Ring.length ldq));
+        ("stq_occupancy", i (Ring.length stq));
+        ("frontend_occupancy", i (Ring.length frontend_q));
         ("free_regs", if is_rmt then i !free_regs else "n/a");
         ("fetch_mode",
          (match !mode with
@@ -718,18 +968,18 @@ let run (p : Params.t) ~(trace : Trace.uop array)
         ("pending_recoveries", i (List.length !recoveries));
         ("faults_injected", i (Inject.total inj));
         ("last_commits",
-         if Queue.is_empty last_commits then "none"
-         else
+         if !lc_n = 0 then "none"
+         else begin
+           let k = min !lc_n 8 in
            String.concat ","
-             (List.rev
-                (Queue.fold
-                   (fun acc (idx, pc) ->
-                      Printf.sprintf "%d:0x%x" idx pc :: acc)
-                   [] last_commits))) ]
+             (List.init k (fun j ->
+                  let i = (!lc_n - k + j) land 7 in
+                  Printf.sprintf "%d:0x%x" lc_idx.(i) lc_pc.(i)))
+         end) ]
     in
     let head =
-      if not (Queue.is_empty rob) then
-        let d = Queue.peek rob in
+      if not (Ring.is_empty rob) then
+        let d = Ring.front rob in
         [ ("stuck_at", "rob_head");
           ("head_seq", i d.seq);
           ("head_pc", Printf.sprintf "0x%x" d.uop.Trace.pc);
@@ -746,10 +996,10 @@ let run (p : Params.t) ~(trace : Trace.uop array)
                (List.map
                   (fun s ->
                      Printf.sprintf "%d%s" s
-                       (if Hashtbl.mem dyns s then "(inflight)" else ""))
+                       (if win_mem s then "(inflight)" else ""))
                   d.producers)) ]
-      else if not (Queue.is_empty frontend_q) then
-        let d = Queue.peek frontend_q in
+      else if not (Ring.is_empty frontend_q) then
+        let d = Ring.front frontend_q in
         [ ("stuck_at", "frontend_head");
           ("head_seq", i d.seq);
           ("head_pc", Printf.sprintf "0x%x" d.uop.Trace.pc);
@@ -769,18 +1019,27 @@ let run (p : Params.t) ~(trace : Trace.uop array)
         "pipeline deadlock: no commit for %d cycles (cycle %d, %d/%d \
          committed)"
         (!now - !last_commit_cycle) !now !committed n_trace;
+    drain_wheel ();
     (* process recovery events due this cycle, oldest faulting seq first *)
-    let due, later = List.partition (fun (c, _, _, _) -> c <= !now) !recoveries in
-    recoveries := later;
-    let due = List.sort (fun (_, s1, _, _) (_, s2, _, _) -> compare s1 s2) due in
-    List.iter
-      (fun (_, seqno, resume_idx, include_self) ->
-         match Hashtbl.find_opt dyns seqno with
-         | Some d -> do_recovery ~faulting:d ~resume_idx ~include_self
-         | None -> () (* already squashed by an older recovery *))
-      due;
+    if !recoveries <> [] then begin
+      let due, later =
+        List.partition (fun (c, _, _, _) -> c <= !now) !recoveries
+      in
+      recoveries := later;
+      let due =
+        List.sort (fun (_, s1, _, _) (_, s2, _, _) -> compare s1 s2) due
+      in
+      List.iter
+        (fun (_, seqno, resume_idx, include_self) ->
+           let d = win_get seqno in
+           if d != dummy then do_recovery ~faulting:d ~resume_idx ~include_self
+           (* otherwise: already squashed by an older recovery *))
+        due
+    end;
+    commits_now := 0;
     commit ();
     issue ();
+    Stats.charge cpi (classify_cycle ());
     dispatch ();
     fetch ();
     incr now
@@ -802,9 +1061,15 @@ let run (p : Params.t) ~(trace : Trace.uop array)
     l1i_misses = hier.Cache.l1i.Cache.misses;
     l1d_misses = hier.Cache.l1d.Cache.misses;
     l1d_accesses = hier.Cache.l1d.Cache.accesses;
-    mix = Hashtbl.fold (fun k v acc -> (k, v) :: acc) mix [];
+    mix =
+      (let acc = ref [] in
+       for i = 5 downto 0 do
+         if mix_counts.(i) > 0 then acc := (mix_labels.(i), mix_counts.(i)) :: !acc
+       done;
+       !acc);
     activity = act;
     ipc = float_of_int !committed /. float_of_int (max 1 !now);
     faults_injected = Inject.total inj;
     commits_checked =
-      (match checker with Some ck -> Checker.commits_checked ck | None -> 0) }
+      (match checker with Some ck -> Checker.commits_checked ck | None -> 0);
+    cpi_stack = Stats.freeze cpi }

@@ -44,6 +44,8 @@ type stats = {
   ipc : float;
   faults_injected : int;           (** fault-injection events fired *)
   commits_checked : int;           (** lockstep-checker validations; 0 = off *)
+  cpi_stack : Stats.cpi_stack;
+      (** per-cycle attribution; buckets sum to [cycles] *)
 }
 
 val run :

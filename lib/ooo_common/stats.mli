@@ -1,0 +1,78 @@
+(** Cycle accounting (CPI stack) and dependency-free JSON.
+
+    The engine attributes every simulated cycle to exactly one bucket, so
+    the buckets of a finished run always sum to the cycle count:
+
+    - [base]: cycles that committed at least one instruction, plus
+      head-of-ROB stalls on execution latency or true data dependences;
+    - [frontend]: the window is empty (or refilling) because fetch is the
+      limiter — instruction-cache misses and pipeline fill;
+    - [branch_squash]: redirect, recovery-walk, and refetch-refill cycles
+      after a misprediction, memory-order violation, or injected recovery;
+    - [memory]: the head of the ROB is a load/store waiting on the memory
+      hierarchy, or waits on an in-flight load's value;
+    - [structural]: the head is ready but not selected — issue-port
+      conflicts and the dispatch-to-issue depth.
+
+    See EXPERIMENTS.md ("Reading the CPI stack") for the heuristics. *)
+
+type cpi_stack = {
+  base : int;
+  frontend : int;
+  branch_squash : int;
+  memory : int;
+  structural : int;
+}
+
+val empty_cpi : cpi_stack
+
+val cpi_total : cpi_stack -> int
+(** Sum of all buckets; equals [stats.cycles] for an engine run. *)
+
+val cpi_to_assoc : cpi_stack -> (string * int) list
+(** Stable field order: base, frontend, branch_squash, memory,
+    structural. *)
+
+(** One-cycle classification, charged by the engine's per-cycle loop. *)
+type bucket = Base | Frontend | Branch_squash | Memory | Structural
+
+type cpi_acc
+(** Mutable accumulator; one per engine run. *)
+
+val fresh_acc : unit -> cpi_acc
+val charge : cpi_acc -> bucket -> unit
+val freeze : cpi_acc -> cpi_stack
+
+(** Minimal JSON tree with a printer and parser — the interchange format
+    of [bench --json], [straightsim -stats-json], and
+    [scripts/bench_gate].  No external dependency. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : ?indent:bool -> t -> string
+  (** [indent] defaults to [true] (pretty-printed, trailing newline). *)
+
+  exception Parse_error of string
+
+  val of_string : string -> t
+  (** @raise Parse_error on malformed input. *)
+
+  val member : string -> t -> t option
+  (** Field lookup on [Obj]; [None] otherwise. *)
+
+  val get_float : t option -> float option
+  (** Numeric coercion ([Int] or [Float]). *)
+
+  val get_int : t option -> int option
+  val get_string : t option -> string option
+  val get_list : t option -> t list option
+end
+
+val cpi_to_json : cpi_stack -> Json.t
