@@ -1,4 +1,4 @@
-.PHONY: check build test bench bench-json bench-gate fmt clean
+.PHONY: check build test bench bench-json bench-gate fuzz-smoke fmt clean
 
 check: build test
 
@@ -28,6 +28,13 @@ bench-gate: bench-json
 	  || { echo "bench-gate: retrying with a fresh measurement"; \
 	       $(MAKE) bench-json; \
 	       dune exec scripts/bench_gate.exe -- BENCH_baseline.json bench.json; }
+
+# Differential-fuzz smoke run: a fixed-seed batch (deterministic, so a
+# failure is reproducible by seed number) plus the binary verifier over
+# every benchmark image.
+fuzz-smoke:
+	dune exec bin/fuzz.exe -- -seed 1 -count 200
+	dune exec bin/fuzz.exe -- -lint-workloads
 
 clean:
 	dune clean

@@ -1,0 +1,232 @@
+(* fuzz — differential fuzzer and static verifier driver.
+
+   Default mode generates [count] seeded random MiniC programs starting
+   at [seed], runs each through every toolchain consumer (SSA
+   interpreter, straight_cc at both optimization levels and two max_dist
+   settings, riscv_cc) and compares console output, exit value and final
+   global memory against the unoptimized-interpreter reference; the
+   STRAIGHT images are additionally passed through the static linter.
+
+     fuzz -seed 1 -count 200            # a fixed, reproducible campaign
+     fuzz -seed 7 -count 1 -shrink      # minimize a known-bad seed
+     fuzz -lint-only -count 500         # linter coverage without execution
+     fuzz -lint-workloads               # verify every benchmark image
+     fuzz ... -json report.json         # machine-readable failure report *)
+
+let usage = "usage: fuzz [-seed N] [-count N] [-shrink] [-lint-only] [-lint-workloads] [-json FILE] [-v]"
+
+type failure = {
+  f_seed : int;
+  f_kind : string;                (* "diverged" | "crashed" | "lint" *)
+  f_detail : string list;
+  f_source : string;              (* MiniC source, "" for workload lints *)
+  f_minimized : string option;
+}
+
+let json_escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json (file : string) (failures : failure list) : unit =
+  let oc = open_out file in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"failures\": [";
+  List.iteri
+    (fun i f ->
+       if i > 0 then out ",";
+       out "\n    {\n";
+       out "      \"seed\": %d,\n" f.f_seed;
+       out "      \"kind\": \"%s\",\n" (json_escape f.f_kind);
+       out "      \"detail\": [%s],\n"
+         (String.concat ", "
+            (List.map (fun d -> "\"" ^ json_escape d ^ "\"") f.f_detail));
+       out "      \"source\": \"%s\"" (json_escape f.f_source);
+       (match f.f_minimized with
+        | Some m -> out ",\n      \"minimized\": \"%s\"\n" (json_escape m)
+        | None -> out "\n");
+       out "    }")
+    failures;
+  out "\n  ]\n}\n";
+  close_out oc
+
+(* Coarse failure fingerprint used by the shrinker: a candidate must
+   reproduce the same kind of failure on the same target.  (Field names
+   include memory indices that legitimately shift while shrinking, so
+   they are not part of the signature.) *)
+let signature (o : Fuzz.Diff.outcome) : string option =
+  match o with
+  | Fuzz.Diff.Agree _ -> None
+  | Fuzz.Diff.Diverged divs ->
+    let targets =
+      List.sort_uniq compare (List.map (fun d -> d.Fuzz.Diff.target) divs)
+    in
+    Some ("diverged:" ^ String.concat "," targets)
+  | Fuzz.Diff.Crashed { target; _ } -> Some ("crashed:" ^ target)
+
+let outcome_detail (o : Fuzz.Diff.outcome) : string list =
+  match o with
+  | Fuzz.Diff.Agree _ -> []
+  | Fuzz.Diff.Diverged divs ->
+    List.map (Format.asprintf "%a" Fuzz.Diff.pp_divergence) divs
+  | Fuzz.Diff.Crashed { target; message } ->
+    [ Printf.sprintf "%s: %s" target message ]
+
+(* Compile one source to STRAIGHT at both levels and lint the images;
+   also round-trip the RV32IM image.  Compile crashes are only reported
+   in lint-only mode: the differential run already reports them. *)
+let lint_source ~(report_crash : bool) (src : string) : string list =
+  let lint_one label image =
+    List.map
+      (fun f -> Printf.sprintf "%s: %a" label
+          (fun () -> Format.asprintf "%a" Straight_lint.Lint.pp_finding) f)
+      (Straight_lint.Lint.lint image)
+  in
+  let straight level label =
+    match Straight_core.Compile.to_straight ~max_dist:Straight_isa.Isa.max_dist ~level src with
+    | image, _ -> lint_one label image
+    | exception e when report_crash ->
+      [ Printf.sprintf "%s: compile crashed: %s" label (Printexc.to_string e) ]
+    | exception _ -> []
+  in
+  let riscv () =
+    match Straight_core.Compile.to_riscv src with
+    | image ->
+      List.map
+        (fun f -> Printf.sprintf "riscv: %a"
+            (fun () -> Format.asprintf "%a" Straight_lint.Lint.pp_finding) f)
+        (Straight_lint.Lint.lint_riscv_roundtrip image)
+    | exception e when report_crash ->
+      [ Printf.sprintf "riscv: compile crashed: %s" (Printexc.to_string e) ]
+    | exception _ -> []
+  in
+  straight Straight_cc.Codegen.Re_plus "straight-re+"
+  @ straight Straight_cc.Codegen.Raw "straight-raw"
+  @ riscv ()
+
+let lint_workloads () : failure list =
+  let workloads =
+    [ Workloads.dhrystone (); Workloads.coremark (); Workloads.fib ();
+      Workloads.iota (); Workloads.sort (); Workloads.quicksort ();
+      Workloads.pointer_chase () ]
+  in
+  List.filter_map
+    (fun (w : Workloads.t) ->
+       let findings =
+         List.map (fun d -> w.Workloads.name ^ ": " ^ d)
+           (lint_source ~report_crash:true w.Workloads.source)
+       in
+       if findings = [] then begin
+         Printf.printf "lint %-14s clean\n%!" w.Workloads.name;
+         None
+       end
+       else
+         Some { f_seed = -1; f_kind = "lint"; f_detail = findings;
+                f_source = ""; f_minimized = None })
+    workloads
+
+let () =
+  let seed = ref 1 in
+  let count = ref 100 in
+  let do_shrink = ref false in
+  let lint_only = ref false in
+  let workloads_only = ref false in
+  let json_file = ref "" in
+  let verbose = ref false in
+  Arg.parse
+    [ ("-seed", Arg.Set_int seed, "N  first seed (default 1)");
+      ("-count", Arg.Set_int count, "N  number of seeds (default 100)");
+      ("-shrink", Arg.Set do_shrink, "  minimize each failing program");
+      ("-lint-only", Arg.Set lint_only,
+       "  only lint the generated images, skip differential execution");
+      ("-lint-workloads", Arg.Set workloads_only,
+       "  lint every benchmark image from both back ends, then exit");
+      ("-json", Arg.Set_string json_file, "FILE  write a JSON failure report");
+      ("-v", Arg.Set verbose, "  print every seed as it runs") ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    usage;
+  let failures = ref [] in
+  if !workloads_only then failures := lint_workloads ()
+  else begin
+    for s = !seed to !seed + !count - 1 do
+      let prog = Fuzz.Gen.generate s in
+      let src = Fuzz.Gen.render prog in
+      if !verbose then Printf.printf "seed %d (%d bytes)\n%!" s (String.length src);
+      (* static verification of the images this seed produces *)
+      let lint_findings = lint_source ~report_crash:!lint_only src in
+      if lint_findings <> [] then
+        failures :=
+          { f_seed = s; f_kind = "lint"; f_detail = lint_findings;
+            f_source = src; f_minimized = None }
+          :: !failures;
+      (* differential execution *)
+      if not !lint_only then begin
+        match Fuzz.Diff.check src with
+        | Fuzz.Diff.Agree _ -> ()
+        | outcome ->
+          let sig_ = signature outcome in
+          let minimized =
+            if !do_shrink then begin
+              let still_fails p =
+                let src' = Fuzz.Gen.render p in
+                match signature (Fuzz.Diff.check src') with
+                | s' -> s' = sig_
+                | exception _ -> false
+              in
+              let small = Fuzz.Shrink.shrink ~still_fails prog in
+              Some (Fuzz.Gen.render small)
+            end
+            else None
+          in
+          let kind =
+            match outcome with
+            | Fuzz.Diff.Crashed _ -> "crashed"
+            | _ -> "diverged"
+          in
+          failures :=
+            { f_seed = s; f_kind = kind; f_detail = outcome_detail outcome;
+              f_source = src; f_minimized = minimized }
+            :: !failures
+      end
+    done
+  end;
+  let failures = List.rev !failures in
+  if !json_file <> "" then write_json !json_file failures;
+  match failures with
+  | [] ->
+    if not !workloads_only then
+      Printf.printf "fuzz: %d seeds from %d: all executions agree, images lint clean\n"
+        !count !seed;
+    exit 0
+  | fs ->
+    List.iter
+      (fun f ->
+         let d =
+           Diag.make ~context:[ ("seed", string_of_int f.f_seed) ]
+             Diag.Checker_divergence
+             (Printf.sprintf "%s (%d finding%s)" f.f_kind
+                (List.length f.f_detail)
+                (if List.length f.f_detail = 1 then "" else "s"))
+         in
+         Printf.eprintf "%s\n" (Diag.to_string d);
+         List.iter (fun line -> Printf.eprintf "  %s\n" line) f.f_detail;
+         if f.f_source <> "" then
+           Printf.eprintf "--- source (seed %d) ---\n%s" f.f_seed f.f_source;
+         (match f.f_minimized with
+          | Some m -> Printf.eprintf "--- minimized ---\n%s" m
+          | None -> ()))
+      fs;
+    Printf.eprintf "fuzz: %d failing seed%s\n" (List.length fs)
+      (if List.length fs = 1 then "" else "s");
+    exit (Diag.exit_code Diag.Checker_divergence)

@@ -1,0 +1,263 @@
+(* Seeded random MiniC program generator.
+
+   Programs are generated into a small structured AST (not raw text) so
+   the shrinker can delete and simplify statements; [render] turns it
+   into MiniC source for the toolchain.
+
+   Termination is guaranteed by construction:
+   - the only loop form is `for (int lv = 0; lv < k; lv = lv + 1)` with a
+     constant bound k and a loop variable no generated statement assigns;
+   - helper functions only call helpers defined strictly before them, so
+     the call graph is acyclic;
+   - division and remainder are safe because the shared semantics define
+     x/0 and x%0 (RV32M rules), so any operand is fine;
+   - array indices are masked to the (power-of-two) array length.
+
+   Shift amounts are deliberately drawn well outside [0,31] some of the
+   time: shift-by->=32 must agree between the interpreter, both
+   back-ends and both ISSes (the RV32IM encoder used to truncate them
+   silently). *)
+
+type expr =
+  | Const of int32
+  | Var of string
+  | Bin of string * expr * expr        (* rendered operator *)
+  | Un of string * expr
+  | Idx of string * int * expr         (* array, length mask, index *)
+  | CallH of string * expr list
+  | Tern of expr * expr * expr
+
+type stmt =
+  | Assign of string * expr
+  | Store of string * int * expr * expr  (* array, mask, index, value *)
+  | Print of expr
+  | If of expr * stmt list * stmt list
+  | Loop of string * int * stmt list     (* loop var, constant bound *)
+
+type helper = {
+  hname : string;
+  hparams : string list;
+  hlocals : (string * expr) list;
+  hbody : stmt list;
+  hret : expr;
+}
+
+type prog = {
+  globals : (string * int32) list;     (* int g = c; *)
+  arrays : (string * int) list;        (* int a[n];  n a power of two *)
+  helpers : helper list;
+  locals : (string * expr) list;       (* main's int x = e; *)
+  body : stmt list;
+  ret : expr;
+}
+
+(* ---------- generation ---------- *)
+
+type scope = {
+  rng : Rng.t;
+  reads : string list;                 (* variables readable here *)
+  writes : string list;                (* variables assignable here *)
+  arrs : (string * int) list;
+  callable : helper list;              (* helpers defined earlier *)
+  counter : int ref;                   (* fresh loop-variable names *)
+}
+
+let binops =
+  [ "+"; "+"; "-"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "<<"; ">>";
+    "=="; "!="; "<"; "<="; ">"; ">="; "&&"; "||" ]
+
+let shift_amounts = [ 0l; 1l; 2l; 3l; 4l; 7l; 15l; 31l; 32l; 33l; 63l;
+                      100l; -1l; -5l ]
+
+let rec gen_expr (s : scope) (depth : int) : expr =
+  let atom () =
+    if s.reads <> [] && Rng.chance s.rng 55 then Var (Rng.choose s.rng s.reads)
+    else Const (Rng.int32 s.rng)
+  in
+  if depth <= 0 then atom ()
+  else
+    match Rng.int s.rng 10 with
+    | 0 | 1 | 2 -> atom ()
+    | 3 | 4 | 5 ->
+      let op = Rng.choose s.rng binops in
+      let rhs =
+        if (op = "<<" || op = ">>") && Rng.chance s.rng 70 then
+          Const (Rng.choose s.rng shift_amounts)
+        else gen_expr s (depth - 1)
+      in
+      Bin (op, gen_expr s (depth - 1), rhs)
+    | 6 -> Un (Rng.choose s.rng [ "-"; "!"; "~" ], gen_expr s (depth - 1))
+    | 7 when s.arrs <> [] ->
+      let a, n = Rng.choose s.rng s.arrs in
+      Idx (a, n - 1, gen_expr s (depth - 1))
+    | 8 when s.callable <> [] ->
+      let h = Rng.choose s.rng s.callable in
+      CallH (h.hname, List.map (fun _ -> gen_expr s (depth - 1)) h.hparams)
+    | 9 ->
+      Tern (gen_expr s (depth - 1), gen_expr s (depth - 1),
+            gen_expr s (depth - 1))
+    | _ -> atom ()
+
+let rec gen_stmts (s : scope) ~(loop_depth : int) ~(budget : int) : stmt list =
+  if budget <= 0 then []
+  else begin
+    let stmt, cost =
+      match Rng.int s.rng 100 with
+      | k when k < 40 && s.writes <> [] ->
+        (Assign (Rng.choose s.rng s.writes, gen_expr s 3), 1)
+      | k when k < 55 && s.arrs <> [] ->
+        let a, n = Rng.choose s.rng s.arrs in
+        (Store (a, n - 1, gen_expr s 2, gen_expr s 3), 1)
+      | k when k < 70 ->
+        (Print (gen_expr s 2), 1)
+      | k when k < 85 ->
+        let cond = gen_expr s 2 in
+        let t = gen_stmts s ~loop_depth ~budget:(budget / 2) in
+        let e =
+          if Rng.bool s.rng then gen_stmts s ~loop_depth ~budget:(budget / 2)
+          else []
+        in
+        (If (cond, t, e), 1 + List.length t + List.length e)
+      | _ when loop_depth < 2 ->
+        let lv = Printf.sprintf "lv%d" (incr s.counter; !(s.counter)) in
+        let bound = Rng.range s.rng 1 8 in
+        let inner = { s with reads = lv :: s.reads } in
+        let b =
+          gen_stmts inner ~loop_depth:(loop_depth + 1) ~budget:(budget / 2)
+        in
+        (Loop (lv, bound, b), 2 + List.length b)
+      | _ -> (Print (gen_expr s 2), 1)
+    in
+    stmt :: gen_stmts s ~loop_depth ~budget:(budget - cost)
+  end
+
+let gen_helper (rng : Rng.t) (idx : int) (earlier : helper list)
+    (arrs : (string * int) list) : helper =
+  let hname = Printf.sprintf "h%d" idx in
+  let hparams = [ Printf.sprintf "p%d_0" idx; Printf.sprintf "p%d_1" idx ] in
+  let nloc = Rng.range rng 0 2 in
+  let pre_scope =
+    { rng; reads = hparams; writes = []; arrs; callable = earlier;
+      counter = ref (idx * 1000) }
+  in
+  let hlocals =
+    List.init nloc (fun i ->
+        (Printf.sprintf "t%d_%d" idx i, gen_expr pre_scope 2))
+  in
+  let names = hparams @ List.map fst hlocals in
+  let s = { pre_scope with reads = names; writes = names } in
+  let hbody = gen_stmts s ~loop_depth:1 ~budget:(Rng.range rng 0 4) in
+  { hname; hparams; hlocals; hbody; hret = gen_expr s 3 }
+
+(* [generate seed] builds a random program, reproducible from the seed. *)
+let generate (seed : int) : prog =
+  let rng = Rng.make seed in
+  let n_globals = Rng.range rng 1 3 in
+  let globals =
+    List.init n_globals (fun i -> (Printf.sprintf "g%d" i, Rng.int32 rng))
+  in
+  let n_arrays = Rng.range rng 0 2 in
+  let arrays =
+    List.init n_arrays (fun i ->
+        (Printf.sprintf "arr%d" i, Rng.choose rng [ 8; 16 ]))
+  in
+  let n_helpers = Rng.range rng 0 2 in
+  let helpers =
+    List.fold_left
+      (fun acc i -> acc @ [ gen_helper rng i acc arrays ])
+      []
+      (List.init n_helpers (fun i -> i))
+  in
+  let gnames = List.map fst globals in
+  let pre_scope =
+    { rng; reads = gnames; writes = []; arrs = arrays; callable = helpers;
+      counter = ref 1000000 }
+  in
+  let n_locals = Rng.range rng 2 4 in
+  let locals =
+    List.init n_locals (fun i ->
+        (Printf.sprintf "v%d" i, gen_expr pre_scope 2))
+  in
+  let names = gnames @ List.map fst locals in
+  let s = { pre_scope with reads = names; writes = names } in
+  let body = gen_stmts s ~loop_depth:0 ~budget:(Rng.range rng 4 12) in
+  (* make every scalar observable on the console, on top of the final
+     memory comparison that covers the arrays *)
+  let observers = List.map (fun n -> Print (Var n)) names in
+  { globals; arrays; helpers; locals; body = body @ observers;
+    ret = gen_expr s 2 }
+
+(* ---------- rendering to MiniC ---------- *)
+
+let render_const (c : int32) : string =
+  if c = Int32.min_int then "(-2147483647 - 1)"
+  else if Int32.compare c 0l < 0 then Printf.sprintf "(%ld)" c
+  else Int32.to_string c
+
+let rec render_expr = function
+  | Const c -> render_const c
+  | Var v -> v
+  | Bin (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (render_expr a) op (render_expr b)
+  | Un (op, a) -> Printf.sprintf "(%s%s)" op (render_expr a)
+  | Idx (a, mask, e) ->
+    Printf.sprintf "%s[(%s) & %d]" a (render_expr e) mask
+  | CallH (h, args) ->
+    Printf.sprintf "%s(%s)" h (String.concat ", " (List.map render_expr args))
+  | Tern (c, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (render_expr c) (render_expr a)
+      (render_expr b)
+
+let rec render_stmt (buf : Buffer.t) (indent : string) (st : stmt) : unit =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (indent ^ s ^ "\n")) fmt in
+  match st with
+  | Assign (v, e) -> line "%s = %s;" v (render_expr e)
+  | Store (a, mask, i, e) ->
+    line "%s[(%s) & %d] = %s;" a (render_expr i) mask (render_expr e)
+  | Print e -> line "putint(%s);" (render_expr e)
+  | If (c, t, e) ->
+    line "if (%s) {" (render_expr c);
+    List.iter (render_stmt buf (indent ^ "  ")) t;
+    if e <> [] then begin
+      line "} else {";
+      List.iter (render_stmt buf (indent ^ "  ")) e
+    end;
+    line "}"
+  | Loop (lv, bound, b) ->
+    line "for (int %s = 0; %s < %d; %s = %s + 1) {" lv lv bound lv lv;
+    List.iter (render_stmt buf (indent ^ "  ")) b;
+    line "}"
+
+let render (p : prog) : string =
+  let buf = Buffer.create 1024 in
+  (* the global-initializer grammar is just [- NUM]: no parentheses *)
+  List.iter
+    (fun (g, c) ->
+       Buffer.add_string buf (Printf.sprintf "int %s = %ld;\n" g c))
+    p.globals;
+  List.iter
+    (fun (a, n) -> Buffer.add_string buf (Printf.sprintf "int %s[%d];\n" a n))
+    p.arrays;
+  List.iter
+    (fun h ->
+       Buffer.add_string buf
+         (Printf.sprintf "int %s(%s) {\n" h.hname
+            (String.concat ", "
+               (List.map (fun p -> "int " ^ p) h.hparams)));
+       List.iter
+         (fun (t, e) ->
+            Buffer.add_string buf
+              (Printf.sprintf "  int %s = %s;\n" t (render_expr e)))
+         h.hlocals;
+       List.iter (render_stmt buf "  ") h.hbody;
+       Buffer.add_string buf
+         (Printf.sprintf "  return %s;\n}\n" (render_expr h.hret)))
+    p.helpers;
+  Buffer.add_string buf "int main() {\n";
+  List.iter
+    (fun (v, e) ->
+       Buffer.add_string buf (Printf.sprintf "  int %s = %s;\n" v (render_expr e)))
+    p.locals;
+  List.iter (render_stmt buf "  ") p.body;
+  Buffer.add_string buf (Printf.sprintf "  return %s;\n}\n" (render_expr p.ret));
+  Buffer.contents buf

@@ -1,0 +1,39 @@
+(* Seeded splitmix64 PRNG (the same generator [Ooo_common.Inject] uses):
+   every fuzzing campaign is reproducible from its integer seed alone. *)
+
+type t = { mutable state : int64 }
+
+let make (seed : int) : t = { state = Int64.of_int ((seed * 2) + 1) }
+
+(* splitmix64 step, truncated to a nonnegative OCaml int. *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int (Int64.logand z 0x3FFF_FFFF_FFFF_FFFFL)
+
+(* [int t n] draws uniformly from [0, n). *)
+let int t n = if n <= 0 then 0 else next t mod n
+
+(* [range t lo hi] draws uniformly from [lo, hi] inclusive. *)
+let range t lo hi = lo + int t (hi - lo + 1)
+
+let bool t = int t 2 = 1
+
+(* [chance t pct] is true with probability pct/100. *)
+let chance t pct = int t 100 < pct
+
+let choose t (l : 'a list) : 'a = List.nth l (int t (List.length l))
+
+(* A full-width int32, biased toward interesting boundary values. *)
+let int32 t : int32 =
+  if chance t 40 then
+    choose t
+      [ 0l; 1l; 2l; -1l; -2l; 7l; 8l; 31l; 32l; 33l; 100l; 255l; 256l;
+        1000l; 32767l; 32768l; -32768l; -32769l; 65535l; 0xFFFFl;
+        Int32.max_int; Int32.min_int; 0x7FFFF000l; -2048l; 2047l; 2048l ]
+  else Int32.of_int (next t land 0xFFFFFFFF)

@@ -1,0 +1,239 @@
+(* Greedy structural shrinker for generated programs.
+
+   [shrink ~still_fails p] repeatedly applies the first one-step
+   reduction whose result still satisfies [still_fails], until no
+   reduction does (or the evaluation budget runs out).  Reductions only
+   ever delete or simplify, so the process terminates; candidates that
+   break scoping (e.g. deleting a still-referenced declaration) simply
+   fail the predicate — the caller's failure signature distinguishes the
+   original bug from a fresh frontend error — and are skipped. *)
+
+open Gen
+
+(* ---------- variable substitution (for deleting declarations) ---------- *)
+
+let rec subst_expr (name : string) (repl : expr) (e : expr) : expr =
+  let s = subst_expr name repl in
+  match e with
+  | Var v when v = name -> repl
+  | Var _ | Const _ -> e
+  | Bin (op, a, b) -> Bin (op, s a, s b)
+  | Un (op, a) -> Un (op, s a)
+  | Idx (a, m, i) -> Idx (a, m, s i)
+  | CallH (h, args) -> CallH (h, List.map s args)
+  | Tern (c, a, b) -> Tern (s c, s a, s b)
+
+let rec subst_stmt (name : string) (repl : expr) (st : stmt) : stmt =
+  let se = subst_expr name repl in
+  let ss = List.map (subst_stmt name repl) in
+  match st with
+  | Assign (v, e) -> Assign (v, se e)
+  | Store (a, m, i, e) -> Store (a, m, se i, se e)
+  | Print e -> Print (se e)
+  | If (c, t, e) -> If (se c, ss t, ss e)
+  | Loop (lv, k, b) -> Loop (lv, k, ss b)
+
+(* Replace every call to helper [h] by [repl]. *)
+let rec drop_call_expr (h : string) (repl : expr) (e : expr) : expr =
+  let s = drop_call_expr h repl in
+  match e with
+  | CallH (h', _) when h' = h -> repl
+  | CallH (h', args) -> CallH (h', List.map s args)
+  | Var _ | Const _ -> e
+  | Bin (op, a, b) -> Bin (op, s a, s b)
+  | Un (op, a) -> Un (op, s a)
+  | Idx (a, m, i) -> Idx (a, m, s i)
+  | Tern (c, a, b) -> Tern (s c, s a, s b)
+
+let rec drop_call_stmt (h : string) (repl : expr) (st : stmt) : stmt =
+  let se = drop_call_expr h repl in
+  let ss = List.map (drop_call_stmt h repl) in
+  match st with
+  | Assign (v, e) -> Assign (v, se e)
+  | Store (a, m, i, e) -> Store (a, m, se i, se e)
+  | Print e -> Print (se e)
+  | If (c, t, e) -> If (se c, ss t, ss e)
+  | Loop (lv, k, b) -> Loop (lv, k, ss b)
+
+(* ---------- one-step reductions ---------- *)
+
+(* Replace an expression by a constant or by one of its own subtrees, or
+   reduce inside it. *)
+let rec expr_reductions (e : expr) : expr list =
+  let subs =
+    match e with
+    | Const _ | Var _ -> []
+    | Bin (_, a, b) -> [ a; b ]
+    | Un (_, a) -> [ a ]
+    | Idx (_, _, i) -> [ i ]
+    | CallH (_, args) -> args
+    | Tern (c, a, b) -> [ c; a; b ]
+  in
+  let to_zero = match e with Const 0l -> [] | _ -> [ Const 0l ] in
+  let inner =
+    match e with
+    | Const _ | Var _ -> []
+    | Bin (op, a, b) ->
+      List.map (fun a' -> Bin (op, a', b)) (expr_reductions a)
+      @ List.map (fun b' -> Bin (op, a, b')) (expr_reductions b)
+    | Un (op, a) -> List.map (fun a' -> Un (op, a')) (expr_reductions a)
+    | Idx (a, m, i) -> List.map (fun i' -> Idx (a, m, i')) (expr_reductions i)
+    | CallH (h, args) ->
+      List.concat
+        (List.mapi
+           (fun i a ->
+              List.map
+                (fun a' ->
+                   CallH (h, List.mapi (fun j x -> if i = j then a' else x) args))
+                (expr_reductions a))
+           args)
+    | Tern (c, a, b) ->
+      List.map (fun c' -> Tern (c', a, b)) (expr_reductions c)
+      @ List.map (fun a' -> Tern (c, a', b)) (expr_reductions a)
+      @ List.map (fun b' -> Tern (c, a, b')) (expr_reductions b)
+  in
+  to_zero @ subs @ inner
+
+let rec stmts_reductions (sts : stmt list) : stmt list list =
+  match sts with
+  | [] -> []
+  | st :: rest ->
+    (rest :: List.map (fun sts' -> sts' @ rest) (stmt_unwraps st))
+    @ List.map (fun st' -> st' :: rest) (stmt_reductions st)
+    @ List.map (fun rest' -> st :: rest') (stmts_reductions rest)
+
+and stmt_reductions (st : stmt) : stmt list =
+  match st with
+  | Assign (v, e) -> List.map (fun e' -> Assign (v, e')) (expr_reductions e)
+  | Store (a, m, i, e) ->
+    List.map (fun i' -> Store (a, m, i', e)) (expr_reductions i)
+    @ List.map (fun e' -> Store (a, m, i, e')) (expr_reductions e)
+  | Print e -> List.map (fun e' -> Print e') (expr_reductions e)
+  | If (c, t, e) ->
+    List.map (fun c' -> If (c', t, e)) (expr_reductions c)
+    @ List.map (fun t' -> If (c, t', e)) (stmts_reductions t)
+    @ List.map (fun e' -> If (c, t, e')) (stmts_reductions e)
+  | Loop (lv, k, b) ->
+    (if k > 1 then [ Loop (lv, 1, b) ] else [])
+    @ List.map (fun b' -> Loop (lv, k, b')) (stmts_reductions b)
+
+(* Flattening a control statement into the surrounding list. *)
+and stmt_unwraps (st : stmt) : stmt list list =
+  match st with
+  | If (_, t, e) -> List.filter (fun l -> l <> []) [ t; e ]
+  | Loop (lv, _, b) -> [ List.map (subst_stmt lv (Const 0l)) b ]
+  | _ -> []
+
+let prog_reductions (p : prog) : prog list =
+  (* drop a helper, replacing its calls by 0 *)
+  let drop_helper h =
+    { p with
+      helpers =
+        List.filter_map
+          (fun h' ->
+             if h'.hname = h.hname then None
+             else
+               Some
+                 { h' with
+                   hlocals =
+                     List.map
+                       (fun (t, e) -> (t, drop_call_expr h.hname (Const 0l) e))
+                       h'.hlocals;
+                   hbody =
+                     List.map (drop_call_stmt h.hname (Const 0l)) h'.hbody;
+                   hret = drop_call_expr h.hname (Const 0l) h'.hret })
+          p.helpers;
+      locals =
+        List.map (fun (v, e) -> (v, drop_call_expr h.hname (Const 0l) e)) p.locals;
+      body = List.map (drop_call_stmt h.hname (Const 0l)) p.body;
+      ret = drop_call_expr h.hname (Const 0l) p.ret }
+  in
+  (* drop a main local, substituting 0 for its uses *)
+  let drop_local v =
+    { p with
+      locals =
+        List.filter (fun (v', _) -> v' <> v) p.locals
+        |> List.map (fun (v', e) -> (v', subst_expr v (Const 0l) e));
+      body = List.map (subst_stmt v (Const 0l)) p.body;
+      ret = subst_expr v (Const 0l) p.ret }
+  in
+  let drop_global g =
+    { p with
+      globals = List.filter (fun (g', _) -> g' <> g) p.globals;
+      locals = List.map (fun (v, e) -> (v, subst_expr g (Const 0l) e)) p.locals;
+      helpers =
+        List.map
+          (fun h ->
+             { h with
+               hlocals =
+                 List.map (fun (t, e) -> (t, subst_expr g (Const 0l) e)) h.hlocals;
+               hbody = List.map (subst_stmt g (Const 0l)) h.hbody;
+               hret = subst_expr g (Const 0l) h.hret })
+          p.helpers;
+      body = List.map (subst_stmt g (Const 0l)) p.body;
+      ret = subst_expr g (Const 0l) p.ret }
+  in
+  List.map drop_helper p.helpers
+  @ List.map (fun (v, _) -> drop_local v) p.locals
+  @ List.map (fun (g, _) -> drop_global g) p.globals
+  @ List.map (fun body' -> { p with body = body' }) (stmts_reductions p.body)
+  @ List.map (fun r -> { p with ret = r }) (expr_reductions p.ret)
+  @ List.concat
+      (List.map
+         (fun (v, e) ->
+            List.map
+              (fun e' ->
+                 { p with
+                   locals =
+                     List.map
+                       (fun (v', e0) -> if v' = v then (v', e') else (v', e0))
+                       p.locals })
+              (expr_reductions e))
+         p.locals)
+  @ List.concat
+      (List.mapi
+         (fun i h ->
+            let with_h h' =
+              { p with
+                helpers = List.mapi (fun j x -> if i = j then h' else x) p.helpers }
+            in
+            List.map (fun b' -> with_h { h with hbody = b' })
+              (stmts_reductions h.hbody)
+            @ List.map (fun r' -> with_h { h with hret = r' })
+                (expr_reductions h.hret)
+            @ List.concat
+                (List.map
+                   (fun (t, e) ->
+                      List.map
+                        (fun e' ->
+                           with_h
+                             { h with
+                               hlocals =
+                                 List.map
+                                   (fun (t', e0) ->
+                                      if t' = t then (t', e') else (t', e0))
+                                   h.hlocals })
+                        (expr_reductions e))
+                   h.hlocals))
+         p.helpers)
+
+(* ---------- the greedy loop ---------- *)
+
+(* [shrink ?budget ~still_fails p] greedily minimizes [p].  [budget]
+   bounds the number of predicate evaluations (each one is a full
+   differential run). *)
+let shrink ?(budget = 600) ~(still_fails : prog -> bool) (p : prog) : prog =
+  let fuel = ref budget in
+  let rec loop p =
+    let rec try_candidates = function
+      | [] -> p
+      | c :: rest ->
+        if !fuel <= 0 then p
+        else begin
+          decr fuel;
+          if still_fails c then loop c else try_candidates rest
+        end
+    in
+    try_candidates (prog_reductions p)
+  in
+  loop p

@@ -23,7 +23,16 @@ let decode_text (image : Image.t) : Isa.resolved array =
            (image.Image.text_base + (4 * i)))
     image.Image.text
 
-let run ?(config = default_config) (image : Image.t) : Trace.run =
+(* Full outcome of a run: the trace plus the final architectural state,
+   for differential comparison against the other executions of the same
+   program (the fuzzer compares exit values and final memory). *)
+type outcome = {
+  run : Trace.run;
+  mem : Memory.t;
+  regs : int32 array;
+}
+
+let run_outcome ?(config = default_config) (image : Image.t) : outcome =
   let code = decode_text image in
   let mem = Memory.create () in
   Memory.load_image mem image;
@@ -112,7 +121,15 @@ let run ?(config = default_config) (image : Image.t) : Trace.run =
     incr count;
     pc := !next
   done;
-  { Trace.output = Memory.output mem;
-    retired = !count;
-    trace = Array.of_list (List.rev !uops);
-    dist_histogram = [||] }
+  { run =
+      { Trace.output = Memory.output mem;
+        retired = !count;
+        trace = Array.of_list (List.rev !uops);
+        dist_histogram = [||] };
+    mem;
+    regs }
+
+let run ?config (image : Image.t) : Trace.run = (run_outcome ?config image).run
+
+(* Exit value of a completed run: main's return register a0. *)
+let exit_value (o : outcome) : int32 = o.regs.(10)

@@ -13,3 +13,18 @@ val run : ?config:config -> Assembler.Image.t -> Trace.run
     @raise Diag.Error with code [Fuel_exhausted] (context carries the
     retired count) on budget overrun, or [Mem_unaligned]/[Mem_mmio] on
     memory faults. *)
+
+(** Trace plus final architectural state, for differential comparison
+    against the other executions of the same program. *)
+type outcome = {
+  run : Trace.run;
+  mem : Memory.t;       (** final memory *)
+  regs : int32 array;   (** final register file, x0..x31 *)
+}
+
+val run_outcome : ?config:config -> Assembler.Image.t -> outcome
+(** Like {!run}, but also exposes the final memory and registers.
+    @raise Exec_error / Diag.Error as {!run}. *)
+
+val exit_value : outcome -> int32
+(** [main]'s return value: register a0 at [ebreak]. *)

@@ -239,6 +239,8 @@ let run_session ?(until = max_int) (s : session) : unit =
     step s
   done
 
+let session_memory (s : session) : Memory.t = s.mem
+
 let finish (s : session) : Trace.run =
   { Trace.output = Memory.output s.mem;
     retired = s.count;
@@ -250,6 +252,13 @@ let run ?(config = default_config) (image : Image.t) : Trace.run =
   let s = start ~config image in
   run_session s;
   finish s
+
+(* Exit value of a halted session.  The startup stub is
+   [_start: JAL f_main; HALT] and the epilogue places the return value
+   immediately before JR, so once HALT retires the three youngest slots
+   are HALT, JR, retval — main's result sits at distance 3. *)
+let exit_value (s : session) : int32 =
+  if s.count < 3 then 0l else s.regs.((s.count - 3) land ring_mask)
 
 (* [run_with_interrupt ~at image] takes a precise interrupt after [at]
    retired instructions: the session is checkpointed, destroyed, and

@@ -39,6 +39,16 @@ val run_session : ?until:int -> session -> unit
 
 val finish : session -> Trace.run
 
+val session_memory : session -> Memory.t
+(** The session's (shared, mutable) memory — inspect after HALT for
+    differential comparison of final data. *)
+
+val exit_value : session -> int32
+(** [main]'s return value after a completed run of a compiled image: the
+    startup stub is [_start: JAL f_main; HALT] and the epilogue places
+    the return value immediately before JR, so it sits at distance 3
+    once HALT has retired. *)
+
 (** The precise architectural state at an instruction boundary:
     [a_window.(i)] is the register value at distance [i + 1]. *)
 type arch_state = {

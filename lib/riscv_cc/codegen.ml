@@ -115,16 +115,26 @@ let commutative : Ir.binop -> bool = function
   | Ir.Add | Ir.Mul | Ir.And | Ir.Or | Ir.Xor -> true
   | _ -> false
 
+(* Shift-by-constant is defined modulo 32 (eval_alu reads only the low
+   five bits); the encoder rejects anything outside [0,31], so reduce the
+   immediate before selecting the register-immediate form. *)
+let norm_binop_imm (op : Ir.binop) (c : int32) : int32 =
+  match op with
+  | Ir.Shl | Ir.Lshr | Ir.Ashr -> Int32.logand c 31l
+  | _ -> c
+
 let sel_binop ctx rd op (a : Ir.operand) (b : Ir.operand) =
   let imm_ok c =
     match alui_of_binop op with
-    | Some _ -> fits_imm12 c
+    | Some _ -> fits_imm12 (norm_binop_imm op c)
     | None -> op = Ir.Sub && fits_imm12 (Int32.neg c)
   in
   match a, b with
   | Ir.Val va, Ir.Const c when imm_ok c ->
     (match alui_of_binop op with
-     | Some aop -> emitv ctx (Isa.Alui (aop, rd, vreg_of ctx va, Int32.to_int c))
+     | Some aop ->
+       emitv ctx
+         (Isa.Alui (aop, rd, vreg_of ctx va, Int32.to_int (norm_binop_imm op c)))
      | None ->
        emitv ctx
          (Isa.Alui (Isa.Addi, rd, vreg_of ctx va, -Int32.to_int c)))

@@ -16,6 +16,16 @@ let check_signed what bits v =
   let lim = 1 lsl (bits - 1) in
   if v < -lim || v >= lim then bad "%s immediate %d out of signed %d bits" what v bits
 
+(* Shift amounts live in the 5-bit rs2 field; anything outside [0,31] has
+   no encoding (RV32I reserves shamt[5] != 0) and must be rejected rather
+   than silently truncated. *)
+let check_shamt what v =
+  if v < 0 || v > 31 then bad "%s shift amount %d out of [0,31]" what v
+
+(* U-format carries an unsigned 20-bit immediate. *)
+let check_imm20 what v =
+  if v < 0 || v > 0xFFFFF then bad "%s immediate %d out of 20 bits" what v
+
 let enc_r ~funct7 ~funct3 ~opcode rd rs1 rs2 =
   (funct7 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
   lor (rd lsl 7) lor opcode
@@ -70,8 +80,14 @@ let alui_funct3 = function
 let encode (insn : resolved) : int32 =
   let w =
     match insn with
-    | Lui (rd, i) -> enc_u ~opcode:0x37 rd (Int32.to_int i land 0xFFFFF)
-    | Auipc (rd, i) -> enc_u ~opcode:0x17 rd (Int32.to_int i land 0xFFFFF)
+    | Lui (rd, i) ->
+      let i = Int32.to_int i in
+      check_imm20 "lui" i;
+      enc_u ~opcode:0x37 rd i
+    | Auipc (rd, i) ->
+      let i = Int32.to_int i in
+      check_imm20 "auipc" i;
+      enc_u ~opcode:0x17 rd i
     | Jal (rd, off) -> enc_j ~opcode:0x6F rd off
     | Jalr (rd, rs1, imm) -> enc_i ~funct3:0 ~opcode:0x67 rd rs1 imm
     | Branch (c, rs1, rs2, off) ->
@@ -80,9 +96,9 @@ let encode (insn : resolved) : int32 =
     | Sw (rs2, rs1, imm) -> enc_s ~funct3:2 ~opcode:0x23 rs1 rs2 imm
     | Alui (op, rd, rs1, imm) ->
       (match op with
-       | Slli -> enc_r ~funct7:0 ~funct3:1 ~opcode:0x13 rd rs1 (mask 5 imm)
-       | Srli -> enc_r ~funct7:0 ~funct3:5 ~opcode:0x13 rd rs1 (mask 5 imm)
-       | Srai -> enc_r ~funct7:0x20 ~funct3:5 ~opcode:0x13 rd rs1 (mask 5 imm)
+       | Slli -> check_shamt "slli" imm; enc_r ~funct7:0 ~funct3:1 ~opcode:0x13 rd rs1 imm
+       | Srli -> check_shamt "srli" imm; enc_r ~funct7:0 ~funct3:5 ~opcode:0x13 rd rs1 imm
+       | Srai -> check_shamt "srai" imm; enc_r ~funct7:0x20 ~funct3:5 ~opcode:0x13 rd rs1 imm
        | _ -> enc_i ~funct3:(alui_funct3 op) ~opcode:0x13 rd rs1 imm)
     | Alu (op, rd, rs1, rs2) ->
       let funct7, funct3 = alu_functs op in

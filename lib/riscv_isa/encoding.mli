@@ -4,8 +4,8 @@ exception Encode_error of string
 
 val encode : Isa.resolved -> int32
 (** [encode insn] produces the 32-bit RISC-V machine word.
-    @raise Encode_error when an immediate does not fit its field or a
-    branch/jump offset is odd. *)
+    @raise Encode_error when an immediate does not fit its field, a
+    branch/jump offset is odd, or a shift amount is outside [0,31]. *)
 
 val decode : int32 -> Isa.resolved option
 (** [decode w] is the inverse of {!encode}; [None] on unsupported words. *)

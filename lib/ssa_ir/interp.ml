@@ -109,9 +109,17 @@ let rec call st (f : func) (args : int32 list) : int32 =
   st.sp <- frame_base + f.frame_bytes;
   result
 
-(* [run p] interprets the program from [main] and returns (console output,
-   main's return value). *)
-let run ?(max_steps = 50_000_000) (p : program) : string * int32 =
+(* Final state of an interpreted program: console output, main's return
+   value, and a word-granular reader over the final memory (used by the
+   differential fuzzer to compare global data against the ISS runs). *)
+type snapshot = {
+  output : string;
+  ret : int32;
+  read_word : int -> int32;      (* byte address -> word, 0 if untouched *)
+  global_addr : string -> int option;
+}
+
+let run_snapshot ?(max_steps = 50_000_000) (p : program) : snapshot =
   let st =
     { mem = Hashtbl.create 1024;
       console = Buffer.create 256;
@@ -139,4 +147,17 @@ let run ?(max_steps = 50_000_000) (p : program) : string * int32 =
     | None -> fail "no main"
   in
   let ret = call st main [] in
-  (Buffer.contents st.console, ret)
+  { output = Buffer.contents st.console;
+    ret;
+    read_word =
+      (fun addr ->
+         match Hashtbl.find_opt st.mem (addr lsr 2) with
+         | Some v -> v
+         | None -> 0l);
+    global_addr = (fun sym -> Hashtbl.find_opt st.globals sym) }
+
+(* [run p] interprets the program from [main] and returns (console output,
+   main's return value). *)
+let run ?max_steps (p : program) : string * int32 =
+  let s = run_snapshot ?max_steps p in
+  (s.output, s.ret)

@@ -14,3 +14,16 @@ val run : ?max_steps:int -> Ir.program -> string * int32
     and [main]'s return value.
     @raise Interp_error on unknown globals/functions, unaligned accesses,
     or when [max_steps] (default 50M) is exceeded. *)
+
+(** Final state of an interpreted program, for differential comparison
+    against the compiled executions of the same source. *)
+type snapshot = {
+  output : string;               (** console output *)
+  ret : int32;                   (** [main]'s return value *)
+  read_word : int -> int32;      (** byte address -> word, 0 if untouched *)
+  global_addr : string -> int option;  (** data-symbol byte address *)
+}
+
+val run_snapshot : ?max_steps:int -> Ir.program -> snapshot
+(** Like {!run}, but also exposes the final memory.
+    @raise Interp_error as {!run}. *)

@@ -94,6 +94,14 @@ type fstate = {
   merge_frames : (int, int list) Hashtbl.t; (* block idx -> ordered frame *)
 }
 
+(* The short-form ST encodes a signed 6-bit *word* offset: the byte
+   offset must be word aligned on top of the range check, or the encoder
+   rejects the instruction long after codegen committed to it. *)
+let st_short_form (off : int) : bool =
+  off land 3 = 0
+  && off >= Straight_isa.Encoding.st_min_offset
+  && off <= Straight_isa.Encoding.st_max_offset
+
 let label_of st bid = Printf.sprintf ".L%s_%d" st.func.Ir.name bid
 let func_label name = "f_" ^ name
 
@@ -206,9 +214,7 @@ let spill_pressure st ~(live : int list) ~(headroom : int) =
            if d < 1 || d > st.cfgc.max_dist then
              fail "%s: pressure spill of value %d at distance %d"
                st.func.Ir.name v d;
-           if off >= Straight_isa.Encoding.st_min_offset
-              && off <= Straight_isa.Encoding.st_max_offset
-           then
+           if st_short_form off then
              ignore
                (emit_raw st
                   (Isa.St (d, st.idx - Hashtbl.find st.pos vk_frame_base, off)))
@@ -312,13 +318,6 @@ let materialize_const st (c : int32) : int =
   end;
   t
 
-(* Number of instructions [materialize_const] will take (used to plan
-   contiguous sequences). *)
-let const_cost (c : int32) =
-  if fits_imm16 c then 1
-  else if Int32.logand c 0xFFFl = 0l then 1
-  else 2
-
 (* Resolve an operand to a value key holding it, materializing constants. *)
 let operand_value st (op : Ir.operand) : int =
   match op with
@@ -337,6 +336,14 @@ let alui_of_binop : Ir.binop -> Isa.alui_op option = function
   | Ir.Ashr -> Some Isa.Srai
   | _ -> None
 
+(* Shift-by-constant is defined modulo 32 (eval_alu reads only the low
+   five bits); the encoder rejects SLLi/SRLi/SRAi immediates outside
+   [0,31], so reduce before emitting the immediate form. *)
+let norm_binop_imm (op : Ir.binop) (c : int32) : int32 =
+  match op with
+  | Ir.Shl | Ir.Lshr | Ir.Ashr -> Int32.logand c 31l
+  | _ -> c
+
 let alu_of_binop : Ir.binop -> Isa.alu_op = function
   | Ir.Add -> Isa.Add | Ir.Sub -> Isa.Sub | Ir.Mul -> Isa.Mul
   | Ir.Div -> Isa.Div | Ir.Divu -> Isa.Divu | Ir.Rem -> Isa.Rem
@@ -351,6 +358,7 @@ let commutative : Ir.binop -> bool = function
 (* Emit `result := binop a b` and return the defining index. *)
 let emit_binop st op (a : Ir.operand) (b : Ir.operand) : int =
   let imm_form v c =
+    let c = norm_binop_imm op c in
     match alui_of_binop op with
     | Some aop when fits_imm16 c ->
       (* headroom first: a refresh batch would invalidate distances
@@ -489,9 +497,7 @@ let frame_base st : int =
 
 let emit_store_to_frame st ~value_key ~offset =
   let fb = frame_base st in
-  if offset >= Straight_isa.Encoding.st_min_offset
-     && offset <= Straight_isa.Encoding.st_max_offset
-  then begin
+  if st_short_form offset then begin
     ensure_headroom st 1;
     ignore (emit_raw st (Isa.St (dist_exn st value_key, dist_exn st fb, offset)))
   end
@@ -578,7 +584,7 @@ let sinkable_inst (inst : Ir.inst) =
   match inst with
   | Ir.Bin (op, Ir.Val _, Ir.Const c) ->
     (match alui_of_binop op with
-     | Some _ -> fits_imm16 c
+     | Some _ -> fits_imm16 (norm_binop_imm op c)
      | None -> op = Ir.Sub && fits_imm16 (Int32.neg c))
   | Ir.Bin (_, Ir.Val _, Ir.Val _) -> true
   | Ir.Bin (op, Ir.Const c, Ir.Val _) ->
@@ -747,9 +753,7 @@ let emit_ir_inst st (v : Ir.value) (inst : Ir.inst)
         ensure_headroom st 1;
         emit_raw st (Isa.St (dist_exn st xv, dist_exn st t, 0))
       | Ir.Val a ->
-        if off >= Straight_isa.Encoding.st_min_offset
-           && off <= Straight_isa.Encoding.st_max_offset
-        then begin
+        if st_short_form off then begin
           ensure_headroom st 1;
           emit_raw st (Isa.St (dist_exn st xv, dist_exn st a, off))
         end
@@ -811,12 +815,15 @@ let emit_call st (v : Ir.value) fname (args : Ir.operand list)
     spills;
   if st.ra_live then
     emit_store_to_frame st ~value_key:vk_retaddr ~offset:(slot_of vk_retaddr);
-  (* 2. pre-materialize argument constants that need two instructions *)
+  (* 2. pre-materialize argument constants the inline ADDi form below
+     cannot carry.  "One instruction to materialize" is the wrong test
+     here: a LUI-able constant (low 12 bits clear, e.g. 0x80000000)
+     costs one instruction but still does not fit the ADDi imm16. *)
   let args =
     List.map
       (fun a ->
          match a with
-         | Ir.Const c when const_cost c > 1 -> Ir.Val (materialize_const st c)
+         | Ir.Const c when not (fits_imm16 c) -> Ir.Val (materialize_const st c)
          | _ -> a)
       args
   in
@@ -1127,7 +1134,8 @@ let emit_tail st (plan : block_plan) ~(succ_label : string)
               emit_raw st (Isa.Alu (alu_of_binop op, dist_exn st a, dist_exn st b))
             | Ir.Bin (op, Ir.Val a, Ir.Const c) ->
               (match alui_of_binop op with
-               | Some aop -> emit_raw st (Isa.Alui (aop, dist_exn st a, c))
+               | Some aop ->
+                 emit_raw st (Isa.Alui (aop, dist_exn st a, norm_binop_imm op c))
                | None ->
                  assert (op = Ir.Sub);
                  emit_raw st (Isa.Alui (Isa.Addi, dist_exn st a, Int32.neg c)))
@@ -1269,25 +1277,27 @@ let emit_block st (plans : block_plan array) (edge_env : (int, env_snapshot) Has
   | Ir.Cond_br (c, t1, t2) ->
     (match c with Ir.Val w -> ensure_positioned st w | Ir.Const _ -> ());
     let cv = operand_value st c in
-    consume st cv;
+    (* NOT consumed yet: the headroom refresh below must still count the
+       condition as live, or its RMOV batch strands it out of range *)
     let i1 = Analysis.block_index st.cfg t1 in
     let i2 = Analysis.block_index st.cfg t2 in
     if Hashtbl.mem st.merge_frames i1 || Hashtbl.mem st.merge_frames i2 then
       fail "%s: conditional branch into merge block (critical edge not split)"
         st.func.Ir.name;
     ensure_headroom st 2;
-    if is_next i1 then begin
-      (* invert: branch to t2 when the condition is zero *)
-      ignore (emit_raw st (Isa.Bez (dist_exn st cv, lbl i2)));
-      Hashtbl.replace edge_env i2 (snapshot st);
-      Hashtbl.replace edge_env i1 (snapshot st)
-    end
-    else begin
-      ignore (emit_raw st (Isa.Bnz (dist_exn st cv, lbl i1)));
-      Hashtbl.replace edge_env i1 (snapshot st);
-      if not (is_next i2) then ignore (emit_raw st (Isa.J (lbl i2)));
-      Hashtbl.replace edge_env i2 (snapshot st)
-    end
+    (if is_next i1 then begin
+       (* invert: branch to t2 when the condition is zero *)
+       ignore (emit_raw st (Isa.Bez (dist_exn st cv, lbl i2)));
+       Hashtbl.replace edge_env i2 (snapshot st);
+       Hashtbl.replace edge_env i1 (snapshot st)
+     end
+     else begin
+       ignore (emit_raw st (Isa.Bnz (dist_exn st cv, lbl i1)));
+       Hashtbl.replace edge_env i1 (snapshot st);
+       if not (is_next i2) then ignore (emit_raw st (Isa.J (lbl i2)));
+       Hashtbl.replace edge_env i2 (snapshot st)
+     end);
+    consume st cv
 
 (* ---------- function emission ---------- *)
 
@@ -1319,8 +1329,10 @@ let emit_function ~(config : config) ~globals (f : Ir.func) : item list =
      whenever frames exist that would otherwise carry it. *)
   let ra_spilled = config.level = Re_plus && n_merges > 0 in
   let needs_ra_slot = ra_spilled || has_calls in
-  (* spill slot assignment starts after the IR-level frame area *)
-  let next_slot = ref f.Ir.frame_bytes in
+  (* spill slot assignment starts after the IR-level frame area, rounded
+     up to a word boundary: slots hold words and LD/ST fault on unaligned
+     addresses *)
+  let next_slot = ref ((f.Ir.frame_bytes + 3) land lnot 3) in
   let alloc_slot () =
     let off = !next_slot in
     next_slot := off + 4;

@@ -87,7 +87,15 @@ let encode (insn : resolved) : int32 =
   | Alui (op, a, i) ->
     check_dist "alui" a;
     let i = Int32.to_int i in
-    check_signed "alui" 16 i;
+    (match op with
+     | Slli | Srli | Srai ->
+       (* shifts read only the low five bits at execution; keep the
+          encoded form canonical so decode(encode i) = i and the two
+          ISAs agree on representable shift amounts *)
+       if i < 0 || i > 31 then
+         bad "%s shift amount %d out of [0,31]"
+           (String.lowercase_ascii (alui_op_name op)) i
+     | _ -> check_signed "alui" 16 i);
     enc_i (OP_ALUI op) a i
   | Lui i ->
     let i = Int32.to_int i in

@@ -1,0 +1,234 @@
+(* Tests for the differential fuzzer (lib/fuzz) and the STRAIGHT binary
+   verifier (lib/straight_lint): fixed-seed agreement batches, generator
+   determinism, shrinker behavior, linter acceptance on every workload
+   image and rejection of hand-broken images, and the pinned minimized
+   reproducers from the first fuzzing campaigns. *)
+
+module Gen = Fuzz.Gen
+module Diff = Fuzz.Diff
+module Shrink = Fuzz.Shrink
+module Lint = Straight_lint.Lint
+module Isa = Straight_isa.Isa
+module SE = Straight_isa.Encoding
+module Image = Assembler.Image
+
+(* ---------- generator ---------- *)
+
+let test_generator_deterministic () =
+  List.iter
+    (fun seed ->
+       let a = Gen.render (Gen.generate seed) in
+       let b = Gen.render (Gen.generate seed) in
+       Alcotest.(check string) (Printf.sprintf "seed %d" seed) a b)
+    [ 1; 2; 42; 696; 99991 ]
+
+let test_generator_compiles () =
+  (* every generated program must at least pass the frontend *)
+  for seed = 1 to 40 do
+    let src = Gen.render (Gen.generate seed) in
+    ignore (Minic.Lower.compile src)
+  done
+
+(* ---------- differential agreement ---------- *)
+
+let test_fixed_seed_agreement () =
+  for seed = 1 to 25 do
+    match Diff.check_seed seed with
+    | _, _, Diff.Agree _ -> ()
+    | _, src, Diff.Diverged (d :: _) ->
+      Alcotest.failf "seed %d diverged: %s\n%s" seed
+        (Format.asprintf "%a" Diff.pp_divergence d)
+        src
+    | _, src, Diff.Diverged [] -> Alcotest.failf "seed %d: empty divergence\n%s" seed src
+    | _, src, Diff.Crashed { target; message } ->
+      Alcotest.failf "seed %d crashed on %s: %s\n%s" seed target message src
+  done
+
+(* the pinned reproducers from triaging the first campaigns: these
+   sources crashed or diverged before the fixes they document *)
+let regression_files =
+  [ "fuzz_regressions/seed7_minint_call_arg.mc";
+    "fuzz_regressions/seed696_condbr_refresh.mc";
+    "fuzz_regressions/shift_ge32.mc" ]
+
+(* [dune runtest] runs in the stanza directory, [dune exec] wherever the
+   user stands; accept both. *)
+let read_repo_file (file : string) : string =
+  let path =
+    if Sys.file_exists file then file else Filename.concat "test" file
+  in
+  In_channel.with_open_text path In_channel.input_all
+
+let test_regression_corpus () =
+  List.iter
+    (fun file ->
+       let src = read_repo_file file in
+       match Diff.check src with
+       | Diff.Agree n ->
+         Alcotest.(check bool) (file ^ " targets compared") true (n >= 2)
+       | Diff.Diverged (d :: _) ->
+         Alcotest.failf "%s diverged: %s" file
+           (Format.asprintf "%a" Diff.pp_divergence d)
+       | Diff.Diverged [] -> Alcotest.failf "%s: empty divergence" file
+       | Diff.Crashed { target; message } ->
+         Alcotest.failf "%s crashed on %s: %s" file target message)
+    regression_files
+
+(* ---------- shrinker ---------- *)
+
+let rec stmt_size (s : Gen.stmt) : int =
+  match s with
+  | Gen.If (_, t, e) ->
+    1 + List.fold_left (fun a s -> a + stmt_size s) 0 (t @ e)
+  | Gen.Loop (_, _, b) -> 1 + List.fold_left (fun a s -> a + stmt_size s) 0 b
+  | _ -> 1
+
+let prog_size (p : Gen.prog) : int =
+  List.fold_left (fun a s -> a + stmt_size s) 0 p.Gen.body
+  + List.fold_left
+      (fun a h -> a + List.fold_left (fun a s -> a + stmt_size s) 1 h.Gen.hbody)
+      0 p.Gen.helpers
+  + List.length p.Gen.locals + List.length p.Gen.globals
+
+let test_shrinker_minimizes () =
+  (* a synthetic failure: "the program still prints something".  The
+     shrinker must keep the property while deleting everything else. *)
+  let rec has_print_s s =
+    match s with
+    | Gen.Print _ -> true
+    | Gen.If (_, t, e) -> List.exists has_print_s (t @ e)
+    | Gen.Loop (_, _, b) -> List.exists has_print_s b
+    | _ -> false
+  in
+  let has_print (p : Gen.prog) =
+    List.exists has_print_s p.Gen.body
+    || List.exists (fun h -> List.exists has_print_s h.Gen.hbody) p.Gen.helpers
+  in
+  let p = Gen.generate 3 in
+  Alcotest.(check bool) "seed 3 prints" true (has_print p);
+  let small = Shrink.shrink ~still_fails:has_print p in
+  Alcotest.(check bool) "shrunk still prints" true (has_print small);
+  Alcotest.(check bool)
+    (Printf.sprintf "size %d -> %d" (prog_size p) (prog_size small))
+    true
+    (prog_size small < prog_size p);
+  (* greedy fixpoint for this predicate: exactly one statement left *)
+  Alcotest.(check bool) "one body stmt" true
+    (List.length small.Gen.body <= 1 && small.Gen.helpers = [])
+
+let test_shrinker_preserves_failure () =
+  (* predicate based on an actual differential run: re-shrinking the
+     pinned seed-7 failure class (min_int reaches a call argument)
+     without the fix would keep that failure; with the fix everything
+     agrees, so shrink under "still agrees" must return a program that
+     still agrees *)
+  let agrees p =
+    match Diff.check (Gen.render p) with
+    | Diff.Agree _ -> true
+    | _ -> false
+  in
+  let p = Gen.generate 7 in
+  Alcotest.(check bool) "seed 7 agrees after fix" true (agrees p);
+  let small = Shrink.shrink ~budget:60 ~still_fails:agrees p in
+  Alcotest.(check bool) "shrunk program still agrees" true (agrees small)
+
+(* ---------- linter: acceptance ---------- *)
+
+let test_lint_workloads_clean () =
+  List.iter
+    (fun (w : Workloads.t) ->
+       List.iter
+         (fun (level, max_dist) ->
+            let image, _ =
+              Straight_core.Compile.to_straight ~max_dist ~level
+                w.Workloads.source
+            in
+            match Lint.lint ~max_dist image with
+            | [] -> ()
+            | f :: _ ->
+              Alcotest.failf "%s (maxdist %d): %s" w.Workloads.name max_dist
+                (Format.asprintf "%a" Lint.pp_finding f))
+         [ (Straight_cc.Codegen.Re_plus, 1023);
+           (Straight_cc.Codegen.Raw, 1023);
+           (Straight_cc.Codegen.Re_plus, 31);
+           (Straight_cc.Codegen.Raw, 31) ];
+       let riscv = Straight_core.Compile.to_riscv w.Workloads.source in
+       match Lint.lint_riscv_roundtrip riscv with
+       | [] -> ()
+       | f :: _ ->
+         Alcotest.failf "%s riscv: %s" w.Workloads.name
+           (Format.asprintf "%a" Lint.pp_finding f))
+    [ Workloads.dhrystone ~iterations:2 ();
+      Workloads.coremark ~iterations:1 ();
+      Workloads.fib ~n:10 ();
+      Workloads.iota ~n:16 ();
+      Workloads.sort ~n:16 ();
+      Workloads.quicksort ~n:24 ();
+      Workloads.pointer_chase () ]
+
+(* ---------- linter: rejection of broken images ---------- *)
+
+let image_of_words ?(entry_word = 0) words =
+  let base = Assembler.Layout.text_base in
+  { Image.entry = base + (4 * entry_word);
+    text_base = base;
+    text = Array.of_list words;
+    data_base = Assembler.Layout.data_base;
+    data = [||];
+    symbols = [] }
+
+let has_check name findings =
+  List.exists (fun (f : Lint.finding) -> f.Lint.check = name) findings
+
+let test_lint_rejects () =
+  let enc = SE.encode in
+  (* opcode 63 is unassigned *)
+  let bad = image_of_words [ 0xFFFFFFFFl; enc Isa.Halt ] in
+  Alcotest.(check bool) "illegal opcode" true
+    (has_check "illegal-opcode" (Lint.lint bad));
+  (* a hand-packed SLLi with imm16 = 40 decodes but cannot re-encode *)
+  let slli40 = Int32.of_int ((20 lsl 26) lor (1 lsl 16) lor 40) in
+  let bad = image_of_words [ enc Isa.Nop; slli40; enc Isa.Halt ] in
+  Alcotest.(check bool) "truncated shamt" true
+    (has_check "encode-roundtrip" (Lint.lint bad));
+  (* reading distance 5 when at most one instruction has retired *)
+  let bad = image_of_words [ enc Isa.Nop; enc (Isa.Rmov 5); enc Isa.Halt ] in
+  Alcotest.(check bool) "live window" true
+    (has_check "live-window" (Lint.lint bad));
+  (* jump far outside the text section *)
+  let bad = image_of_words [ enc (Isa.J 1000); enc Isa.Halt ] in
+  Alcotest.(check bool) "target bounds" true
+    (has_check "target-bounds" (Lint.lint bad));
+  (* last instruction is not a terminator *)
+  let bad = image_of_words [ enc Isa.Nop ] in
+  Alcotest.(check bool) "fall through" true
+    (has_check "fall-through" (Lint.lint bad));
+  (* function returns with SP still displaced *)
+  let bad =
+    image_of_words
+      [ enc (Isa.Jal 2); enc Isa.Halt;
+        enc (Isa.Spadd (-16)); enc (Isa.Jr 2) ]
+  in
+  Alcotest.(check bool) "spadd imbalance" true
+    (has_check "spadd-imbalance" (Lint.lint bad));
+  (* distances above a tighter configured bound *)
+  let bad = image_of_words [ enc Isa.Nop; enc (Isa.Rmov 1); enc Isa.Halt ] in
+  Alcotest.(check bool) "clean small image" true (Lint.lint bad = []);
+  let wide =
+    image_of_words
+      (List.init 70 (fun _ -> enc Isa.Nop) @ [ enc (Isa.Rmov 64); enc Isa.Halt ])
+  in
+  Alcotest.(check bool) "distance over tight bound" true
+    (has_check "distance-range" (Lint.lint ~max_dist:31 wide))
+
+let suite =
+  [ ("generator deterministic", `Quick, test_generator_deterministic);
+    ("generator compiles", `Quick, test_generator_compiles);
+    ("fixed-seed agreement", `Slow, test_fixed_seed_agreement);
+    ("regression corpus", `Quick, test_regression_corpus);
+    ("shrinker minimizes", `Quick, test_shrinker_minimizes);
+    ("shrinker preserves failure", `Slow, test_shrinker_preserves_failure);
+    ("lint workloads clean", `Slow, test_lint_workloads_clean);
+    ("lint rejects broken images", `Quick, test_lint_rejects) ]
+
+let () = Alcotest.run "fuzz" [ ("fuzz", suite) ]

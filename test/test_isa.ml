@@ -29,7 +29,13 @@ let gen_straight : S.resolved QCheck2.Gen.t =
   oneof
     [ (let* op = oneofl alu_ops and* a = gen_dist and* b = gen_dist in
        return (S.Alu (op, a, b)));
-      (let* op = oneofl alui_ops and* a = gen_dist and* i = imm16 in
+      (let* op = oneofl alui_ops and* a = gen_dist in
+       (* shift immediates only encode in [0,31] *)
+       let* i =
+         match op with
+         | S.Slli | S.Srli | S.Srai -> int_range 0 31
+         | _ -> imm16
+       in
        return (S.Alui (op, a, Int32.of_int i)));
       (let* i = int_range 0 0xFFFFF in return (S.Lui (Int32.of_int i)));
       (let* a = gen_dist in return (S.Rmov a));
@@ -135,6 +141,157 @@ let test_straight_field_limits () =
      Alcotest.fail "st offset 128 should not encode"
    with SE.Encode_error _ -> ())
 
+(* ---------- exhaustive boundary round-trips ----------
+
+   For EVERY opcode of both ISAs, encode -> decode -> encode at the
+   extreme representable immediates (and just past them, which must be
+   rejected).  The shift-amount cases pin the silent-truncation bug: an
+   out-of-range shamt used to encode by dropping bits, so the word
+   decoded back to a different instruction. *)
+
+let roundtrips insn =
+  match SE.decode (SE.encode insn) with
+  | Some insn' -> insn = insn'
+  | None -> false
+
+let rejects insn =
+  match SE.encode insn with
+  | exception SE.Encode_error _ -> true
+  | _ -> false
+
+let check_rt name insn = Alcotest.(check bool) name true (roundtrips insn)
+let check_rej name insn = Alcotest.(check bool) name true (rejects insn)
+
+let test_straight_boundaries () =
+  let all_alu =
+    [ S.Add; S.Sub; S.And; S.Or; S.Xor; S.Sll; S.Srl; S.Sra; S.Slt; S.Sltu;
+      S.Mul; S.Mulh; S.Div; S.Divu; S.Rem; S.Remu ]
+  in
+  List.iter
+    (fun op ->
+       check_rt "alu dists" (S.Alu (op, 0, S.max_dist));
+       check_rt "alu dists" (S.Alu (op, S.max_dist, 1));
+       check_rej "alu dist over" (S.Alu (op, S.max_dist + 1, 0)))
+    all_alu;
+  List.iter
+    (fun op ->
+       check_rt "alui imm16 min" (S.Alui (op, 0, -32768l));
+       check_rt "alui imm16 max" (S.Alui (op, S.max_dist, 32767l));
+       check_rej "alui imm16 under" (S.Alui (op, 0, -32769l));
+       check_rej "alui imm16 over" (S.Alui (op, 0, 32768l)))
+    [ S.Addi; S.Andi; S.Ori; S.Xori; S.Slti; S.Sltui ];
+  (* shifts: only [0,31] encodes; 32/100/-1 used to truncate silently *)
+  List.iter
+    (fun op ->
+       check_rt "shamt 0" (S.Alui (op, 1, 0l));
+       check_rt "shamt 31" (S.Alui (op, 1, 31l));
+       check_rej "shamt 32" (S.Alui (op, 1, 32l));
+       check_rej "shamt 100" (S.Alui (op, 1, 100l));
+       check_rej "shamt -1" (S.Alui (op, 1, -1l)))
+    [ S.Slli; S.Srli; S.Srai ];
+  check_rt "lui 0" (S.Lui 0l);
+  check_rt "lui max" (S.Lui 0xFFFFFl);
+  check_rej "lui over" (S.Lui 0x100000l);
+  check_rej "lui neg" (S.Lui (-1l));
+  check_rt "rmov max" (S.Rmov S.max_dist);
+  check_rej "rmov over" (S.Rmov (S.max_dist + 1));
+  check_rt "nop" S.Nop;
+  check_rt "ld min" (S.Ld (1, -32768));
+  check_rt "ld max" (S.Ld (S.max_dist, 32767));
+  check_rej "ld over" (S.Ld (1, 32768));
+  (* ST: signed 6-bit word offset => bytes in [-128, 124], word aligned *)
+  check_rt "st min" (S.St (1, 2, SE.st_min_offset));
+  check_rt "st max" (S.St (1, 2, SE.st_max_offset));
+  check_rt "st 0" (S.St (S.max_dist, S.max_dist, 0));
+  check_rej "st under" (S.St (1, 2, SE.st_min_offset - 4));
+  check_rej "st over" (S.St (1, 2, SE.st_max_offset + 4));
+  check_rej "st unaligned" (S.St (1, 2, 2));
+  check_rej "st unaligned max" (S.St (1, 2, SE.st_max_offset + 1));
+  check_rt "bez edges" (S.Bez (1, -32768));
+  check_rt "bnz edges" (S.Bnz (S.max_dist, 32767));
+  check_rej "bez over" (S.Bez (1, 32768));
+  check_rej "bnz under" (S.Bnz (1, -32769));
+  check_rt "j min" (S.J (-(1 lsl 25)));
+  check_rt "j max" (S.J ((1 lsl 25) - 1));
+  check_rej "j over" (S.J (1 lsl 25));
+  check_rt "jal min" (S.Jal (-(1 lsl 25)));
+  check_rt "jal max" (S.Jal ((1 lsl 25) - 1));
+  check_rej "jal under" (S.Jal (-(1 lsl 25) - 1));
+  check_rt "jr max" (S.Jr S.max_dist);
+  check_rej "jr over" (S.Jr (S.max_dist + 1));
+  check_rt "spadd min" (S.Spadd (-32768));
+  check_rt "spadd max" (S.Spadd 32767);
+  check_rej "spadd over" (S.Spadd 32768);
+  check_rt "halt" S.Halt
+
+let r_roundtrips insn =
+  match RE.decode (RE.encode insn) with
+  | Some insn' -> insn = insn'
+  | None -> false
+
+let r_rejects insn =
+  match RE.encode insn with
+  | exception RE.Encode_error _ -> true
+  | _ -> false
+
+let r_rt name insn = Alcotest.(check bool) name true (r_roundtrips insn)
+let r_rej name insn = Alcotest.(check bool) name true (r_rejects insn)
+
+let test_riscv_boundaries () =
+  let all_alu =
+    [ R.Add; R.Sub; R.Sll; R.Slt; R.Sltu; R.Xor; R.Srl; R.Sra; R.Or; R.And;
+      R.Mul; R.Mulh; R.Mulhsu; R.Mulhu; R.Div; R.Divu; R.Rem; R.Remu ]
+  in
+  List.iter
+    (fun op ->
+       r_rt "alu regs" (R.Alu (op, 0, 31, 1));
+       r_rt "alu regs" (R.Alu (op, 31, 0, 31)))
+    all_alu;
+  List.iter
+    (fun op ->
+       r_rt "alui imm12 min" (R.Alui (op, 1, 2, -2048));
+       r_rt "alui imm12 max" (R.Alui (op, 31, 31, 2047));
+       r_rej "alui imm12 under" (R.Alui (op, 1, 2, -2049));
+       r_rej "alui imm12 over" (R.Alui (op, 1, 2, 2048)))
+    [ R.Addi; R.Slti; R.Sltiu; R.Xori; R.Ori; R.Andi ];
+  (* the pinned bug: slli/srli/srai used to mask the shamt to 5 bits, so
+     e.g. slli rd, rs, 32 encoded as a shift by 0 *)
+  List.iter
+    (fun op ->
+       r_rt "shamt 0" (R.Alui (op, 1, 2, 0));
+       r_rt "shamt 31" (R.Alui (op, 1, 2, 31));
+       r_rej "shamt 32" (R.Alui (op, 1, 2, 32));
+       r_rej "shamt 33" (R.Alui (op, 1, 2, 33));
+       r_rej "shamt 100" (R.Alui (op, 1, 2, 100));
+       r_rej "shamt -1" (R.Alui (op, 1, 2, -1)))
+    [ R.Slli; R.Srli; R.Srai ];
+  r_rt "lui 0" (R.Lui (0, 0l));
+  r_rt "lui max" (R.Lui (31, 0xFFFFFl));
+  r_rej "lui over" (R.Lui (1, 0x100000l));
+  r_rt "auipc max" (R.Auipc (31, 0xFFFFFl));
+  r_rej "auipc over" (R.Auipc (1, 0x100000l));
+  r_rt "jal min" (R.Jal (1, -(1 lsl 20)));
+  r_rt "jal max" (R.Jal (31, (1 lsl 20) - 2));
+  r_rej "jal odd" (R.Jal (1, 3));
+  r_rej "jal over" (R.Jal (1, 1 lsl 20));
+  r_rt "jalr edges" (R.Jalr (1, 2, -2048));
+  r_rt "jalr edges" (R.Jalr (31, 31, 2047));
+  r_rej "jalr over" (R.Jalr (1, 2, 2048));
+  List.iter
+    (fun c ->
+       r_rt "branch min" (R.Branch (c, 1, 2, -4096));
+       r_rt "branch max" (R.Branch (c, 31, 0, 4094));
+       r_rej "branch odd" (R.Branch (c, 1, 2, 6 + 1));
+       r_rej "branch over" (R.Branch (c, 1, 2, 4096)))
+    [ R.Beq; R.Bne; R.Blt; R.Bge; R.Bltu; R.Bgeu ];
+  r_rt "lw edges" (R.Lw (1, 2, -2048));
+  r_rt "lw edges" (R.Lw (31, 31, 2047));
+  r_rej "lw over" (R.Lw (1, 2, 2048));
+  r_rt "sw edges" (R.Sw (1, 2, -2048));
+  r_rt "sw edges" (R.Sw (31, 31, 2047));
+  r_rej "sw under" (R.Sw (1, 2, -2049));
+  r_rt "ebreak" R.Ebreak
+
 let test_riscv_known_words () =
   (* Cross-checked against the RISC-V spec: addi x1, x2, 3. *)
   Alcotest.(check int32) "addi x1,x2,3" 0x00310093l
@@ -194,6 +351,8 @@ let test_eval_alu_corners () =
 let suite =
   [ ("straight examples", `Quick, test_straight_examples);
     ("straight field limits", `Quick, test_straight_field_limits);
+    ("straight boundary roundtrips", `Quick, test_straight_boundaries);
+    ("riscv boundary roundtrips", `Quick, test_riscv_boundaries);
     ("riscv known encodings", `Quick, test_riscv_known_words);
     ("riscv parser", `Quick, test_riscv_parser);
     ("kind classification", `Quick, test_kind_classification);

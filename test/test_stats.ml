@@ -55,7 +55,11 @@ let variant_goldens =
     (Params.with_ideal_recovery Params.ss_2way, Exp.Riscv, None, w_coremark,
      38827, 67764);
     (Params.straight_4way, Exp.Straight_re, Some 63, w_coremark, 46864, 80208);
-    (Params.straight_4way, Exp.Straight_raw, None, w_coremark, 51644, 97248) ]
+    (* re-recorded after the conditional-branch liveness fix in
+       straight_cc: the condition value now (correctly) joins the RMOV
+       refresh batch at block exits, so RAW code carries a few more
+       instructions *)
+    (Params.straight_4way, Exp.Straight_raw, None, w_coremark, 51879, 97258) ]
 
 let check_result label (r : Exp.result) cycles committed =
   Alcotest.(check int) (label ^ ": cycles") cycles r.Exp.cycles;

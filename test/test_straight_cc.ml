@@ -183,6 +183,87 @@ let test_opt_levels () =
   let items = compile_items ~opt:Ssa_ir.Passes.O0 ~level:CC.Re_plus ~max_dist:31 src in
   Alcotest.(check string) "straight at O0" o0 (run_items items)
 
+(* ST short-form selection at the format boundaries.  The short form
+   encodes a signed 6-bit *word* offset, so it requires BOTH the byte
+   range [-128, 124] AND word alignment; three codegen sites used to
+   test the range only, committing to an ST the encoder then rejected.
+   MiniC always scales indices by 4, so the boundary/unaligned offsets
+   only arise from hand-built IR. *)
+let test_st_boundary_offsets () =
+  let open Ir in
+  (* distinct (base displacement, store offset) pairs; each resulting
+     byte address inside the 80-word buffer must be unique *)
+  let cases =
+    [ (0, 0); (0, 124); (0, 128);            (* short max, first long *)
+      (160, -128); (160, -132); (160, -4);   (* short min, first long *)
+      (160, 120); (160, 124); (160, 128);
+      (2, 2) ]                               (* unaligned offset, aligned sum *)
+  in
+  let next = ref 0 in
+  let fresh () = let v = !next in next := v + 1; v in
+  let insts = ref [] in
+  let add i = let v = fresh () in insts := (v, i) :: !insts; v in
+  let base0 = add (Global_addr "buf") in
+  let bases = Hashtbl.create 4 in
+  Hashtbl.replace bases 0 base0;
+  let base_for disp =
+    match Hashtbl.find_opt bases disp with
+    | Some v -> v
+    | None ->
+      let v = add (Bin (Add, Val base0, Const (Int32.of_int disp))) in
+      Hashtbl.replace bases disp v;
+      v
+  in
+  let expected =
+    List.map
+      (fun (disp, off) ->
+         let b = base_for disp in
+         let addr = disp + off in
+         let value = Int32.of_int (1000 + addr) in
+         ignore (add (Store (Const value, Val b, off)));
+         (addr, value))
+      cases
+  in
+  let main =
+    { name = "main"; nparams = 0; nvalues = !next;
+      blocks = [ { bid = 0; insts = List.rev !insts; term = Ret (Const 0l) } ];
+      frame_bytes = 0 }
+  in
+  let words = List.init 80 (fun _ -> 0l) in
+  List.iter
+    (fun (level, max_dist) ->
+       let p =
+         { funcs = [ main ]; data = [ { sym = "buf"; words; extra_bytes = 0 } ] }
+       in
+       let image =
+         CC.compile_to_image ~config:{ CC.max_dist; level } p
+       in
+       (* the generated image must also satisfy the static verifier *)
+       (match Straight_lint.Lint.lint ~max_dist image with
+        | [] -> ()
+        | f :: _ ->
+          Alcotest.failf "lint: %s"
+            (Format.asprintf "%a" Straight_lint.Lint.pp_finding f));
+       let session = Iss.Straight_iss.start image in
+       Iss.Straight_iss.run_session session;
+       ignore (Iss.Straight_iss.finish session);
+       let mem = Iss.Straight_iss.session_memory session in
+       let buf_addr =
+         match Assembler.Image.find_symbol image "buf" with
+         | Some a -> a
+         | None -> Alcotest.fail "no buf symbol"
+       in
+       List.iter
+         (fun (addr, value) ->
+            Alcotest.(check int32)
+              (Printf.sprintf "%s maxdist=%d buf+%d"
+                 (match level with CC.Raw -> "raw" | CC.Re_plus -> "re+")
+                 max_dist addr)
+              value
+              (Iss.Memory.read mem (buf_addr + addr)))
+         expected)
+    [ (CC.Re_plus, 1023); (CC.Raw, 1023); (CC.Re_plus, 31); (CC.Raw, 31) ]
+
 (* the static RMOV share shrinks monotonically RAW -> RE+ on all workloads *)
 let test_rmov_monotone () =
   List.iter
@@ -210,6 +291,7 @@ let suite =
     ("memory-tail pressure", `Quick, test_memory_tail_pressure);
     ("no placeholder spadds", `Quick, test_no_placeholder_spadds);
     ("optimization levels", `Quick, test_opt_levels);
+    ("st boundary offsets", `Quick, test_st_boundary_offsets);
     ("rmov monotone RAW->RE+", `Quick, test_rmov_monotone) ]
 
 let () = Alcotest.run "straight_cc" [ ("straight_cc", suite) ]
