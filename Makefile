@@ -1,4 +1,4 @@
-.PHONY: check build test bench bench-json bench-gate fuzz-smoke fmt clean
+.PHONY: check build test bench bench-json bench-gate fuzz-smoke lint fmt clean
 
 check: build test
 
@@ -29,12 +29,17 @@ bench-gate: bench-json
 	       $(MAKE) bench-json; \
 	       dune exec scripts/bench_gate.exe -- BENCH_baseline.json bench.json; }
 
+# Static verification: both binary verifiers (STRAIGHT distance/SPADD
+# invariants, RV32IM dataflow/ABI/stack invariants) over every
+# benchmark image at O0/O1/O2, plus a JSON report for archiving.
+lint:
+	dune exec bin/fuzz.exe -- -lint-workloads -json lint-report.json
+
 # Differential-fuzz smoke run: a fixed-seed batch (deterministic, so a
-# failure is reproducible by seed number) plus the binary verifier over
+# failure is reproducible by seed number) plus the binary verifiers over
 # every benchmark image.
-fuzz-smoke:
+fuzz-smoke: lint
 	dune exec bin/fuzz.exe -- -seed 1 -count 200
-	dune exec bin/fuzz.exe -- -lint-workloads
 
 clean:
 	dune clean

@@ -83,30 +83,37 @@ let outcome_detail (o : Fuzz.Diff.outcome) : string list =
   | Fuzz.Diff.Crashed { target; message } ->
     [ Printf.sprintf "%s: %s" target message ]
 
-(* Compile one source to STRAIGHT at both levels and lint the images;
-   also round-trip the RV32IM image.  Compile crashes are only reported
-   in lint-only mode: the differential run already reports them. *)
-let lint_source ~(report_crash : bool) (src : string) : string list =
+(* Compile one source to every target and run the static verifiers over
+   the linked images: STRAIGHT at both codegen levels through
+   [Straight_lint], RV32IM through the full [Riscv_lint] dataflow
+   verifier.  [opt] selects the shared middle-end level.  Compile
+   crashes are only reported in lint-only mode: the differential run
+   already reports them. *)
+let lint_source ?(opt = Ssa_ir.Passes.O2) ~(report_crash : bool)
+    (src : string) : string list =
   let lint_one label image =
     List.map
-      (fun f -> Printf.sprintf "%s: %a" label
-          (fun () -> Format.asprintf "%a" Straight_lint.Lint.pp_finding) f)
+      (fun f ->
+         Printf.sprintf "%s: %s" label (Lint_report.finding_to_string f))
       (Straight_lint.Lint.lint image)
   in
   let straight level label =
-    match Straight_core.Compile.to_straight ~max_dist:Straight_isa.Isa.max_dist ~level src with
+    match
+      Straight_core.Compile.to_straight ~opt
+        ~max_dist:Straight_isa.Isa.max_dist ~level src
+    with
     | image, _ -> lint_one label image
     | exception e when report_crash ->
       [ Printf.sprintf "%s: compile crashed: %s" label (Printexc.to_string e) ]
     | exception _ -> []
   in
   let riscv () =
-    match Straight_core.Compile.to_riscv src with
+    match Straight_core.Compile.to_riscv ~opt src with
     | image ->
       List.map
-        (fun f -> Printf.sprintf "riscv: %a"
-            (fun () -> Format.asprintf "%a" Straight_lint.Lint.pp_finding) f)
-        (Straight_lint.Lint.lint_riscv_roundtrip image)
+        (fun f ->
+           Printf.sprintf "riscv: %s" (Lint_report.finding_to_string f))
+        (Riscv_lint.Lint.lint image)
     | exception e when report_crash ->
       [ Printf.sprintf "riscv: compile crashed: %s" (Printexc.to_string e) ]
     | exception _ -> []
@@ -115,25 +122,36 @@ let lint_source ~(report_crash : bool) (src : string) : string list =
   @ straight Straight_cc.Codegen.Raw "straight-raw"
   @ riscv ()
 
+let opt_levels =
+  [ (Ssa_ir.Passes.O0, "O0"); (Ssa_ir.Passes.O1, "O1");
+    (Ssa_ir.Passes.O2, "O2") ]
+
+(* [-lint-workloads]: every benchmark, every middle-end level, both
+   ISAs.  Also writes a JSON report when [-json] is given (handled by
+   the caller through the returned failures). *)
 let lint_workloads () : failure list =
   let workloads =
     [ Workloads.dhrystone (); Workloads.coremark (); Workloads.fib ();
       Workloads.iota (); Workloads.sort (); Workloads.quicksort ();
       Workloads.pointer_chase () ]
   in
-  List.filter_map
+  List.concat_map
     (fun (w : Workloads.t) ->
-       let findings =
-         List.map (fun d -> w.Workloads.name ^ ": " ^ d)
-           (lint_source ~report_crash:true w.Workloads.source)
-       in
-       if findings = [] then begin
-         Printf.printf "lint %-14s clean\n%!" w.Workloads.name;
-         None
-       end
-       else
-         Some { f_seed = -1; f_kind = "lint"; f_detail = findings;
-                f_source = ""; f_minimized = None })
+       List.filter_map
+         (fun (opt, oname) ->
+            let label = Printf.sprintf "%s -%s" w.Workloads.name oname in
+            let findings =
+              List.map (fun d -> label ^ ": " ^ d)
+                (lint_source ~opt ~report_crash:true w.Workloads.source)
+            in
+            if findings = [] then begin
+              Printf.printf "lint %-14s %s clean\n%!" w.Workloads.name oname;
+              None
+            end
+            else
+              Some { f_seed = -1; f_kind = "lint"; f_detail = findings;
+                     f_source = ""; f_minimized = None })
+         opt_levels)
     workloads
 
 let () =

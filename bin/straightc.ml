@@ -1,34 +1,77 @@
 (* Command-line compiler driver: MiniC -> STRAIGHT or RV32IM assembly /
-   execution.  See also examples/ for API-level usage.
+   execution / static verification.  See also examples/ for API-level
+   usage.
 
    Failures are reported as structured diagnostics with a distinct exit
    code per failure class (see Diag.exit_code): 2 usage, 3 compile
-   errors, 4 execution/memory faults, 5 fuel exhaustion. *)
+   errors, 4 execution/memory faults, 5 fuel exhaustion, 8 lint
+   findings. *)
 
 module Diagnostics = Straight_core.Diagnostics
 
 let main () =
-  let usage = "straightc [-target straight|riscv] [-raw] [-maxdist N] [-run] [-asm] FILE" in
+  let usage =
+    "straightc [-target straight|riscv] [-O0|-O1|-O2] [-raw] [-maxdist N] \
+     [-run] [-asm] [-lint] [-lint-json FILE] FILE"
+  in
   let target = ref "straight" in
+  let opt = ref Ssa_ir.Passes.O2 in
   let raw = ref false in
   let maxdist = ref Straight_isa.Isa.max_dist in
   let run = ref false in
   let show_asm = ref false in
   let dump = ref false in
+  let lint = ref false in
+  let lint_json = ref "" in
   let file = ref "" in
   let spec =
     [ ("-target", Arg.Set_string target, "straight|riscv");
+      ("-O0", Arg.Unit (fun () -> opt := Ssa_ir.Passes.O0),
+       " disable the SSA optimization pipeline");
+      ("-O1", Arg.Unit (fun () -> opt := Ssa_ir.Passes.O1),
+       " folding + DCE + CFG cleanup");
+      ("-O2", Arg.Unit (fun () -> opt := Ssa_ir.Passes.O2),
+       " additionally CSE and LICM (default)");
       ("-raw", Arg.Set raw, "disable RE+ redundancy elimination");
       ("-maxdist", Arg.Set_int maxdist, "maximum source distance");
       ("-run", Arg.Set run, "execute on the functional simulator");
       ("-asm", Arg.Set show_asm, "print generated assembly");
-      ("-dump", Arg.Set dump, "disassemble the linked image") ]
+      ("-dump", Arg.Set dump, "disassemble the linked image");
+      ("-lint", Arg.Set lint,
+       " run the static binary verifier on the linked image");
+      ("-lint-json", Arg.Set_string lint_json,
+       "FILE  write the lint report as JSON (implies -lint)") ]
   in
   Arg.parse spec (fun f -> file := f) usage;
   if !file = "" then begin prerr_endline usage; exit 2 end;
+  if !lint_json <> "" then lint := true;
   let src = In_channel.with_open_text !file In_channel.input_all in
   let prog = Minic.Lower.compile src in
-  List.iter Ssa_ir.Passes.optimize prog.Ssa_ir.Ir.funcs;
+  (* the driver always takes the checked pipeline: a middle-end bug is
+     reported as "pass X broke the IR", not as corrupt output *)
+  List.iter (Ssa_ir.Passes.checked_at !opt) prog.Ssa_ir.Ir.funcs;
+  (* [finish_lint label findings] prints the findings, optionally writes
+     the JSON report, and exits 8 if any is an error. *)
+  let finish_lint (label : string) (findings : Lint_report.finding list) =
+    List.iter
+      (fun f -> Printf.printf "%s\n" (Lint_report.finding_to_string f))
+      findings;
+    if !lint_json <> "" then
+      Out_channel.with_open_text !lint_json (fun oc ->
+          output_string oc (Lint_report.report_to_json [ (label, findings) ]));
+    match Lint_report.errors findings with
+    | [] -> Printf.printf "%s: lint clean\n" label
+    | errs ->
+      Printf.eprintf "%s: %d lint error%s\n" label (List.length errs)
+        (if List.length errs = 1 then "" else "s");
+      exit (Diagnostics.exit_code Diagnostics.Lint_finding)
+  in
+  let olabel =
+    match !opt with
+    | Ssa_ir.Passes.O0 -> "O0"
+    | Ssa_ir.Passes.O1 -> "O1"
+    | Ssa_ir.Passes.O2 -> "O2"
+  in
   match !target with
   | "straight" ->
     let level = if !raw then Straight_cc.Codegen.Raw else Straight_cc.Codegen.Re_plus in
@@ -45,6 +88,12 @@ let main () =
       let r = Iss.Straight_iss.run image in
       print_string r.Iss.Trace.output;
       Printf.printf "[retired %d instructions]\n" r.Iss.Trace.retired
+    end;
+    if !lint then begin
+      let image = Assembler.Asm.Straight.assemble ~entry:"_start" items in
+      finish_lint
+        (Printf.sprintf "%s:straight:%s" !file olabel)
+        (Straight_lint.Lint.lint ~max_dist:!maxdist image)
     end
   | "riscv" ->
     let items = Riscv_cc.Codegen.compile prog in
@@ -59,6 +108,12 @@ let main () =
       let r = Iss.Riscv_iss.run image in
       print_string r.Iss.Trace.output;
       Printf.printf "[retired %d instructions]\n" r.Iss.Trace.retired
+    end;
+    if !lint then begin
+      let image = Assembler.Asm.Riscv.assemble ~entry:"_start" items in
+      finish_lint
+        (Printf.sprintf "%s:riscv:%s" !file olabel)
+        (Riscv_lint.Lint.lint image)
     end
   | t -> Printf.eprintf "unknown target %s\n" t; exit 2
 

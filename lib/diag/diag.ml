@@ -17,6 +17,7 @@ type code =
   | Fuel_exhausted
   | Sim_deadlock
   | Checker_divergence
+  | Lint_finding
   | Config_error
 
 let code_name = function
@@ -34,6 +35,7 @@ let code_name = function
   | Fuel_exhausted -> "FUEL_EXHAUSTED"
   | Sim_deadlock -> "SIM_DEADLOCK"
   | Checker_divergence -> "CHECKER_DIVERGENCE"
+  | Lint_finding -> "LINT_FINDING"
   | Config_error -> "CONFIG_ERROR"
 
 (* Exit codes are grouped by failure class so scripts can branch on the
@@ -47,6 +49,7 @@ let exit_code = function
   | Fuel_exhausted -> 5
   | Sim_deadlock -> 6
   | Checker_divergence -> 7
+  | Lint_finding -> 8
 
 type t = {
   code : code;

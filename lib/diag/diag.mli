@@ -30,6 +30,7 @@ type code =
   | Fuel_exhausted      (** ISS: [max_insns] budget overrun *)
   | Sim_deadlock        (** cycle model: watchdog / non-convergence *)
   | Checker_divergence  (** lockstep golden-model checker violation *)
+  | Lint_finding        (** static verifier finding on a linked image *)
   | Config_error        (** invalid simulation configuration *)
 
 val code_name : code -> string
@@ -38,7 +39,8 @@ val code_name : code -> string
 val exit_code : code -> int
 (** Process exit code for command-line drivers.  Distinct per failure
     class: 2 usage/config, 3 compile-family, 4 execution/memory faults,
-    5 fuel exhaustion, 6 simulator deadlock, 7 checker divergence. *)
+    5 fuel exhaustion, 6 simulator deadlock, 7 checker divergence,
+    8 static-lint finding. *)
 
 type t = {
   code : code;

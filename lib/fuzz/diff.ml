@@ -65,9 +65,13 @@ let global_layout (p : Ir.program) : (string * int * int) list =
        (d.Ir.sym, addr, bytes / 4))
     p.Ir.data
 
+(* Every optimized compile in a fuzzing run goes through the checked
+   pipeline: the SSA is re-validated after each pass, so a middle-end bug
+   surfaces as "pass X broke the IR" at the seed that triggers it instead
+   of as a downstream divergence to triage. *)
 let frontend ?(optimize = true) (src : string) : Ir.program =
   let p = Minic.Lower.compile src in
-  if optimize then List.iter Ssa_ir.Passes.optimize p.Ir.funcs;
+  if optimize then List.iter Ssa_ir.Passes.checked p.Ir.funcs;
   p
 
 let max_insns = 10_000_000

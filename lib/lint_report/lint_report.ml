@@ -1,0 +1,90 @@
+(* Shared reporting vocabulary for the static binary verifiers
+   (lib/straight_lint and lib/riscv_lint): one finding record with a
+   severity, a formatter, and a dependency-free JSON emitter so CI can
+   archive lint reports as build artifacts.
+
+   The [check] field is a short machine-stable name ("live-window",
+   "uninit-read", ...): tools and tests match on it, so renaming one is
+   a breaking change. *)
+
+type severity = Error | Warning | Info
+
+type finding = {
+  pc : int;            (* byte address of the offending instruction *)
+  check : string;      (* short machine-stable name of the check *)
+  severity : severity;
+  message : string;
+}
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let finding ?(severity = Error) ~pc ~check message =
+  { pc; check; severity; message }
+
+let pp_finding fmt (f : finding) =
+  Format.fprintf fmt "0x%x: [%s] %s%s" f.pc f.check
+    (match f.severity with Error -> "" | s -> severity_name s ^ ": ")
+    f.message
+
+let finding_to_string (f : finding) = Format.asprintf "%a" pp_finding f
+
+let errors (fs : finding list) : finding list =
+  List.filter (fun f -> f.severity = Error) fs
+
+(* ---------- JSON ---------- *)
+
+let json_escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let finding_to_json (f : finding) : string =
+  Printf.sprintf
+    "{\"pc\": %d, \"check\": \"%s\", \"severity\": \"%s\", \"message\": \"%s\"}"
+    f.pc (json_escape f.check)
+    (severity_name f.severity)
+    (json_escape f.message)
+
+(* [report_to_json groups] renders a whole lint run: one entry per
+   linted image, labeled by target/configuration.  The shape is stable:
+
+     { "findings_total": N,
+       "images": [ { "label": "...", "findings": [ {...}, ... ] } ] } *)
+let report_to_json (groups : (string * finding list) list) : string =
+  let buf = Buffer.create 1024 in
+  let total =
+    List.fold_left (fun acc (_, fs) -> acc + List.length fs) 0 groups
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"findings_total\": %d,\n  \"images\": [" total);
+  List.iteri
+    (fun i (label, fs) ->
+       if i > 0 then Buffer.add_char buf ',';
+       Buffer.add_string buf
+         (Printf.sprintf "\n    {\n      \"label\": \"%s\",\n      \"findings\": ["
+            (json_escape label));
+       List.iteri
+         (fun j f ->
+            if j > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf ("\n        " ^ finding_to_json f))
+         fs;
+       if fs <> [] then Buffer.add_string buf "\n      ";
+       Buffer.add_string buf "]\n    }")
+    groups;
+  if groups <> [] then Buffer.add_string buf "\n  ";
+  Buffer.add_string buf "]\n}\n";
+  Buffer.contents buf

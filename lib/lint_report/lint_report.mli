@@ -1,0 +1,36 @@
+(** Shared reporting vocabulary for the static binary verifiers
+    ([Straight_lint] and [Riscv_lint]): a finding record with severity,
+    a formatter, and a dependency-free JSON emitter so CI can archive
+    lint reports as build artifacts. *)
+
+type severity = Error | Warning | Info
+
+type finding = {
+  pc : int;            (** byte address of the offending instruction *)
+  check : string;      (** short machine-stable name of the check *)
+  severity : severity;
+  message : string;
+}
+
+val severity_name : severity -> string
+(** ["error"] / ["warning"] / ["info"]. *)
+
+val finding : ?severity:severity -> pc:int -> check:string -> string -> finding
+(** Build a finding; [severity] defaults to [Error]. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+(** One-line rendering: ["0x<pc>: [<check>] <message>"]. *)
+
+val finding_to_string : finding -> string
+
+val errors : finding list -> finding list
+(** Just the [Error]-severity findings (the ones that fail a build). *)
+
+val json_escape : string -> string
+
+val finding_to_json : finding -> string
+(** One finding as a JSON object. *)
+
+val report_to_json : (string * finding list) list -> string
+(** A whole lint run as JSON, one labeled entry per linted image:
+    [{ "findings_total": N, "images": [{ "label", "findings" }] }]. *)

@@ -1,0 +1,30 @@
+(** Static verifier for linked RV32IM images — the RISC-V counterpart of
+    {!Straight_lint}.  Recovers the CFG from the binary, identifies
+    functions from call targets, and proves the invariants a register
+    allocator can silently violate: no read of a register that is not
+    definitely written on every path (reaching definitions), callee-saved
+    registers (ra, s0-s11) restored at every return, sp adjusted only by
+    [addi sp, sp, imm] with a displacement that balances on all paths,
+    sp-relative accesses inside the live frame, and branch/jump targets
+    in bounds and 4-byte aligned.  Calls are summarized by the ABI; each
+    callee's own traversal discharges the summary. *)
+
+type finding = Lint_report.finding = {
+  pc : int;
+  check : string;
+  severity : Lint_report.severity;
+  message : string;
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+
+val lint : Assembler.Image.t -> finding list
+(** Run every check over a linked RV32IM image.  Check names:
+    ["illegal-opcode"], ["encode-roundtrip"], ["target-bounds"],
+    ["target-align"], ["fall-through"], ["uninit-read"],
+    ["callee-saved-clobbered"], ["stack-imbalance"], ["sp-discipline"],
+    ["frame-bounds"]. *)
+
+val lint_roundtrip : Assembler.Image.t -> finding list
+(** The decode/re-encode fidelity check alone (the historical
+    [Straight_lint.Lint.lint_riscv_roundtrip]). *)

@@ -232,9 +232,32 @@ exception Invalid_ir of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Invalid_ir s)) fmt
 
-(* [validate f] checks the SSA invariants we rely on:
-   single assignment, defs dominate uses, phi arms match predecessors. *)
+(* [validate f] checks the SSA invariants we rely on: well-formed CFG
+   (every terminator targets an existing block), single assignment with
+   value ids inside [0, nvalues), defs dominate uses, phi arms match
+   predecessors, no phis in the entry block.  Every violation raises
+   [Invalid_ir] (never [Not_found]/[Invalid_argument]), so callers can
+   classify a broken pass uniformly. *)
 let validate (f : func) : unit =
+  if f.blocks = [] then fail "%s: function has no blocks" f.name;
+  (* structural checks first: [build] itself assumes terminator targets
+     exist, so a dangling target must be diagnosed before the CFG walk *)
+  let by_id = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+       if Hashtbl.mem by_id b.bid then
+         fail "%s: duplicate block id bb%d" f.name b.bid;
+       Hashtbl.replace by_id b.bid ())
+    f.blocks;
+  List.iter
+    (fun b ->
+       List.iter
+         (fun t ->
+            if not (Hashtbl.mem by_id t) then
+              fail "%s: bb%d terminator targets nonexistent block bb%d"
+                f.name b.bid t)
+         (successors b.term))
+    f.blocks;
   let cfg = build f in
   let idom_arr = idom cfg in
   let def_site = Hashtbl.create 64 in
@@ -245,21 +268,47 @@ let validate (f : func) : unit =
     (fun i b ->
        List.iteri
          (fun pos (v, inst) ->
+            if v < 0 || v >= f.nvalues then
+              fail "%s: value id %%%d outside [0, %d)" f.name v f.nvalues;
             if Hashtbl.mem def_site v then fail "%s: value %%%d defined twice" f.name v;
             Hashtbl.replace def_site v (`Block (i, pos), 0);
             (match inst with
+             | Phi [] -> fail "%s: phi %%%d has no arms" f.name v
+             | Phi _ when i = 0 ->
+               (* the entry has an implicit in-edge from the caller that no
+                  phi arm can name, so entry phis are meaningless *)
+               fail "%s: phi %%%d in the entry block" f.name v
              | Phi ins ->
+               let arm_ids = List.map fst ins in
+               let rec dup = function
+                 | a :: (b :: _ as t) -> if a = b then Some a else dup t
+                 | _ -> None
+               in
+               (match dup (List.sort compare arm_ids) with
+                | Some d ->
+                  fail "%s: phi %%%d has two arms for bb%d" f.name v d
+                | None -> ());
                let pred_ids =
                  List.map (fun p -> cfg.blocks.(p).bid) cfg.preds.(i)
-                 |> List.sort compare
                in
-               let arm_ids = List.map fst ins |> List.sort compare in
-               if pred_ids <> arm_ids then
-                 fail "%s: phi %%%d arms %s do not match preds %s of bb%d"
-                   f.name v
-                   (String.concat "," (List.map string_of_int arm_ids))
-                   (String.concat "," (List.map string_of_int pred_ids))
-                   cfg.blocks.(i).bid
+               List.iter
+                 (fun p ->
+                    if not (List.mem p arm_ids) then
+                      fail "%s: phi %%%d has no arm for predecessor bb%d of bb%d"
+                        f.name v p cfg.blocks.(i).bid)
+                 pred_ids;
+               (* an arm naming a reachable non-predecessor is a real
+                  disagreement with the CFG; an arm naming an unreachable
+                  block is the legal transient between a branch fold and
+                  the next unreachable-block sweep (execution can never
+                  take that edge) *)
+               List.iter
+                 (fun a ->
+                    if not (List.mem a pred_ids) && Hashtbl.mem cfg.index_of a
+                    then
+                      fail "%s: phi %%%d arm bb%d is not a predecessor of bb%d"
+                        f.name v a cfg.blocks.(i).bid)
+                 arm_ids
              | _ -> ()))
          b.insts)
     cfg.blocks;
@@ -288,14 +337,18 @@ let validate (f : func) : unit =
                    match operand_value op with
                    | None -> ()
                    | Some u ->
-                     let p = block_index cfg pred_bid in
-                     (* the input must be available at the end of pred *)
-                     (match Hashtbl.find_opt def_site u with
-                      | None -> fail "%s: phi input %%%d undefined" f.name u
-                      | Some (`Param, _) -> ()
-                      | Some (`Block (db, _), _) ->
-                        if not (dominates idom_arr db p) then
-                          fail "%s: phi input %%%d does not dominate pred" f.name u))
+                     (* arms from unreachable blocks carry no dataflow *)
+                     (match Hashtbl.find_opt cfg.index_of pred_bid with
+                      | None -> ()
+                      | Some p ->
+                        (* the input must be available at the end of pred *)
+                        (match Hashtbl.find_opt def_site u with
+                         | None -> fail "%s: phi input %%%d undefined" f.name u
+                         | Some (`Param, _) -> ()
+                         | Some (`Block (db, _), _) ->
+                           if not (dominates idom_arr db p) then
+                             fail "%s: phi input %%%d does not dominate pred"
+                               f.name u)))
                 ins
             | _ ->
               List.iter (fun u -> check_use ~user_block:i ~user_pos:pos u)

@@ -57,7 +57,10 @@ val natural_loops : cfg -> int array -> loop list
 exception Invalid_ir of string
 
 val validate : Ir.func -> unit
-(** Check the SSA invariants the back ends rely on: single assignment,
-    defs dominate uses, phi arms match predecessors, phis form a block
-    prefix.
+(** Check the SSA invariants the back ends rely on: every terminator
+    targets an existing block, single assignment with value ids inside
+    [0, nvalues), defs dominate uses, phi arms match predecessors, no
+    phis (and no empty phis) in the entry block, phis form a block
+    prefix.  Every violation raises [Invalid_ir] — never [Not_found] or
+    [Invalid_argument] — so a broken pass is classified uniformly.
     @raise Invalid_ir with a diagnostic otherwise. *)

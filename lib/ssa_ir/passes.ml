@@ -105,14 +105,16 @@ let const_fold (f : func) : bool =
       f.blocks
   done;
   (* Replace folded definitions by trivial constants so DCE can drop them
-     once all uses are rewritten. *)
+     once all uses are rewritten.  Folded phis keep their shape: [subst]
+     already rewrote every arm to the constant, and turning one into a
+     [Bin] mid-block would put later phis after a non-phi. *)
   List.iter
     (fun b ->
        b.insts <-
          List.map
            (fun (v, inst) ->
               match Hashtbl.find_opt known v, inst with
-              | Some c, (Bin _ | Cmp _ | Phi _) -> (v, Bin (Add, Const c, Const 0l))
+              | Some c, (Bin _ | Cmp _) -> (v, Bin (Add, Const c, Const 0l))
               | _ -> (v, inst))
            b.insts)
     f.blocks;
@@ -516,26 +518,73 @@ let licm (f : func) : bool =
   !changed
 
 
+(* ---------- the pass pipeline ---------- *)
+
 (* Optimization levels, mirroring -O0/-O1/-O2. *)
 type opt_level = O0 | O1 | O2
 
-(* [optimize_at level f] runs the pipeline to a bounded fixpoint:
+(* A named IR-to-IR pass.  The name is what [run_passes ~validate] blames
+   when the IR stops validating, so every entry in [pipeline] (and every
+   test-injected pass) must carry a stable, human-meaningful name. *)
+type pass = {
+  pass_name : string;
+  pass_run : func -> bool;      (* true iff the function changed *)
+}
+
+let mk name run = { pass_name = name; pass_run = run }
+
+(* [pipeline level] is the pass list [optimize_at]/[checked_at] iterate:
    O0 nothing, O1 folding + DCE + CFG cleanup, O2 additionally CSE and
-   LICM.  Both back ends receive the same optimized IR (the paper compiles
-   both targets with clang -O2). *)
+   LICM.  Both back ends receive the same optimized IR (the paper
+   compiles both targets with clang -O2). *)
+let pipeline (level : opt_level) : pass list =
+  match level with
+  | O0 -> []
+  | O1 ->
+    [ mk "const-fold" const_fold; mk "dce" dce; mk "simplify-cfg" simplify_cfg ]
+  | O2 ->
+    [ mk "const-fold" const_fold; mk "cse" cse; mk "licm" licm;
+      mk "dce" dce; mk "simplify-cfg" simplify_cfg ]
+
+(* Bound on fixpoint rounds; in practice the pipeline converges in 2-3. *)
+let max_rounds = 8
+
+(* [run_passes ?validate passes f] iterates [passes] in order until a
+   whole round changes nothing (or [max_rounds] is hit).  With
+   [~validate:true], [Analysis.validate] runs before the first pass and
+   after every pass application, and a violation is re-raised with the
+   culprit pass's name prepended — turning "the O2 pipeline miscompiles"
+   into "cse broke the IR: ...". *)
+let run_passes ?(validate = false) (passes : pass list) (f : func) : unit =
+  let check blame =
+    if validate then
+      try Analysis.validate f
+      with Analysis.Invalid_ir msg ->
+        raise (Analysis.Invalid_ir (Printf.sprintf "%s: %s" blame msg))
+  in
+  check "before optimization";
+  let rec go n =
+    if n > 0 then begin
+      let changed =
+        List.fold_left
+          (fun acc p ->
+             let c = p.pass_run f in
+             check (Printf.sprintf "pass %s broke the IR" p.pass_name);
+             acc || c)
+          false passes
+      in
+      if changed then go (n - 1)
+    end
+  in
+  go max_rounds
+
 let optimize_at (level : opt_level) (f : func) : unit =
-  if level <> O0 then begin
-    let rec go n =
-      if n > 0 then begin
-        let c1 = const_fold f in
-        let c2 = if level = O2 then cse f else false in
-        let c3 = if level = O2 then licm f else false in
-        let c4 = dce f in
-        let c5 = simplify_cfg f in
-        if c1 || c2 || c3 || c4 || c5 then go (n - 1)
-      end
-    in
-    go 8
-  end
+  run_passes (pipeline level) f
 
 let optimize (f : func) : unit = optimize_at O2 f
+
+(* Checked variants: same pipeline, SSA-validated after every pass. *)
+let checked_at (level : opt_level) (f : func) : unit =
+  run_passes ~validate:true (pipeline level) f
+
+let checked (f : func) : unit = checked_at O2 f

@@ -35,15 +35,40 @@ val licm : Ir.func -> bool
 (** Optimization levels, mirroring -O0/-O1/-O2. *)
 type opt_level = O0 | O1 | O2
 
-val optimize_at : opt_level -> Ir.func -> unit
-(** Run the pipeline to a bounded fixpoint: [O0] nothing, [O1] folding +
+(** A named IR-to-IR pass; the name is what checked runs blame when the
+    IR stops validating. *)
+type pass = {
+  pass_name : string;
+  pass_run : Ir.func -> bool;   (** [true] iff the function changed *)
+}
+
+val pipeline : opt_level -> pass list
+(** The pass list the fixpoint iterates: [O0] nothing, [O1] folding +
     DCE + CFG cleanup, [O2] additionally CSE and LICM. *)
+
+val run_passes : ?validate:bool -> pass list -> Ir.func -> unit
+(** Iterate a pass list in order until a whole round changes nothing
+    (bounded).  With [~validate:true], {!Analysis.validate} runs before
+    the first pass and after every pass application; a violation is
+    re-raised as {!Analysis.Invalid_ir} with the culprit pass's name
+    prepended.  Public so tests can inject a deliberately broken pass
+    and check it is blamed by name. *)
+
+val optimize_at : opt_level -> Ir.func -> unit
+(** [run_passes (pipeline level)]. *)
 
 val optimize : Ir.func -> unit
 (** [optimize = optimize_at O2].  Both back ends receive the same
     optimized IR — the paper compiles with clang -O2 for both targets, so
     RAW-vs-RE+ differences come from the STRAIGHT-specific back end
     only. *)
+
+val checked_at : opt_level -> Ir.func -> unit
+(** [run_passes ~validate:true (pipeline level)]: the same pipeline with
+    pass-by-pass SSA validation, so a miscompile names the exact pass. *)
+
+val checked : Ir.func -> unit
+(** [checked = checked_at O2]. *)
 
 val split_critical_edges : Ir.func -> unit
 (** Insert an empty block on every edge [P -> S] where [P] has several

@@ -60,37 +60,47 @@ module Compile = struct
     | Straight of Straight_cc.Codegen.opt_level   (* RAW or RE+ *)
     | Riscv
 
-  (* [frontend src] parses + lowers + optimizes MiniC source into SSA IR
-     (each call returns a fresh program: back ends mutate the IR). *)
-  let frontend (src : string) : Ssa_ir.Ir.program =
+  (* [frontend ?opt ?checked src] parses + lowers + optimizes MiniC
+     source into SSA IR (each call returns a fresh program: back ends
+     mutate the IR).  [opt] selects the middle-end level (default O2,
+     matching the paper's clang -O2); [checked] validates the SSA after
+     every pass, blaming the culprit pass on violation. *)
+  let frontend ?(opt = Ssa_ir.Passes.O2) ?(checked = false) (src : string) :
+    Ssa_ir.Ir.program =
     let p = Minic.Lower.compile src in
-    List.iter Ssa_ir.Passes.optimize p.Ssa_ir.Ir.funcs;
+    let run =
+      if checked then Ssa_ir.Passes.checked_at else Ssa_ir.Passes.optimize_at
+    in
+    List.iter (run opt) p.Ssa_ir.Ir.funcs;
     p
 
   (* [to_straight ?max_dist ~level src] compiles MiniC to a STRAIGHT
      image. *)
-  let to_straight ?(max_dist = Ooo_common.Params.straight_max_dist)
+  let to_straight ?opt ?checked
+      ?(max_dist = Ooo_common.Params.straight_max_dist)
       ~(level : Straight_cc.Codegen.opt_level) (src : string) :
     Assembler.Image.t * Straight_cc.Codegen.stats =
-    let p = frontend src in
+    let p = frontend ?opt ?checked src in
     let config = { Straight_cc.Codegen.max_dist; level } in
     let items = Straight_cc.Codegen.compile ~config p in
     let stats = Straight_cc.Codegen.stats_of_items items in
     (Assembler.Asm.Straight.assemble ~entry:"_start" items, stats)
 
   (* [to_riscv src] compiles MiniC to an RV32IM image. *)
-  let to_riscv (src : string) : Assembler.Image.t =
-    Riscv_cc.Codegen.compile_to_image (frontend src)
+  let to_riscv ?opt ?checked (src : string) : Assembler.Image.t =
+    Riscv_cc.Codegen.compile_to_image (frontend ?opt ?checked src)
 
   (* [straight_asm ...] returns the generated assembly text (Fig. 10). *)
-  let straight_asm ?(max_dist = Ooo_common.Params.straight_max_dist)
+  let straight_asm ?opt ?checked
+      ?(max_dist = Ooo_common.Params.straight_max_dist)
       ~level (src : string) : string =
     let config = { Straight_cc.Codegen.max_dist; level } in
     Assembler.Asm.Straight.program_to_string
-      (Straight_cc.Codegen.compile ~config (frontend src))
+      (Straight_cc.Codegen.compile ~config (frontend ?opt ?checked src))
 
-  let riscv_asm (src : string) : string =
-    Assembler.Asm.Riscv.program_to_string (Riscv_cc.Codegen.compile (frontend src))
+  let riscv_asm ?opt ?checked (src : string) : string =
+    Assembler.Asm.Riscv.program_to_string
+      (Riscv_cc.Codegen.compile (frontend ?opt ?checked src))
 end
 
 module Experiment = struct

@@ -39,23 +39,33 @@ module Compile : sig
     | Straight of Straight_cc.Codegen.opt_level
     | Riscv
 
-  val frontend : string -> Ssa_ir.Ir.program
+  val frontend :
+    ?opt:Ssa_ir.Passes.opt_level -> ?checked:bool -> string ->
+    Ssa_ir.Ir.program
   (** Parse + lower + optimize.  Each call returns a fresh program (the
-      back ends mutate the IR). *)
+      back ends mutate the IR).  [opt] selects the middle-end level
+      (default [O2]); [checked] (default [false]) runs
+      {!Ssa_ir.Passes.checked_at}, validating the SSA after every pass so
+      a violation blames the culprit pass by name. *)
 
   val to_straight :
+    ?opt:Ssa_ir.Passes.opt_level -> ?checked:bool ->
     ?max_dist:int -> level:Straight_cc.Codegen.opt_level -> string ->
     Assembler.Image.t * Straight_cc.Codegen.stats
   (** Compile MiniC to a STRAIGHT image (default max distance: the
       Table-I value, 31). *)
 
-  val to_riscv : string -> Assembler.Image.t
+  val to_riscv :
+    ?opt:Ssa_ir.Passes.opt_level -> ?checked:bool -> string ->
+    Assembler.Image.t
 
   val straight_asm :
+    ?opt:Ssa_ir.Passes.opt_level -> ?checked:bool ->
     ?max_dist:int -> level:Straight_cc.Codegen.opt_level -> string -> string
   (** The generated assembly text (Fig. 10-style inspection). *)
 
-  val riscv_asm : string -> string
+  val riscv_asm :
+    ?opt:Ssa_ir.Passes.opt_level -> ?checked:bool -> string -> string
 end
 
 (** Running a workload on a cycle-level model. *)

@@ -29,14 +29,17 @@ module Isa = Straight_isa.Isa
 module Enc = Straight_isa.Encoding
 module Image = Assembler.Image
 
-type finding = {
+(* Findings share the severity + JSON shape of lib/riscv_lint via
+   [Lint_report], so drivers and CI consume both verifiers' output
+   uniformly. *)
+type finding = Lint_report.finding = {
   pc : int;          (* byte address of the offending instruction *)
   check : string;    (* short machine-stable name of the check *)
+  severity : Lint_report.severity;
   message : string;
 }
 
-let pp_finding fmt (f : finding) =
-  Format.fprintf fmt "0x%x: [%s] %s" f.pc f.check f.message
+let pp_finding = Lint_report.pp_finding
 
 (* ---------- decode phase ---------- *)
 
@@ -44,7 +47,9 @@ let pp_finding fmt (f : finding) =
 let decode_text (image : Image.t) :
   Isa.resolved option array * finding list =
   let findings = ref [] in
-  let add pc check message = findings := { pc; check; message } :: !findings in
+  let add pc check message =
+    findings := Lint_report.finding ~pc ~check message :: !findings
+  in
   let insns =
     Array.mapi
       (fun i w ->
@@ -94,7 +99,9 @@ let check_targets (image : Image.t) (insns : Isa.resolved option array) :
   finding list =
   let len = Array.length insns in
   let findings = ref [] in
-  let add pc check message = findings := { pc; check; message } :: !findings in
+  let add pc check message =
+    findings := Lint_report.finding ~pc ~check message :: !findings
+  in
   Array.iteri
     (fun i insn ->
        let pc = image.Image.text_base + (4 * i) in
@@ -135,11 +142,9 @@ let check_distances ?(max_dist = Isa.max_dist) (image : Image.t)
            (fun d ->
               if d > max_dist then
                 findings :=
-                  { pc;
-                    check = "distance-range";
-                    message =
-                      Printf.sprintf "source distance %d exceeds max_dist %d" d
-                        max_dist }
+                  Lint_report.finding ~pc ~check:"distance-range"
+                    (Printf.sprintf "source distance %d exceeds max_dist %d" d
+                       max_dist)
                   :: !findings)
            (Isa.sources insn))
     insns;
@@ -203,13 +208,11 @@ let check_live_window ?(max_dist = Isa.max_dist) (image : Image.t)
              (fun d ->
                 if d > 0 && d > v.(i) then
                   findings :=
-                    { pc;
-                      check = "live-window";
-                      message =
-                        Printf.sprintf
-                          "distance %d reaches before the live window (at most \
-                           %d instructions retired on the shortest path here)"
-                          d v.(i) }
+                    Lint_report.finding ~pc ~check:"live-window"
+                      (Printf.sprintf
+                         "distance %d reaches before the live window (at most \
+                          %d instructions retired on the shortest path here)"
+                         d v.(i))
                     :: !findings)
              (Isa.sources insn))
     insns;
@@ -223,7 +226,9 @@ let check_spadd (image : Image.t) (insns : Isa.resolved option array) :
   finding list =
   let len = Array.length insns in
   let findings = ref [] in
-  let add pc check message = findings := { pc; check; message } :: !findings in
+  let add pc check message =
+    findings := Lint_report.finding ~pc ~check message :: !findings
+  in
   let seen : (int, int) Hashtbl.t = Hashtbl.create 256 in
   let rec walk (i : int) (offset : int) : unit =
     if in_text len i then begin
@@ -278,30 +283,3 @@ let lint ?(max_dist = Isa.max_dist) (image : Image.t) : finding list =
   @ check_targets image insns
   @ check_live_window ~max_dist image insns
   @ check_spadd image insns
-
-(* [lint_riscv_roundtrip image] checks encode/decode fidelity of an
-   RV32IM image: every text word must decode, and re-encode to the same
-   bits.  (The control-flow invariants above are STRAIGHT-specific.) *)
-let lint_riscv_roundtrip (image : Image.t) : finding list =
-  let findings = ref [] in
-  let add pc check message = findings := { pc; check; message } :: !findings in
-  Array.iteri
-    (fun i w ->
-       let pc = image.Image.text_base + (4 * i) in
-       match Riscv_isa.Encoding.decode w with
-       | None ->
-         add pc "illegal-opcode"
-           (Printf.sprintf "word 0x%08lx has no RV32IM decoding" w)
-       | Some insn ->
-         (match Riscv_isa.Encoding.encode insn with
-          | w' when w' = w -> ()
-          | w' ->
-            add pc "encode-roundtrip"
-              (Printf.sprintf
-                 "decoded instruction re-encodes to 0x%08lx, image has 0x%08lx"
-                 w' w)
-          | exception Riscv_isa.Encoding.Encode_error msg ->
-            add pc "encode-roundtrip"
-              (Printf.sprintf "decoded instruction does not re-encode: %s" msg)))
-    image.Image.text;
-  List.rev !findings

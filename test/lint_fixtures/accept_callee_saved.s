@@ -1,0 +1,13 @@
+.text
+_start:
+  jal ra, f
+  ebreak
+
+f:
+  addi sp, sp, -16
+  sw s0, 12(sp)
+  addi s0, zero, 7
+  add a0, s0, zero
+  lw s0, 12(sp)
+  addi sp, sp, 16
+  ret

@@ -1,0 +1,11 @@
+.text
+_start:
+  jal ra, f
+  ebreak
+
+f:
+  addi sp, sp, -16
+  sw a0, 0(sp)
+  lw a1, 0(sp)
+  addi sp, sp, 16
+  ret

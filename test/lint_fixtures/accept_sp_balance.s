@@ -1,0 +1,11 @@
+.text
+_start:
+  jal ra, f
+  ebreak
+
+f:
+  addi sp, sp, -16
+  sw a0, 12(sp)
+  lw a0, 12(sp)
+  addi sp, sp, 16
+  ret

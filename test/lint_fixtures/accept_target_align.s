@@ -1,0 +1,6 @@
+.text
+_start:
+  beq zero, zero, done
+  nop
+done:
+  ebreak

@@ -1,0 +1,12 @@
+.text
+_start:
+  jal ra, f
+  ebreak
+
+f:
+  addi t0, zero, 1
+  beq a0, zero, skip
+  addi t0, zero, 5
+skip:
+  add a0, t0, zero
+  ret

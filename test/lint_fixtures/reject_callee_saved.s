@@ -1,0 +1,9 @@
+.text
+_start:
+  jal ra, f
+  ebreak
+
+f:
+  addi s0, zero, 7
+  add a0, s0, zero
+  ret

@@ -1,0 +1,10 @@
+.text
+_start:
+  jal ra, f
+  ebreak
+
+f:
+  addi sp, sp, -16
+  sw a0, 16(sp)
+  addi sp, sp, 16
+  ret

@@ -1,0 +1,8 @@
+.text
+_start:
+  jal ra, f
+  ebreak
+
+f:
+  addi sp, sp, -16
+  ret

@@ -1,0 +1,5 @@
+.text
+_start:
+  beq zero, zero, 4102
+  nop
+  ebreak

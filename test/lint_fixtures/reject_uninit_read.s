@@ -1,0 +1,11 @@
+.text
+_start:
+  jal ra, f
+  ebreak
+
+f:
+  beq a0, zero, skip
+  addi t0, zero, 5
+skip:
+  add a0, t0, zero
+  ret

@@ -191,12 +191,114 @@ let test_asm_text_roundtrip () =
   Alcotest.(check bool) "data sections equal" true
     (direct.Assembler.Image.data = reparsed.Assembler.Image.data)
 
+(* ---------- validate: structural rejections ---------- *)
+
+let lowered src =
+  let p = Minic.Lower.compile src in
+  List.find (fun g -> g.Ir.name = "main") p.Ir.funcs
+
+let expect_invalid name f =
+  match Analysis.validate f with
+  | () -> Alcotest.failf "%s: validate accepted a broken function" name
+  | exception Analysis.Invalid_ir _ -> ()
+  | exception e ->
+    Alcotest.failf "%s: expected Invalid_ir, got %s" name (Printexc.to_string e)
+
+let test_validate_structural () =
+  (* a terminator that targets a nonexistent block must be Invalid_ir,
+     not Not_found out of the CFG builder *)
+  let f = func_of_edges 3 [ (0, 1); (1, 2) ] in
+  (Ir.block f 2).Ir.term <- Ir.Br 99;
+  expect_invalid "dangling target" f;
+  (* duplicate block ids *)
+  let f = func_of_edges 2 [ (0, 1) ] in
+  f.Ir.blocks <- f.Ir.blocks @ [ { Ir.bid = 1; insts = []; term = Ir.Ret (Ir.Const 0l) } ];
+  expect_invalid "duplicate bid" f;
+  (* a phi in the entry block *)
+  let f = func_of_edges 2 [ (0, 1) ] in
+  f.Ir.nvalues <- 1;
+  (Ir.entry_block f).Ir.insts <- [ (0, Ir.Phi [ (1, Ir.Const 0l) ]) ];
+  expect_invalid "entry phi" f;
+  (* a value id at or above nvalues *)
+  let f = func_of_edges 2 [ (0, 1) ] in
+  (Ir.block f 1).Ir.insts <- [ (7, Ir.Bin (Ir.Add, Ir.Const 1l, Ir.Const 2l)) ];
+  expect_invalid "value id out of range" f;
+  (* a phi arm naming a reachable block that is not a predecessor *)
+  let f = func_of_edges 3 [ (0, 1); (0, 2); (1, 2) ] in
+  f.Ir.nvalues <- 1;
+  (Ir.block f 1).Ir.insts <- [ (0, Ir.Phi [ (0, Ir.Const 0l); (2, Ir.Const 1l) ]) ];
+  expect_invalid "non-pred arm" f;
+  (* and a well-formed lowered function passes *)
+  let f = lowered {|
+int main() {
+  int s = 0;
+  for (int i = 0; i < 4; i = i + 1) s = s + i;
+  return s;
+}
+|} in
+  Analysis.validate f
+
+(* ---------- the checked pass pipeline ---------- *)
+
+let test_checked_pipeline_clean () =
+  (* every workload survives the checked O0/O1/O2 pipelines *)
+  List.iter
+    (fun (w : Workloads.t) ->
+       List.iter
+         (fun opt ->
+            let p = Minic.Lower.compile w.Workloads.source in
+            List.iter (Ssa_ir.Passes.checked_at opt) p.Ir.funcs)
+         [ Ssa_ir.Passes.O0; Ssa_ir.Passes.O1; Ssa_ir.Passes.O2 ])
+    [ Workloads.fib ~n:10 (); Workloads.sort ~n:16 ();
+      Workloads.coremark ~iterations:1 () ]
+
+let test_checked_blames_broken_pass () =
+  (* inject a deliberately broken pass between two honest ones: the
+     failure must name it, not its neighbours *)
+  let sabotage =
+    { Ssa_ir.Passes.pass_name = "sabotage";
+      pass_run =
+        (fun f ->
+           (* redirect the entry terminator at a nonexistent block *)
+           (Ir.entry_block f).Ir.term <- Ir.Br 9999;
+           true) }
+  in
+  let pipeline =
+    match Ssa_ir.Passes.pipeline Ssa_ir.Passes.O1 with
+    | first :: rest -> (first :: sabotage :: rest)
+    | [] -> assert false
+  in
+  let f = lowered "int main() { return 1 + 2; }" in
+  match Ssa_ir.Passes.run_passes ~validate:true pipeline f with
+  | () -> Alcotest.fail "broken pass went unnoticed"
+  | exception Analysis.Invalid_ir msg ->
+    let contains ~needle hay =
+      let nl = String.length needle and hl = String.length hay in
+      let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "blames sabotage: %S" msg)
+      true (contains ~needle:"pass sabotage broke the IR" msg);
+    Alcotest.(check bool)
+      (Printf.sprintf "does not blame const-fold: %S" msg)
+      false (contains ~needle:"const-fold broke" msg)
+
+let test_checked_accepts_unoptimized () =
+  (* ~validate:true also validates the input before any pass runs *)
+  let f = lowered "int main() { putint(42); return 0; }" in
+  Ssa_ir.Passes.run_passes ~validate:true [] f
+
 let suite =
   [ QCheck_alcotest.to_alcotest prop_dominators;
     QCheck_alcotest.to_alcotest prop_loops_have_back_edges;
     QCheck_alcotest.to_alcotest prop_entry_dominates_all;
     ("liveness diamond", `Quick, test_liveness_diamond);
     ("disassembly roundtrip", `Quick, test_disassembly_roundtrip);
-    ("asm text roundtrip", `Quick, test_asm_text_roundtrip) ]
+    ("asm text roundtrip", `Quick, test_asm_text_roundtrip);
+    ("validate rejects structural breakage", `Quick, test_validate_structural);
+    ("checked pipeline clean on workloads", `Quick, test_checked_pipeline_clean);
+    ("checked pipeline blames culprit pass", `Quick, test_checked_blames_broken_pass);
+    ("checked pipeline validates input", `Quick, test_checked_accepts_unoptimized) ]
 
 let () = Alcotest.run "analysis" [ ("analysis", suite) ]

@@ -8,6 +8,7 @@ module Gen = Fuzz.Gen
 module Diff = Fuzz.Diff
 module Shrink = Fuzz.Shrink
 module Lint = Straight_lint.Lint
+module RLint = Riscv_lint.Lint
 module Isa = Straight_isa.Isa
 module SE = Straight_isa.Encoding
 module Image = Assembler.Image
@@ -49,7 +50,8 @@ let test_fixed_seed_agreement () =
 let regression_files =
   [ "fuzz_regressions/seed7_minint_call_arg.mc";
     "fuzz_regressions/seed696_condbr_refresh.mc";
-    "fuzz_regressions/shift_ge32.mc" ]
+    "fuzz_regressions/shift_ge32.mc";
+    "fuzz_regressions/seed140_folded_phi_prefix.mc" ]
 
 (* [dune runtest] runs in the stanza directory, [dune exec] wherever the
    user stands; accept both. *)
@@ -153,11 +155,11 @@ let test_lint_workloads_clean () =
            (Straight_cc.Codegen.Re_plus, 31);
            (Straight_cc.Codegen.Raw, 31) ];
        let riscv = Straight_core.Compile.to_riscv w.Workloads.source in
-       match Lint.lint_riscv_roundtrip riscv with
+       match RLint.lint riscv with
        | [] -> ()
        | f :: _ ->
          Alcotest.failf "%s riscv: %s" w.Workloads.name
-           (Format.asprintf "%a" Lint.pp_finding f))
+           (Format.asprintf "%a" RLint.pp_finding f))
     [ Workloads.dhrystone ~iterations:2 ();
       Workloads.coremark ~iterations:1 ();
       Workloads.fib ~n:10 ();
