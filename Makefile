@@ -1,4 +1,5 @@
-.PHONY: check build test bench bench-json bench-gate fuzz-smoke lint fmt clean
+.PHONY: check build test bench bench-json bench-gate fuzz-smoke lint fmt \
+	sweep-quick sweep-smoke coverage clean
 
 check: build test
 
@@ -40,6 +41,38 @@ lint:
 # every benchmark image.
 fuzz-smoke: lint
 	dune exec bin/fuzz.exe -- -seed 1 -count 200
+
+# Design-space sweep (see EXPERIMENTS.md, "Design-space sweeps").
+# The default 32-point grid at quick iteration counts; results land in
+# sweep.json and the per-figure tables in FIGURES.md.  Re-runs are
+# served from the _sweep/ cache; JOBS= overrides the worker count.
+JOBS ?= 0
+SWEEP_JOBS = $(if $(filter 0,$(JOBS)),,-j $(JOBS))
+sweep-quick:
+	dune exec bin/sweep.exe -- -quick $(SWEEP_JOBS) -no-stream \
+	  -out sweep.json -figures FIGURES.md
+
+# CI cache-hit smoke: the 2-point smoke grid twice against a scratch
+# cache.  The second invocation must be served entirely from the cache
+# (-expect-cached exits 3 if any point simulates again).
+sweep-smoke:
+	rm -rf _sweep_smoke
+	dune exec bin/sweep.exe -- -grid smoke -j 2 -cache-dir _sweep_smoke \
+	  -figures none -out /dev/null -no-stream
+	dune exec bin/sweep.exe -- -grid smoke -j 2 -cache-dir _sweep_smoke \
+	  -figures none -out /dev/null -no-stream -expect-cached
+
+# Line coverage for the test suite via bisect_ppx (not vendored: the
+# target is a no-op with a hint when the tooling is absent).  The HTML
+# report lands in _coverage/.
+coverage:
+	@command -v bisect-ppx-report >/dev/null 2>&1 || \
+	  { echo "coverage: bisect_ppx not installed (opam install bisect_ppx)"; exit 1; }
+	find . -name '*.coverage' -delete
+	dune runtest --force --instrument-with bisect_ppx
+	bisect-ppx-report summary
+	bisect-ppx-report html -o _coverage
+	@echo "coverage: HTML report in _coverage/index.html"
 
 clean:
 	dune clean

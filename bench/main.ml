@@ -24,7 +24,6 @@ module Models = Straight_core.Models
 module Exp = Straight_core.Experiment
 module Engine = Ooo_common.Engine
 module Stats = Ooo_common.Stats
-module Inject = Ooo_common.Inject
 
 let quick = ref false
 
@@ -35,24 +34,20 @@ let header title =
   Printf.printf "\n==================== %s ====================\n%!" title
 
 (* memoize experiment runs: several figures reuse the same configurations.
-   The key carries everything that shapes the run — including the checker
-   flag and the fault-injection plan, which share a model name with the
-   clean configuration and must not alias its cached result. *)
+   The key is the stable params digest (which covers every model field,
+   fault-injection plan included) plus the run knobs that live outside
+   Params.t — the same key family the sweep subsystem's on-disk cache
+   uses, so a config change can never alias a stale result through a
+   shared model name. *)
 let cache : (string, Exp.result) Hashtbl.t = Hashtbl.create 32
 
 let run ?max_dist ?(check = true) ~model ~target w =
-  let inject_tag =
-    match model.Ooo_common.Params.inject with
-    | None -> "noinj"
-    | Some pl ->
-      Printf.sprintf "inj:%d:%d:%s" pl.Inject.seed pl.Inject.period
-        (String.concat "+" (List.map Inject.kind_name pl.Inject.kinds))
-  in
   let key =
-    Printf.sprintf "%s/%s/%s/%d/%b/%s" model.Ooo_common.Params.name
+    Printf.sprintf "%s/%s/%s/%d/%b"
+      (Ooo_common.Params.digest model)
       (Exp.target_label target) w.Workloads.name
       (Option.value ~default:Ooo_common.Params.straight_max_dist max_dist)
-      check inject_tag
+      check
   in
   match Hashtbl.find_opt cache key with
   | Some r -> r

@@ -142,3 +142,182 @@ let with_ideal_recovery p =
 let with_faults plan p =
   { p with inject = Some plan;
     name = Printf.sprintf "%s-faults@%d" p.name plan.Inject.seed }
+
+(* ---------- JSON round-trip and stable hashing ----------
+
+   The sweep subsystem content-addresses simulation results by
+   configuration, so [t] needs a canonical serialization: [to_json] is
+   total over every field (including the fault-injection plan), and
+   [digest] is the MD5 of the compact rendering — stable across
+   processes, unlike [Hashtbl.hash] on a record containing closures'
+   worth of nested data.  [of_json] inverts [to_json] exactly;
+   [equal] is structural. *)
+
+exception Json_error of string
+
+module J = Stats.Json
+
+let cache_to_json (c : cache_params) : J.t =
+  J.Obj
+    [ ("size_bytes", J.Int c.size_bytes);
+      ("ways", J.Int c.ways);
+      ("line_bytes", J.Int c.line_bytes);
+      ("hit_latency", J.Int c.hit_latency) ]
+
+let jfail fmt = Printf.ksprintf (fun m -> raise (Json_error m)) fmt
+
+let jint name j =
+  match J.get_int (J.member name j) with
+  | Some n -> n
+  | None -> jfail "missing int field %S" name
+
+let jstr name j =
+  match J.get_string (J.member name j) with
+  | Some s -> s
+  | None -> jfail "missing string field %S" name
+
+let jbool name j =
+  match J.member name j with
+  | Some (J.Bool b) -> b
+  | _ -> jfail "missing bool field %S" name
+
+let cache_of_json j =
+  { size_bytes = jint "size_bytes" j;
+    ways = jint "ways" j;
+    line_bytes = jint "line_bytes" j;
+    hit_latency = jint "hit_latency" j }
+
+let rename_to_json = function
+  | Rmt { phys_regs } ->
+    J.Obj [ ("kind", J.Str "rmt"); ("phys_regs", J.Int phys_regs) ]
+  | Rmt_checkpoint { phys_regs; checkpoints } ->
+    J.Obj
+      [ ("kind", J.Str "rmt_checkpoint");
+        ("phys_regs", J.Int phys_regs);
+        ("checkpoints", J.Int checkpoints) ]
+  | Rp -> J.Obj [ ("kind", J.Str "rp") ]
+
+let rename_of_json j =
+  match jstr "kind" j with
+  | "rmt" -> Rmt { phys_regs = jint "phys_regs" j }
+  | "rmt_checkpoint" ->
+    Rmt_checkpoint
+      { phys_regs = jint "phys_regs" j; checkpoints = jint "checkpoints" j }
+  | "rp" -> Rp
+  | k -> jfail "unknown rename kind %S" k
+
+let predictor_name = function Gshare -> "gshare" | Tage -> "tage"
+
+let predictor_of_name = function
+  | "gshare" -> Some Gshare
+  | "tage" -> Some Tage
+  | _ -> None
+
+let inject_to_json = function
+  | None -> J.Null
+  | Some (pl : Inject.plan) ->
+    J.Obj
+      [ ("seed", J.Int pl.Inject.seed);
+        ("period", J.Int pl.Inject.period);
+        ("kinds",
+         J.List
+           (List.map (fun k -> J.Str (Inject.kind_name k)) pl.Inject.kinds)) ]
+
+let inject_of_json = function
+  | None | Some J.Null -> None
+  | Some j ->
+    let kinds =
+      match J.get_list (J.member "kinds" j) with
+      | Some ks ->
+        List.map
+          (fun k ->
+             match J.get_string (Some k) with
+             | Some s ->
+               (match Inject.kind_of_string s with
+                | Some kind -> kind
+                | None -> jfail "unknown fault kind %S" s)
+             | None -> jfail "fault kind is not a string")
+          ks
+      | None -> jfail "missing fault kinds"
+    in
+    Some { Inject.seed = jint "seed" j; period = jint "period" j; kinds }
+
+let to_json (p : t) : J.t =
+  J.Obj
+    [ ("name", J.Str p.name);
+      ("fetch_width", J.Int p.fetch_width);
+      ("frontend_depth", J.Int p.frontend_depth);
+      ("rob_entries", J.Int p.rob_entries);
+      ("scheduler_entries", J.Int p.scheduler_entries);
+      ("issue_width", J.Int p.issue_width);
+      ("commit_width", J.Int p.commit_width);
+      ("ldq_entries", J.Int p.ldq_entries);
+      ("stq_entries", J.Int p.stq_entries);
+      ("n_alu", J.Int p.n_alu);
+      ("n_mul", J.Int p.n_mul);
+      ("n_div", J.Int p.n_div);
+      ("n_bc", J.Int p.n_bc);
+      ("n_mem", J.Int p.n_mem);
+      ("rename", rename_to_json p.rename);
+      ("predictor", J.Str (predictor_name p.predictor));
+      ("l1i", cache_to_json p.l1i);
+      ("l1d", cache_to_json p.l1d);
+      ("l2", cache_to_json p.l2);
+      ("l3", (match p.l3 with None -> J.Null | Some c -> cache_to_json c));
+      ("memory_latency", J.Int p.memory_latency);
+      ("ideal_recovery", J.Bool p.ideal_recovery);
+      ("latency_alu", J.Int p.latency_alu);
+      ("latency_mul", J.Int p.latency_mul);
+      ("latency_div", J.Int p.latency_div);
+      ("branch_resolve_latency", J.Int p.branch_resolve_latency);
+      ("dispatch_issue_latency", J.Int p.dispatch_issue_latency);
+      ("inject", inject_to_json p.inject) ]
+
+let of_json (j : J.t) : t =
+  let sub name =
+    match J.member name j with
+    | Some s -> s
+    | None -> jfail "missing field %S" name
+  in
+  { name = jstr "name" j;
+    fetch_width = jint "fetch_width" j;
+    frontend_depth = jint "frontend_depth" j;
+    rob_entries = jint "rob_entries" j;
+    scheduler_entries = jint "scheduler_entries" j;
+    issue_width = jint "issue_width" j;
+    commit_width = jint "commit_width" j;
+    ldq_entries = jint "ldq_entries" j;
+    stq_entries = jint "stq_entries" j;
+    n_alu = jint "n_alu" j;
+    n_mul = jint "n_mul" j;
+    n_div = jint "n_div" j;
+    n_bc = jint "n_bc" j;
+    n_mem = jint "n_mem" j;
+    rename = rename_of_json (sub "rename");
+    predictor =
+      (let s = jstr "predictor" j in
+       match predictor_of_name s with
+       | Some p -> p
+       | None -> jfail "unknown predictor %S" s);
+    l1i = cache_of_json (sub "l1i");
+    l1d = cache_of_json (sub "l1d");
+    l2 = cache_of_json (sub "l2");
+    l3 =
+      (match J.member "l3" j with
+       | None | Some J.Null -> None
+       | Some c -> Some (cache_of_json c));
+    memory_latency = jint "memory_latency" j;
+    ideal_recovery = jbool "ideal_recovery" j;
+    latency_alu = jint "latency_alu" j;
+    latency_mul = jint "latency_mul" j;
+    latency_div = jint "latency_div" j;
+    branch_resolve_latency = jint "branch_resolve_latency" j;
+    dispatch_issue_latency = jint "dispatch_issue_latency" j;
+    inject = inject_of_json (J.member "inject" j) }
+
+(* [t] is first-order data (ints, strings, lists of enums), so the
+   structural comparison is exactly configuration equality. *)
+let equal (a : t) (b : t) = a = b
+
+let digest (p : t) : string =
+  Digest.to_hex (Digest.string (J.to_string ~indent:false (to_json p)))

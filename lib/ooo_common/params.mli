@@ -95,3 +95,29 @@ val spadd_per_cycle : int
     computations in a fetch group would stretch the clock, so the decoder
     restricts them by stalling; the paper argues — and the bench harness
     confirms — the effect is negligible). *)
+
+(** {2 Canonical serialization and stable hashing}
+
+    The design-space sweep subsystem ([lib/sweep]) content-addresses
+    cached simulation results by configuration, and the bench harness
+    memoizes runs by the same key, so [t] round-trips through the
+    dependency-free JSON layer and hashes stably across processes. *)
+
+exception Json_error of string
+(** Raised by {!of_json} on a malformed or incomplete configuration. *)
+
+val to_json : t -> Stats.Json.t
+(** Total over every field, including the fault-injection plan. *)
+
+val of_json : Stats.Json.t -> t
+(** Exact inverse of {!to_json}.  @raise Json_error on malformed input. *)
+
+val equal : t -> t -> bool
+(** Structural configuration equality ([t] is first-order data). *)
+
+val digest : t -> string
+(** MD5 hex of the compact {!to_json} rendering: equal configurations
+    (names included) digest equally in any process. *)
+
+val predictor_name : predictor_kind -> string
+val predictor_of_name : string -> predictor_kind option

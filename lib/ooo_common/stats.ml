@@ -83,7 +83,11 @@ module Json = struct
   let float_repr f =
     if Float.is_integer f && Float.abs f < 1e15 then
       Printf.sprintf "%.1f" f
-    else Printf.sprintf "%.9g" f
+    else
+      (* shortest representation that parses back to the same double,
+         so cached/serialized records compare exactly on reload *)
+      let s = Printf.sprintf "%.12g" f in
+      if float_of_string s = f then s else Printf.sprintf "%.17g" f
 
   let rec write b ~indent ~level t =
     let pad n = if indent then Buffer.add_string b (String.make (2 * n) ' ') in

@@ -1,0 +1,108 @@
+(* Sweep orchestration (see driver.mli). *)
+
+module Params = Ooo_common.Params
+module J = Ooo_common.Stats.Json
+
+type summary = {
+  total : int;
+  executed : int;
+  cached : int;
+  failed : int;
+  wall_seconds : float;
+}
+
+let sweep ?(procs = 0) ?(timeout = 600.) ?(retries = 1)
+    ?(cache_dir = "_sweep") ?(on_record = fun _ -> ()) (spec : Grid.spec) :
+  Runner.record list * summary =
+  let t0 = Unix.gettimeofday () in
+  let points = Array.of_list (Grid.expand spec) in
+  let keys = Array.map (fun pt -> Store.key pt) points in
+  (* serve the cache first; only the delta reaches the pool *)
+  let results : Runner.record option array = Array.make (Array.length points) None in
+  let todo = ref [] in
+  Array.iteri
+    (fun i k ->
+       match Store.lookup ~dir:cache_dir k with
+       | Some r ->
+         results.(i) <- Some r;
+         on_record r
+       | None -> todo := i :: !todo)
+    keys;
+  let todo = Array.of_list (List.rev !todo) in
+  let cached = Array.length points - Array.length todo in
+  let failed = ref 0 in
+  let finish i (r : Runner.record) =
+    Store.save ~dir:cache_dir keys.(i) r;
+    results.(i) <- Some r;
+    on_record r
+  in
+  if Array.length todo > 0 then begin
+    if procs <= 0 then
+      Array.iter (fun i -> finish i (Runner.run points.(i))) todo
+    else begin
+      let worker j =
+        let r = Runner.run points.(todo.(j)) in
+        J.to_string ~indent:false (Runner.to_json r)
+      in
+      Pool.run ~jobs:(Array.length todo) ~worker ~procs ~timeout ~retries
+        ~on_result:(fun j outcome ->
+            let i = todo.(j) in
+            match outcome with
+            | Ok line -> finish i (Runner.of_json (J.of_string line))
+            | Error msg ->
+              incr failed;
+              Printf.eprintf "sweep: point %s/%s failed: %s\n%!"
+                points.(i).Grid.params.Params.name
+                points.(i).Grid.workload.Workloads.name msg)
+        ()
+    end
+  end;
+  let records =
+    Array.to_list results |> List.filter_map Fun.id
+    |> List.sort Runner.compare_order
+  in
+  ( records,
+    { total = Array.length points;
+      executed = Array.length todo - !failed;
+      cached;
+      failed = !failed;
+      wall_seconds = Unix.gettimeofday () -. t0 } )
+
+let spec_to_json (s : Grid.spec) : J.t =
+  J.Obj
+    [ ("machines",
+       J.List (List.map (fun m -> J.Str (Grid.machine_label m)) s.Grid.machines));
+      ("widths", J.List (List.map (fun w -> J.Int w) s.Grid.widths));
+      ("robs",
+       J.List
+         (List.map
+            (function None -> J.Null | Some n -> J.Int n)
+            s.Grid.robs));
+      ("scheds",
+       J.List
+         (List.map
+            (function None -> J.Null | Some n -> J.Int n)
+            s.Grid.scheds));
+      ("predictors",
+       J.List
+         (List.map
+            (fun p -> J.Str (Params.predictor_name p))
+            s.Grid.predictors));
+      ("ideal", J.List (List.map (fun b -> J.Bool b) s.Grid.ideal));
+      ("workloads", J.List (List.map (fun w -> J.Str w) s.Grid.workloads));
+      ("quick", J.Bool s.Grid.quick) ]
+
+let to_json (spec : Grid.spec) (s : summary) (records : Runner.record list) :
+  J.t =
+  J.Obj
+    [ ("schema", J.Str "straight-sweep/1");
+      ("code_hash", J.Str (Store.code_digest ()));
+      ("grid", spec_to_json spec);
+      ("summary",
+       J.Obj
+         [ ("total", J.Int s.total);
+           ("executed", J.Int s.executed);
+           ("cached", J.Int s.cached);
+           ("failed", J.Int s.failed);
+           ("wall_seconds", J.Float s.wall_seconds) ]);
+      ("records", J.List (List.map Runner.to_json records)) ]

@@ -1,0 +1,31 @@
+(** Sweep orchestration: expand a grid, serve what the cache already
+    knows, fan the rest out over the {!Pool}, persist each fresh result,
+    and aggregate.
+
+    [procs = 0] runs every point in-process (no fork) — the mode the
+    test suite uses; [procs >= 1] forks that many workers. *)
+
+type summary = {
+  total : int;
+  executed : int;       (** points simulated this invocation *)
+  cached : int;         (** points served from the on-disk cache *)
+  failed : int;         (** points whose retries were exhausted *)
+  wall_seconds : float;
+}
+
+val sweep :
+  ?procs:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?cache_dir:string ->
+  ?on_record:(Runner.record -> unit) ->
+  Grid.spec ->
+  Runner.record list * summary
+(** Records come back sorted by {!Runner.compare_order}; failed points
+    are absent from the list and counted in the summary.  [on_record]
+    fires in completion order as results arrive (the JSONL stream).
+    Defaults: [procs = 0], [timeout = 600.], [retries = 1],
+    [cache_dir = "_sweep"]. *)
+
+val to_json : Grid.spec -> summary -> Runner.record list -> Ooo_common.Stats.Json.t
+(** The [sweep.json] document (schema ["straight-sweep/1"]). *)

@@ -1,0 +1,170 @@
+(* FIGURES.md generation from sweep records (see figures.mli). *)
+
+module R = Runner
+module Stats = Ooo_common.Stats
+
+let buf_add = Buffer.add_string
+
+(* distinct values of a projection, in first-seen order *)
+let distinct (f : R.record -> 'a) (rs : R.record list) : 'a list =
+  List.rev
+    (List.fold_left
+       (fun acc r -> if List.mem (f r) acc then acc else f r :: acc)
+       [] rs)
+
+let find rs ~workload ~machine ~width ~predictor ~ideal =
+  List.find_opt
+    (fun (r : R.record) ->
+       r.R.workload = workload && r.R.machine = machine && r.R.width = width
+       && r.R.predictor = predictor && r.R.ideal = ideal)
+    rs
+
+let cell_cycles = function
+  | Some (r : R.record) -> string_of_int r.R.cycles
+  | None -> "—"
+
+(* relative performance (inverse cycles), the paper's Figs. 11-14 metric *)
+let cell_rel ~base r =
+  match (base, r) with
+  | Some (b : R.record), Some (x : R.record) ->
+    Printf.sprintf "%.3f" (float_of_int b.R.cycles /. float_of_int x.R.cycles)
+  | _ -> "—"
+
+(* ---------- Fig. 12: machine-width sweep ---------- *)
+
+let fig12 b rs =
+  buf_add b "## Fig. 12 — machine-width sweep (gshare, real recovery)\n\n";
+  buf_add b
+    "Relative performance is SS cycles / STRAIGHT cycles at the same\n\
+     width (higher favors STRAIGHT).\n\n";
+  let widths = List.sort_uniq compare (List.map (fun r -> r.R.width) rs) in
+  List.iter
+    (fun workload ->
+       buf_add b (Printf.sprintf "### %s\n\n" workload);
+       buf_add b "| width | SS cycles | STRAIGHT(RE+) cycles | rel. perf |\n";
+       buf_add b "|---|---|---|---|\n";
+       List.iter
+         (fun width ->
+            let ss =
+              find rs ~workload ~machine:"ss" ~width ~predictor:"gshare"
+                ~ideal:false
+            in
+            let st =
+              find rs ~workload ~machine:"straight-re" ~width
+                ~predictor:"gshare" ~ideal:false
+            in
+            buf_add b
+              (Printf.sprintf "| %d | %s | %s | %s |\n" width (cell_cycles ss)
+                 (cell_cycles st) (cell_rel ~base:ss st)))
+         widths;
+       buf_add b "\n")
+    (distinct (fun r -> r.R.workload) rs)
+
+(* ---------- Fig. 13: ideal-recovery ablation ---------- *)
+
+let fig13 b rs =
+  buf_add b "## Fig. 13 — misprediction-penalty (ideal-recovery) ablation\n\n";
+  buf_add b
+    "`no-penalty` simulates zero-cost recovery; the gap is the cycle\n\
+     cost of the machine's recovery mechanism.\n\n";
+  buf_add b
+    "| workload | machine | width | real cycles | no-penalty cycles | recovery cost |\n";
+  buf_add b "|---|---|---|---|---|---|\n";
+  List.iter
+    (fun workload ->
+       List.iter
+         (fun machine ->
+            List.iter
+              (fun width ->
+                 let real =
+                   find rs ~workload ~machine ~width ~predictor:"gshare"
+                     ~ideal:false
+                 in
+                 let ideal =
+                   find rs ~workload ~machine ~width ~predictor:"gshare"
+                     ~ideal:true
+                 in
+                 match (real, ideal) with
+                 | Some re, Some id ->
+                   buf_add b
+                     (Printf.sprintf "| %s | %s | %d | %d | %d | %.1f%% |\n"
+                        workload machine width re.R.cycles id.R.cycles
+                        (100.
+                         *. (float_of_int re.R.cycles
+                             /. float_of_int id.R.cycles
+                             -. 1.)))
+                 | _ -> ())
+              (List.sort_uniq compare (List.map (fun r -> r.R.width) rs)))
+         (distinct (fun r -> r.R.machine) rs))
+    (distinct (fun r -> r.R.workload) rs);
+  buf_add b "\n"
+
+(* ---------- Fig. 14: predictor sweep ---------- *)
+
+let fig14 b rs =
+  buf_add b "## Fig. 14 — predictor sweep (gshare vs TAGE, real recovery)\n\n";
+  buf_add b
+    "| workload | machine | width | gshare cycles | TAGE cycles | TAGE gain | mispredicts (gshare → TAGE) |\n";
+  buf_add b "|---|---|---|---|---|---|---|\n";
+  List.iter
+    (fun workload ->
+       List.iter
+         (fun machine ->
+            List.iter
+              (fun width ->
+                 let g =
+                   find rs ~workload ~machine ~width ~predictor:"gshare"
+                     ~ideal:false
+                 in
+                 let t =
+                   find rs ~workload ~machine ~width ~predictor:"tage"
+                     ~ideal:false
+                 in
+                 match (g, t) with
+                 | Some g, Some t ->
+                   buf_add b
+                     (Printf.sprintf
+                        "| %s | %s | %d | %d | %d | %+.1f%% | %d → %d |\n"
+                        workload machine width g.R.cycles t.R.cycles
+                        (100.
+                         *. (float_of_int g.R.cycles /. float_of_int t.R.cycles
+                             -. 1.))
+                        g.R.branch_mispredicts t.R.branch_mispredicts)
+                 | _ -> ())
+              (List.sort_uniq compare (List.map (fun r -> r.R.width) rs)))
+         (distinct (fun r -> r.R.machine) rs))
+    (distinct (fun r -> r.R.workload) rs);
+  buf_add b "\n"
+
+(* ---------- CPI stacks ---------- *)
+
+let cpi_table b rs =
+  buf_add b "## CPI stacks (cycles per bucket, every swept point)\n\n";
+  buf_add b
+    "| workload | model | target | base | frontend | branch_squash | memory | structural | total |\n";
+  buf_add b "|---|---|---|---|---|---|---|---|---|\n";
+  List.iter
+    (fun (r : R.record) ->
+       let c = r.R.cpi in
+       buf_add b
+         (Printf.sprintf "| %s | %s | %s | %d | %d | %d | %d | %d | %d |\n"
+            r.R.workload r.R.model r.R.target c.Stats.base c.Stats.frontend
+            c.Stats.branch_squash c.Stats.memory c.Stats.structural
+            (Stats.cpi_total c)))
+    rs;
+  buf_add b "\n"
+
+let render (records : Runner.record list) : string =
+  let rs = List.sort R.compare_order records in
+  let b = Buffer.create 8192 in
+  buf_add b "# FIGURES — design-space sweep\n\n";
+  buf_add b
+    "Generated by `bin/sweep` (see EXPERIMENTS.md, \"Design-space\n\
+     sweeps\").  Regenerate with `make sweep-quick`.  Absolute cycle\n\
+     counts are from our simulator substrate; the reproduced quantities\n\
+     are the relative shapes (see EXPERIMENTS.md).\n\n";
+  fig12 b rs;
+  fig13 b rs;
+  fig14 b rs;
+  cpi_table b rs;
+  Buffer.contents b

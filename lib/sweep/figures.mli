@@ -1,0 +1,9 @@
+(** Derives the per-figure markdown tables (FIGURES.md) from a set of
+    sweep records: Fig. 12 (machine-width sweep), Fig. 13
+    (ideal-recovery ablation), Fig. 14 (predictor sweep), plus a CPI
+    stack breakdown per point.  Tables are robust to sparse grids —
+    a missing cell renders as "—" rather than failing, so any grid the
+    user sweeps produces a readable report. *)
+
+val render : Runner.record list -> string
+(** The full FIGURES.md body (markdown). *)

@@ -1,0 +1,197 @@
+(* Fork-based self-scheduling worker pool (see pool.mli).
+
+   Parent/worker protocol, one line each way per job:
+
+     parent -> worker:  "<job index>\n"
+     worker -> parent:  "ok <idx> <payload>\n"  |  "err <idx> <msg>\n"
+
+   The payload is produced in the child, so it must be newline-free
+   (the sweep ships compact JSON); [String.escaped] guards the error
+   path.  Workers are stateless between jobs — all job data lives in
+   the [worker] closure, which the child inherits through fork — so a
+   killed worker is replaced by simply forking again. *)
+
+type worker_slot = {
+  pid : int;
+  job_fd : Unix.file_descr;       (* raw write end, for sibling cleanup *)
+  job_w : out_channel;            (* parent writes job indices *)
+  res_fd : Unix.file_descr;       (* select()able result pipe *)
+  res_ic : in_channel;
+  mutable current : int option;   (* in-flight job index *)
+  mutable started : float;
+}
+
+let oneline s =
+  match String.index_opt s '\n' with
+  | None -> s
+  | Some i -> String.sub s 0 i
+
+(* [siblings] are the parent's pipe ends for the other live workers:
+   fork duplicates them into the child, and a child holding a copy of a
+   sibling's job-pipe write end would keep that sibling alive past the
+   parent's close (no EOF ever arrives), so the child drops them all
+   before entering its job loop. *)
+let spawn ~(siblings : Unix.file_descr list) (worker : int -> string) :
+  worker_slot =
+  let jr, jw = Unix.pipe ~cloexec:false () in
+  let rr, rw = Unix.pipe ~cloexec:false () in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    Unix.close jw;
+    Unix.close rr;
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      siblings;
+    let ic = Unix.in_channel_of_descr jr in
+    let oc = Unix.out_channel_of_descr rw in
+    let rec loop () =
+      match input_line ic with
+      | exception End_of_file -> ()
+      | line ->
+        let idx = int_of_string (String.trim line) in
+        let reply =
+          match worker idx with
+          | payload -> Printf.sprintf "ok %d %s" idx (oneline payload)
+          | exception e ->
+            Printf.sprintf "err %d %s" idx
+              (String.escaped (Printexc.to_string e))
+        in
+        output_string oc (reply ^ "\n");
+        flush oc;
+        loop ()
+    in
+    (try loop () with _ -> ());
+    (* _exit: skip at_exit/buffer flushing inherited from the parent *)
+    Unix._exit 0
+  | pid ->
+    Unix.close jr;
+    Unix.close rw;
+    { pid;
+      job_fd = jw;
+      job_w = Unix.out_channel_of_descr jw;
+      res_fd = rr;
+      res_ic = Unix.in_channel_of_descr rr;
+      current = None;
+      started = 0. }
+
+let dismiss (w : worker_slot) ~kill =
+  if kill then (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  (try close_out w.job_w with Sys_error _ -> ());
+  (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
+  try close_in w.res_ic with Sys_error _ -> ()
+
+let sibling_fds workers =
+  List.concat_map (fun w -> [ w.job_fd; w.res_fd ]) workers
+
+let run ~jobs ~(worker : int -> string) ~procs ?(timeout = 600.) ?(retries = 1)
+    ~(on_result : int -> (string, string) result -> unit) () : unit =
+  let procs = max 1 (min procs (max 1 jobs)) in
+  (* a worker killed between select() and the parent's write must not
+     SIGPIPE the parent; the write path handles the EPIPE instead *)
+  let old_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ -> None
+  in
+  let pending = Queue.create () in
+  for i = 0 to jobs - 1 do
+    Queue.add (i, 0) pending
+  done;
+  let attempts = Array.make (max 1 jobs) 0 in
+  let done_count = ref 0 in
+  let workers = ref [] in
+  for _ = 1 to procs do
+    workers := spawn ~siblings:(sibling_fds !workers) worker :: !workers
+  done;
+  let assign w =
+    match Queue.take_opt pending with
+    | None -> ()
+    | Some (idx, tries) ->
+      attempts.(idx) <- tries;
+      w.current <- Some idx;
+      w.started <- Unix.gettimeofday ();
+      (try
+         output_string w.job_w (string_of_int idx ^ "\n");
+         flush w.job_w
+       with Sys_error _ ->
+         (* worker already gone: recycle the job and the worker *)
+         w.current <- None;
+         Queue.add (idx, tries) pending;
+         dismiss w ~kill:true;
+         let rest = List.filter (fun x -> x.pid <> w.pid) !workers in
+         workers := spawn ~siblings:(sibling_fds rest) worker :: rest)
+  in
+  let fail_or_retry idx msg =
+    if attempts.(idx) < retries then Queue.add (idx, attempts.(idx) + 1) pending
+    else begin
+      incr done_count;
+      on_result idx (Error msg)
+    end
+  in
+  (* replace a dead/hung worker, recycling its in-flight job *)
+  let replace w ~kill ~msg =
+    (match w.current with
+     | Some idx -> fail_or_retry idx msg
+     | None -> ());
+    dismiss w ~kill;
+    let rest = List.filter (fun x -> x.pid <> w.pid) !workers in
+    let w' = spawn ~siblings:(sibling_fds rest) worker in
+    workers := w' :: rest;
+    w'
+  in
+  while !done_count < jobs do
+    List.iter (fun w -> if w.current = None then assign w) !workers;
+    let busy = List.filter (fun w -> w.current <> None) !workers in
+    if busy = [] then
+      (* nothing in flight and jobs remain: all workers idle with an
+         empty queue can't happen while done_count < jobs, but guard
+         against a protocol bug turning this into a spin *)
+      ignore (Unix.select [] [] [] 0.01)
+    else begin
+      let fds = List.map (fun w -> w.res_fd) busy in
+      let readable, _, _ = Unix.select fds [] [] 0.2 in
+      List.iter
+        (fun w ->
+           if List.mem w.res_fd readable then
+             match input_line w.res_ic with
+             | exception End_of_file ->
+               ignore (replace w ~kill:true ~msg:"worker died")
+             | line ->
+               w.current <- None;
+               (match String.split_on_char ' ' line with
+                | "ok" :: idx :: rest ->
+                  incr done_count;
+                  on_result (int_of_string idx)
+                    (Ok (String.concat " " rest))
+                | "err" :: idx :: rest ->
+                  let msg = String.concat " " rest in
+                  fail_or_retry (int_of_string idx)
+                    (try Scanf.unescaped msg with _ -> msg)
+                | _ ->
+                  ignore
+                    (replace w ~kill:true
+                       ~msg:("pool protocol violation: " ^ line))))
+        busy;
+      (* enforce per-attempt timeouts *)
+      let now = Unix.gettimeofday () in
+      List.iter
+        (fun w ->
+           match w.current with
+           | Some _ when now -. w.started > timeout ->
+             ignore
+               (replace w ~kill:true
+                  ~msg:(Printf.sprintf "timeout after %.0fs" timeout))
+           | _ -> ())
+        !workers
+    end
+  done;
+  (* two-phase shutdown: drop every job pipe first so EOF reaches all
+     children, then reap *)
+  List.iter
+    (fun w -> try close_out w.job_w with Sys_error _ -> ())
+    !workers;
+  List.iter (fun w -> dismiss w ~kill:false) !workers;
+  match old_sigpipe with
+  | Some b -> ignore (Sys.signal Sys.sigpipe b)
+  | None -> ()

@@ -1,0 +1,34 @@
+(** Fork-based self-scheduling worker pool.
+
+    [run ~jobs ~worker ~procs ~on_result ()] forks [procs] workers,
+    hands each idle worker the next pending job index over a pipe, and
+    collects one result line per job.  Jobs are strings produced by
+    [worker] in the child (a compact JSON line in the sweep); the
+    parent receives them in completion order via [on_result].
+
+    Fault handling:
+    - a job that runs past [timeout] seconds gets its worker killed
+      (SIGKILL) and is retried on a fresh worker up to [retries] times;
+    - a worker that raises ships the exception text back and the job is
+      retried the same way;
+    - a worker that dies unexpectedly (EOF on its result pipe) is
+      respawned and its in-flight job retried.
+
+    A job whose retries are exhausted is reported as [Error msg].
+    [run] returns once every job has a result.  The caller must flush
+    [stdout]/[stderr] before calling (children inherit the buffers). *)
+
+val run :
+  jobs:int ->
+  worker:(int -> string) ->
+  procs:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  on_result:(int -> (string, string) result -> unit) ->
+  unit ->
+  unit
+(** @param timeout per-attempt wall-clock budget, seconds (default 600)
+    @param retries extra attempts after the first failure (default 1)
+    [procs] is clamped to at least 1.  Result strings must be single
+    lines; the worker's return value is truncated at the first
+    newline. *)

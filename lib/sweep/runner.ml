@@ -1,0 +1,130 @@
+(* One grid point -> one result record (see runner.mli). *)
+
+module Params = Ooo_common.Params
+module Stats = Ooo_common.Stats
+module Engine = Ooo_common.Engine
+module Exp = Straight_core.Experiment
+module J = Stats.Json
+
+type record = {
+  model : string;
+  target : string;
+  workload : string;
+  iterations : int;
+  machine : string;
+  width : int;
+  rob : int;
+  sched : int;
+  predictor : string;
+  ideal : bool;
+  params_hash : string;
+  cycles : int;
+  committed : int;
+  ipc : float;
+  branch_mispredicts : int;
+  cpi : Stats.cpi_stack;
+  host_seconds : float;
+  cached : bool;
+}
+
+let run (pt : Grid.point) : record =
+  let p = pt.Grid.params in
+  let t0 = Unix.gettimeofday () in
+  let r = Exp.run ~model:p ~target:pt.Grid.target pt.Grid.workload in
+  let host_seconds = Unix.gettimeofday () -. t0 in
+  { model = p.Params.name;
+    target = Exp.target_label pt.Grid.target;
+    workload = pt.Grid.workload.Workloads.name;
+    iterations = pt.Grid.workload.Workloads.iterations;
+    machine = Grid.machine_label pt.Grid.machine;
+    width = pt.Grid.width;
+    rob = p.Params.rob_entries;
+    sched = p.Params.scheduler_entries;
+    predictor = Params.predictor_name p.Params.predictor;
+    ideal = p.Params.ideal_recovery;
+    params_hash = Params.digest p;
+    cycles = r.Exp.cycles;
+    committed = r.Exp.committed;
+    ipc = r.Exp.ipc;
+    branch_mispredicts = r.Exp.stats.Engine.branch_mispredicts;
+    cpi = r.Exp.stats.Engine.cpi_stack;
+    host_seconds;
+    cached = false }
+
+let to_json (r : record) : J.t =
+  J.Obj
+    [ ("model", J.Str r.model);
+      ("target", J.Str r.target);
+      ("workload", J.Str r.workload);
+      ("iterations", J.Int r.iterations);
+      ("machine", J.Str r.machine);
+      ("width", J.Int r.width);
+      ("rob", J.Int r.rob);
+      ("sched", J.Int r.sched);
+      ("predictor", J.Str r.predictor);
+      ("ideal", J.Bool r.ideal);
+      ("params_hash", J.Str r.params_hash);
+      ("cycles", J.Int r.cycles);
+      ("committed", J.Int r.committed);
+      ("ipc", J.Float r.ipc);
+      ("branch_mispredicts", J.Int r.branch_mispredicts);
+      ("cpi_stack", Stats.cpi_to_json r.cpi);
+      ("host_seconds", J.Float r.host_seconds);
+      ("cached", J.Bool r.cached) ]
+
+let jfail fmt = Printf.ksprintf (fun m -> raise (Params.Json_error m)) fmt
+
+let jint name j =
+  match J.get_int (J.member name j) with
+  | Some n -> n
+  | None -> jfail "sweep record: missing int field %S" name
+
+let jstr name j =
+  match J.get_string (J.member name j) with
+  | Some s -> s
+  | None -> jfail "sweep record: missing string field %S" name
+
+let jbool name j =
+  match J.member name j with
+  | Some (J.Bool b) -> b
+  | _ -> jfail "sweep record: missing bool field %S" name
+
+let jfloat name j =
+  match J.get_float (J.member name j) with
+  | Some f -> f
+  | None -> jfail "sweep record: missing float field %S" name
+
+let of_json (j : J.t) : record =
+  let cpi =
+    match J.member "cpi_stack" j with
+    | Some c ->
+      { Stats.base = jint "base" c;
+        frontend = jint "frontend" c;
+        branch_squash = jint "branch_squash" c;
+        memory = jint "memory" c;
+        structural = jint "structural" c }
+    | None -> jfail "sweep record: missing field \"cpi_stack\""
+  in
+  { model = jstr "model" j;
+    target = jstr "target" j;
+    workload = jstr "workload" j;
+    iterations = jint "iterations" j;
+    machine = jstr "machine" j;
+    width = jint "width" j;
+    rob = jint "rob" j;
+    sched = jint "sched" j;
+    predictor = jstr "predictor" j;
+    ideal = jbool "ideal" j;
+    params_hash = jstr "params_hash" j;
+    cycles = jint "cycles" j;
+    committed = jint "committed" j;
+    ipc = jfloat "ipc" j;
+    branch_mispredicts = jint "branch_mispredicts" j;
+    cpi;
+    host_seconds = jfloat "host_seconds" j;
+    cached = jbool "cached" j }
+
+let compare_order (a : record) (b : record) =
+  compare
+    (a.workload, a.machine, a.width, a.predictor, a.ideal, a.rob, a.sched)
+    (b.workload, b.machine, b.width, b.predictor, b.ideal, b.rob, b.sched)

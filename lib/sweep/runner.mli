@@ -1,0 +1,38 @@
+(** Executes one grid point in-process and shapes the result record the
+    sweep pipeline exchanges: worker -> driver (one compact JSON line),
+    driver -> disk cache, cache -> aggregation, and the golden
+    regression test ([test/sweep_golden.json]). *)
+
+type record = {
+  model : string;                 (** [Params.t.name] *)
+  target : string;                (** [Experiment.target_label] *)
+  workload : string;
+  iterations : int;
+  machine : string;               (** {!Grid.machine_label} *)
+  width : int;                    (** issue width axis value *)
+  rob : int;
+  sched : int;
+  predictor : string;
+  ideal : bool;
+  params_hash : string;           (** [Params.digest] *)
+  cycles : int;
+  committed : int;
+  ipc : float;
+  branch_mispredicts : int;
+  cpi : Ooo_common.Stats.cpi_stack;
+  host_seconds : float;           (** wall time of the engine+ISS run *)
+  cached : bool;                  (** served from the on-disk cache *)
+}
+
+val run : Grid.point -> record
+(** Compile, run the functional ISS, and simulate the point on the
+    cycle engine (lockstep checker on, as in the bench harness). *)
+
+val to_json : record -> Ooo_common.Stats.Json.t
+
+val of_json : Ooo_common.Stats.Json.t -> record
+(** @raise Ooo_common.Params.Json_error on malformed input. *)
+
+val compare_order : record -> record -> int
+(** Deterministic sort for aggregated output: (workload, machine,
+    width, predictor, ideal, rob, sched). *)

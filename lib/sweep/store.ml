@@ -1,0 +1,48 @@
+(* Content-addressed result cache (see store.mli). *)
+
+module Params = Ooo_common.Params
+module J = Ooo_common.Stats.Json
+
+let code_digest =
+  let d = lazy (Digest.to_hex (Digest.file Sys.executable_name)) in
+  fun () -> Lazy.force d
+
+let key (pt : Grid.point) : string =
+  let w = pt.Grid.workload in
+  let manifest =
+    String.concat "\n"
+      [ "straight-sweep-key/1";
+        Params.digest pt.Grid.params;
+        Straight_core.Experiment.target_label pt.Grid.target;
+        w.Workloads.name;
+        string_of_int w.Workloads.iterations;
+        Digest.to_hex (Digest.string w.Workloads.source);
+        code_digest () ]
+  in
+  Digest.to_hex (Digest.string manifest)
+
+let cache_dir dir = Filename.concat dir "cache"
+let path dir k = Filename.concat (cache_dir dir) (k ^ ".json")
+
+let lookup ~dir k : Runner.record option =
+  let p = path dir k in
+  match In_channel.with_open_text p In_channel.input_all with
+  | exception Sys_error _ -> None
+  | text ->
+    (match Runner.of_json (J.of_string text) with
+     | r -> Some { r with Runner.cached = true }
+     | exception (J.Parse_error _ | Params.Json_error _) -> None)
+
+let rec mkdir_p d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let save ~dir k (r : Runner.record) : unit =
+  mkdir_p (cache_dir dir);
+  let final = path dir k in
+  let tmp = Printf.sprintf "%s.tmp.%d" final (Unix.getpid ()) in
+  Out_channel.with_open_text tmp (fun oc ->
+      output_string oc (J.to_string (Runner.to_json r)));
+  Unix.rename tmp final

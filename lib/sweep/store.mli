@@ -1,0 +1,26 @@
+(** Content-addressed on-disk result cache.
+
+    Each finished point is stored as [<dir>/cache/<key>.json] where
+    {!key} is the MD5 over everything that determines the simulated
+    outcome: the configuration digest ([Params.digest], every model
+    field), the workload identity (name, iteration count, and a digest
+    of its generated MiniC source), the compile/pipeline target, and a
+    digest of the running executable (the "code hash" — any rebuild of
+    the simulator invalidates the whole cache, so stale engines can
+    never leak cycle counts).  Re-running a sweep therefore simulates
+    only the points whose inputs changed. *)
+
+val code_digest : unit -> string
+(** MD5 of the running executable (computed once, cached). *)
+
+val key : Grid.point -> string
+(** Stable content address (hex). *)
+
+val lookup : dir:string -> string -> Runner.record option
+(** [lookup ~dir key] returns the cached record with [cached = true],
+    or [None] on a miss or an unreadable/corrupt entry (corrupt entries
+    are treated as misses, never fatal). *)
+
+val save : dir:string -> string -> Runner.record -> unit
+(** Atomic (write-to-temp + rename) so parallel sweeps and interrupted
+    runs can never expose a torn entry. *)
