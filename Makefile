@@ -1,5 +1,5 @@
 .PHONY: check build test bench bench-json bench-gate fuzz-smoke lint fmt \
-	sweep-quick sweep-smoke coverage clean
+	sweep-quick sweep-smoke snapshot-smoke coverage clean
 
 check: build test
 
@@ -61,6 +61,31 @@ sweep-smoke:
 	  -figures none -out /dev/null -no-stream
 	dune exec bin/sweep.exe -- -grid smoke -j 2 -cache-dir _sweep_smoke \
 	  -figures none -out /dev/null -no-stream -expect-cached
+
+# Crash-recovery smoke: on two workloads x two pipelines, checkpoint a
+# run mid-flight and abandon it (-stop-at, a simulated kill), restore
+# from the file alone, and require the recovered run's -stats-json to
+# be byte-identical to an uninterrupted baseline's.
+SNAP_DIR = _snapshot_smoke
+snapshot-smoke:
+	rm -rf $(SNAP_DIR) && mkdir -p $(SNAP_DIR)
+	@set -e; \
+	for cfg in "straight-2way straight iota" "ss-2way riscv iota" \
+	           "straight-4way straight sort" "ss-4way riscv sort"; do \
+	  set -- $$cfg; model=$$1; target=$$2; wl=$$3; tag=$$model-$$wl; \
+	  echo "snapshot-smoke: $$model/$$target/$$wl"; \
+	  dune exec bin/straightsim.exe -- -model $$model -target $$target \
+	    -workload $$wl -stats-json $(SNAP_DIR)/$$tag.base.json >/dev/null; \
+	  dune exec bin/straightsim.exe -- -model $$model -target $$target \
+	    -workload $$wl -checkpoint $(SNAP_DIR)/$$tag.snap -stop-at 400 \
+	    >/dev/null; \
+	  dune exec bin/straightsim.exe -- -restore $(SNAP_DIR)/$$tag.snap \
+	    -stats-json $(SNAP_DIR)/$$tag.resumed.json >/dev/null; \
+	  cmp $(SNAP_DIR)/$$tag.base.json $(SNAP_DIR)/$$tag.resumed.json || \
+	    { echo "snapshot-smoke: $$tag diverged after restore"; exit 1; }; \
+	done
+	@echo "snapshot-smoke: recovered runs bit-identical on all 4 configs"
+	rm -rf $(SNAP_DIR)
 
 # Line coverage for the test suite via bisect_ppx (not vendored: the
 # target is a no-op with a hint when the tooling is absent).  The HTML

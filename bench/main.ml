@@ -38,21 +38,43 @@ let header title =
    fault-injection plan included) plus the run knobs that live outside
    Params.t — the same key family the sweep subsystem's on-disk cache
    uses, so a config change can never alias a stale result through a
-   shared model name. *)
+   shared model name.  The checkpoint knobs are part of the key even
+   though the fixpoint contract says a resumed run is bit-identical: the
+   perf gate times these runs, and a run that saved snapshots or resumed
+   mid-flight must never be served where an uninterrupted measurement is
+   expected (or vice versa). *)
 let cache : (string, Exp.result) Hashtbl.t = Hashtbl.create 32
 
-let run ?max_dist ?(check = true) ~model ~target w =
+let run ?max_dist ?(check = true) ?(checkpoint_every = 0) ?restore_from
+    ~model ~target w =
   let key =
-    Printf.sprintf "%s/%s/%s/%d/%b"
+    Printf.sprintf "%s/%s/%s/%d/%b/ck%d/%s"
       (Ooo_common.Params.digest model)
       (Exp.target_label target) w.Workloads.name
       (Option.value ~default:Ooo_common.Params.straight_max_dist max_dist)
-      check
+      check checkpoint_every
+      (Option.value ~default:"" restore_from)
   in
   match Hashtbl.find_opt cache key with
   | Some r -> r
   | None ->
-    let r = Exp.run ?max_dist ~check ~model ~target w in
+    let r =
+      if checkpoint_every = 0 && restore_from = None then
+        Exp.run ?max_dist ~check ~model ~target w
+      else
+        let spec = Snapshot.Sim.spec ?max_dist ~check ~model ~target w in
+        let checkpoint_path =
+          Filename.temp_file "straight-bench" ".snap"
+        in
+        match
+          Snapshot.Sim.run ~checkpoint_every ~checkpoint_path ?restore_from
+            spec
+        with
+        | Snapshot.Sim.Completed r ->
+          (try Sys.remove checkpoint_path with Sys_error _ -> ());
+          r
+        | Snapshot.Sim.Stopped _ -> assert false (* no stop_at here *)
+    in
     Hashtbl.replace cache key r;
     r
 

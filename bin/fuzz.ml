@@ -11,9 +11,16 @@
      fuzz -seed 7 -count 1 -shrink      # minimize a known-bad seed
      fuzz -lint-only -count 500         # linter coverage without execution
      fuzz -lint-workloads               # verify every benchmark image
-     fuzz ... -json report.json         # machine-readable failure report *)
+     fuzz ... -json report.json         # machine-readable failure report
+     fuzz ... -corpus DIR               # persist failures incrementally
 
-let usage = "usage: fuzz [-seed N] [-count N] [-shrink] [-lint-only] [-lint-workloads] [-json FILE] [-v]"
+   With -corpus, each failure is written to DIR the moment it is found
+   (atomic tmp+rename, so a kill can never leave a torn file), and a
+   progress marker records the last completed seed so a restarted
+   campaign with the same -seed/-count resumes where it was killed
+   instead of re-fuzzing from the start. *)
+
+let usage = "usage: fuzz [-seed N] [-count N] [-shrink] [-lint-only] [-lint-workloads] [-json FILE] [-corpus DIR] [-v]"
 
 type failure = {
   f_seed : int;
@@ -39,6 +46,22 @@ let json_escape (s : string) : string =
     s;
   Buffer.contents buf
 
+let failure_json_string ?(indent = "    ") (f : failure) : string =
+  let buf = Buffer.create 256 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "%s{\n" indent;
+  out "%s  \"seed\": %d,\n" indent f.f_seed;
+  out "%s  \"kind\": \"%s\",\n" indent (json_escape f.f_kind);
+  out "%s  \"detail\": [%s],\n" indent
+    (String.concat ", "
+       (List.map (fun d -> "\"" ^ json_escape d ^ "\"") f.f_detail));
+  out "%s  \"source\": \"%s\"" indent (json_escape f.f_source);
+  (match f.f_minimized with
+   | Some m -> out ",\n%s  \"minimized\": \"%s\"\n" indent (json_escape m)
+   | None -> out "\n");
+  out "%s}" indent;
+  Buffer.contents buf
+
 let write_json (file : string) (failures : failure list) : unit =
   let oc = open_out file in
   let out fmt = Printf.fprintf oc fmt in
@@ -46,20 +69,44 @@ let write_json (file : string) (failures : failure list) : unit =
   List.iteri
     (fun i f ->
        if i > 0 then out ",";
-       out "\n    {\n";
-       out "      \"seed\": %d,\n" f.f_seed;
-       out "      \"kind\": \"%s\",\n" (json_escape f.f_kind);
-       out "      \"detail\": [%s],\n"
-         (String.concat ", "
-            (List.map (fun d -> "\"" ^ json_escape d ^ "\"") f.f_detail));
-       out "      \"source\": \"%s\"" (json_escape f.f_source);
-       (match f.f_minimized with
-        | Some m -> out ",\n      \"minimized\": \"%s\"\n" (json_escape m)
-        | None -> out "\n");
-       out "    }")
+       out "\n%s" (failure_json_string f))
     failures;
   out "\n  ]\n}\n";
   close_out oc
+
+(* -corpus persistence: every write is tmp+rename so a SIGKILL mid-write
+   can never leave a torn or half-visible file in the corpus. *)
+let write_atomic (path : string) (contents : string) : unit =
+  let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  let oc = open_out tmp in
+  (try output_string oc contents; close_out oc
+   with e -> close_out_noerr oc; (try Sys.remove tmp with Sys_error _ -> ()); raise e);
+  Sys.rename tmp path
+
+let ensure_dir path =
+  if not (Sys.file_exists path) then
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let corpus_save (dir : string) (f : failure) : unit =
+  let stem = Filename.concat dir (Printf.sprintf "seed-%05d" f.f_seed) in
+  write_atomic (stem ^ ".json") (failure_json_string ~indent:"" f ^ "\n");
+  if f.f_source <> "" then write_atomic (stem ^ ".minic") f.f_source;
+  match f.f_minimized with
+  | Some m -> write_atomic (stem ^ ".min.minic") m
+  | None -> ()
+
+(* progress marker: last fully processed seed, updated after each seed
+   so a restarted campaign resumes at the next one. *)
+let corpus_mark (dir : string) (s : int) : unit =
+  write_atomic (Filename.concat dir "progress") (string_of_int s ^ "\n")
+
+let corpus_last_done (dir : string) : int option =
+  let path = Filename.concat dir "progress" in
+  if Sys.file_exists path then
+    In_channel.with_open_text path (fun ic ->
+        Option.bind (In_channel.input_line ic) int_of_string_opt)
+  else None
 
 (* Coarse failure fingerprint used by the shrinker: a candidate must
    reproduce the same kind of failure on the same target.  (Field names
@@ -161,6 +208,7 @@ let () =
   let lint_only = ref false in
   let workloads_only = ref false in
   let json_file = ref "" in
+  let corpus = ref "" in
   let verbose = ref false in
   Arg.parse
     [ ("-seed", Arg.Set_int seed, "N  first seed (default 1)");
@@ -171,23 +219,52 @@ let () =
       ("-lint-workloads", Arg.Set workloads_only,
        "  lint every benchmark image from both back ends, then exit");
       ("-json", Arg.Set_string json_file, "FILE  write a JSON failure report");
+      ("-corpus", Arg.Set_string corpus,
+       "DIR  persist each failure as it is found; resume a killed campaign");
       ("-v", Arg.Set verbose, "  print every seed as it runs") ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     usage;
   let failures = ref [] in
+  (* prior failures already persisted in the corpus for this seed range
+     (from the killed run we are resuming) still count toward the exit
+     status even though this invocation skips their seeds *)
+  let prior_failures = ref 0 in
+  let first = ref !seed in
+  if !corpus <> "" && not !workloads_only then begin
+    ensure_dir !corpus;
+    (match corpus_last_done !corpus with
+     | Some last when last >= !seed ->
+       first := last + 1;
+       Array.iter
+         (fun f ->
+            try
+              Scanf.sscanf f "seed-%d.json%!" (fun s ->
+                  if s >= !seed && s < !first then incr prior_failures)
+            with Scanf.Scan_failure _ | Failure _ | End_of_file -> ())
+         (Sys.readdir !corpus);
+       if !first < !seed + !count then
+         Printf.eprintf
+           "fuzz: corpus %s covers seeds %d-%d (%d failure%s); resuming at %d\n%!"
+           !corpus !seed last !prior_failures
+           (if !prior_failures = 1 then "" else "s") !first
+     | _ -> ())
+  end;
   if !workloads_only then failures := lint_workloads ()
   else begin
-    for s = !seed to !seed + !count - 1 do
+    for s = !first to !seed + !count - 1 do
       let prog = Fuzz.Gen.generate s in
       let src = Fuzz.Gen.render prog in
       if !verbose then Printf.printf "seed %d (%d bytes)\n%!" s (String.length src);
       (* static verification of the images this seed produces *)
+      let add_failure f =
+        failures := f :: !failures;
+        if !corpus <> "" then corpus_save !corpus f
+      in
       let lint_findings = lint_source ~report_crash:!lint_only src in
       if lint_findings <> [] then
-        failures :=
+        add_failure
           { f_seed = s; f_kind = "lint"; f_detail = lint_findings;
-            f_source = src; f_minimized = None }
-          :: !failures;
+            f_source = src; f_minimized = None };
       (* differential execution *)
       if not !lint_only then begin
         match Fuzz.Diff.check src with
@@ -212,16 +289,22 @@ let () =
             | Fuzz.Diff.Crashed _ -> "crashed"
             | _ -> "diverged"
           in
-          failures :=
+          add_failure
             { f_seed = s; f_kind = kind; f_detail = outcome_detail outcome;
               f_source = src; f_minimized = minimized }
-            :: !failures
-      end
+      end;
+      if !corpus <> "" then corpus_mark !corpus s
     done
   end;
   let failures = List.rev !failures in
   if !json_file <> "" then write_json !json_file failures;
   match failures with
+  | [] when !prior_failures > 0 ->
+    Printf.eprintf
+      "fuzz: no new failures, but corpus %s holds %d failure%s from the \
+       resumed range\n" !corpus !prior_failures
+      (if !prior_failures = 1 then "" else "s");
+    exit (Diag.exit_code Diag.Checker_divergence)
   | [] ->
     if not !workloads_only then
       Printf.printf "fuzz: %d seeds from %d: all executions agree, images lint clean\n"

@@ -6,15 +6,25 @@
                  [-maxdist N] [-rob N] [-sched N] [-no-check]
                  [-inject all|flip,tag,spurious,stretch] [-seed N]
                  [-inject-period N] [-dump-on-error FILE]
-                 [-stats-json FILE] [-workload NAME] [FILE]
+                 [-stats-json FILE] [-checkpoint FILE]
+                 [-checkpoint-every N] [-stop-at N] [-restore FILE]
+                 [-workload NAME] [FILE]
+
+   Checkpointing: [-checkpoint FILE] names the snapshot file;
+   [-checkpoint-every N] saves it every N cycles; [-stop-at N] saves it
+   at cycle N and exits without finishing (a simulated kill, for
+   recovery drills); [-restore FILE] resumes a run from a snapshot
+   alone — the file embeds the workload source and model, so no other
+   flags are needed.  A watchdog deadlock with [-dump-on-error FILE]
+   additionally writes a restorable snapshot to FILE.snap.
 
    Every failure is reported as a structured diagnostic and mapped to a
    distinct exit code per failure class (see Diag.exit_code): 2 usage or
    configuration, 3 compile-family, 4 execution or memory faults, 5 fuel
-   exhaustion, 6 simulator deadlock, 7 checker divergence.  With
-   [-dump-on-error FILE] the diagnostic's machine-readable context (for
-   a deadlock: the full pipeline snapshot) is also written to FILE
-   ("-" for stderr). *)
+   exhaustion, 6 simulator deadlock, 7 checker divergence, 9 snapshot
+   rejected.  With [-dump-on-error FILE] the diagnostic's
+   machine-readable context (for a deadlock: the full pipeline snapshot)
+   is also written to FILE ("-" for stderr). *)
 
 module Params = Ooo_common.Params
 module Inject = Ooo_common.Inject
@@ -22,6 +32,7 @@ module Exp = Straight_core.Experiment
 module Diagnostics = Straight_core.Diagnostics
 module Engine = Ooo_common.Engine
 module Stats = Ooo_common.Stats
+module Sim = Snapshot.Sim
 
 let workloads : (string * (unit -> Workloads.t)) list =
   [ ("dhrystone", fun () -> Workloads.dhrystone ~iterations:100 ());
@@ -65,6 +76,10 @@ let () =
   let inject_period = ref 1000 in
   let dump_on_error = ref "" in
   let stats_json = ref "" in
+  let checkpoint = ref "" in
+  let checkpoint_every = ref 0 in
+  let stop_at = ref 0 in
+  let restore = ref "" in
   let workload = ref "" in
   let file = ref "" in
   let spec =
@@ -86,6 +101,15 @@ let () =
       ("-stats-json", Arg.Set_string stats_json,
        "write run statistics (cycles, IPC, CPI stack, mix) as JSON to FILE \
         (- for stdout)");
+      ("-checkpoint", Arg.Set_string checkpoint,
+       "snapshot file for -checkpoint-every / -stop-at");
+      ("-checkpoint-every", Arg.Set_int checkpoint_every,
+       "save a checkpoint every N cycles (requires -checkpoint)");
+      ("-stop-at", Arg.Set_int stop_at,
+       "checkpoint at cycle N and exit without finishing (simulated kill; \
+        requires -checkpoint)");
+      ("-restore", Arg.Set_string restore,
+       "resume from a snapshot file (self-contained: no other flags needed)");
       ("-workload", Arg.Set_string workload, "built-in workload name") ]
   in
   Arg.parse spec (fun f -> file := f) "straightsim [options] [FILE]";
@@ -127,14 +151,14 @@ let () =
      Printf.eprintf "warning: %s target on %s model mixes the ISA and the core\n"
        !target_name model.Params.name
    | _ -> ());
-  let w =
+  let resolve_workload () =
     match !workload, !file with
     | "", f when f <> "" ->
       { Workloads.name = Filename.basename f;
         source = In_channel.with_open_text f In_channel.input_all;
         iterations = 1 }
     | "", _ ->
-      prerr_endline "need a FILE or -workload"; exit 2
+      prerr_endline "need a FILE, -workload, or -restore"; exit 2
     | name, _ ->
       (match List.assoc_opt name workloads with
        | Some mk -> mk ()
@@ -143,8 +167,29 @@ let () =
            (String.concat ", " (List.map fst workloads));
          exit 2)
   in
-  match Exp.run ~max_dist:!maxdist ~check:(not !no_check) ~model ~target w with
-  | r ->
+  let outcome () =
+    (* a snapshot is self-contained: -restore rebuilds the workload and
+       model from the file and ignores the selection flags *)
+    let session =
+      if !restore <> "" then Sim.restore !restore
+      else
+        Sim.start
+          (Sim.spec ~max_dist:!maxdist ~check:(not !no_check) ~model ~target
+             (resolve_workload ()))
+    in
+    Sim.drive ~checkpoint_every:!checkpoint_every
+      ?checkpoint_path:(if !checkpoint = "" then None else Some !checkpoint)
+      ?stop_at:(if !stop_at > 0 then Some !stop_at else None)
+      ?deadlock_snapshot:
+        (match !dump_on_error with
+         | "" | "-" -> None
+         | p -> Some (p ^ ".snap"))
+      session
+  in
+  match outcome () with
+  | Sim.Stopped { cycle; path } ->
+    Printf.printf "stopped at cycle %d; checkpoint written to %s\n" cycle path
+  | Sim.Completed r ->
     let s = r.Exp.stats in
     Printf.printf "model        : %s\n" r.Exp.model;
     Printf.printf "target       : %s\n" (Exp.target_label r.Exp.target);
@@ -179,7 +224,7 @@ let () =
            [ ("schema", Stats.Json.Str "straightsim-stats/1");
              ("model", Stats.Json.Str r.Exp.model);
              ("target", Stats.Json.Str (Exp.target_label r.Exp.target));
-             ("workload", Stats.Json.Str w.Workloads.name);
+             ("workload", Stats.Json.Str r.Exp.workload);
              ("cycles", Stats.Json.Int r.Exp.cycles);
              ("instructions", Stats.Json.Int r.Exp.committed);
              ("ipc", Stats.Json.Float r.Exp.ipc);

@@ -11,8 +11,14 @@
    a re-run only simulates the points whose inputs changed (see
    EXPERIMENTS.md, "Design-space sweeps").
 
+   In-flight points checkpoint their engine state under
+   <cache-dir>/ckpt/ every -checkpoint-every cycles; a retry after a
+   worker death resumes from the last checkpoint, and SIGINT/SIGTERM
+   reaps every worker and sweeps torn temp files before exiting.
+
    Exit codes: 0 ok; 1 some points failed; 2 usage error; 3 the
-   -expect-cached contract was violated (something simulated). *)
+   -expect-cached contract was violated (something simulated);
+   128+signal when interrupted by SIGINT/SIGTERM. *)
 
 module Params = Ooo_common.Params
 module J = Ooo_common.Stats.Json
@@ -35,6 +41,8 @@ let usage () =
      \  -cache-dir DIR    result cache root (default _sweep)\n\
      \  -timeout SEC      per-point budget before kill+retry (default 600)\n\
      \  -retries N        retries after a failure (default 1)\n\
+     \  -checkpoint-every N  cycles between crash-recovery checkpoints\n\
+     \                    (default 20000; 0 disables)\n\
      \  -expect-cached    fail (exit 3) if any point had to simulate\n\
      \  -no-stream        suppress the per-point JSONL stream on stdout\n\
      \  -list             print the expanded points and exit";
@@ -105,6 +113,7 @@ let () =
   let cache_dir = ref "_sweep" in
   let timeout = ref 600.0 in
   let retries = ref 1 in
+  let checkpoint_every = ref 20_000 in
   let expect_cached = ref false in
   let stream = ref true in
   let list_only = ref false in
@@ -159,6 +168,11 @@ let () =
        | Some n when n >= 0 -> retries := n
        | _ -> usage ());
       parse rest
+    | "-checkpoint-every" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n >= 0 -> checkpoint_every := n
+       | _ -> usage ());
+      parse rest
     | "-expect-cached" :: rest -> expect_cached := true; parse rest
     | "-no-stream" :: rest -> stream := false; parse rest
     | "-list" :: rest -> list_only := true; parse rest
@@ -208,9 +222,40 @@ let () =
     if !stream then
       print_endline (J.to_string ~indent:false (Sweep.Runner.to_json r))
   in
+  let on_retry (pt : Sweep.Grid.point) ~attempt ~backoff reason =
+    if !stream then
+      print_endline
+        (J.to_string ~indent:false
+           (J.Obj
+              [ ("event", J.Str "retry");
+                ("model", J.Str pt.Sweep.Grid.params.Params.name);
+                ("workload", J.Str pt.Sweep.Grid.workload.Workloads.name);
+                ("target",
+                 J.Str
+                   (Straight_core.Experiment.target_label pt.Sweep.Grid.target));
+                ("attempt", J.Int attempt);
+                ("backoff_seconds", J.Float backoff);
+                ("reason", J.Str reason) ]));
+    Printf.eprintf "sweep: retrying %s/%s (attempt %d, backoff %.2fs): %s\n%!"
+      pt.Sweep.Grid.params.Params.name pt.Sweep.Grid.workload.Workloads.name
+      attempt backoff reason
+  in
+  (* OCaml's Sys.sig* numbers are runtime-internal negatives; map the
+     two we trap back to the POSIX values for the 128+N exit code. *)
+  let posix_signal s =
+    if s = Sys.sigint then 2 else if s = Sys.sigterm then 15 else 15
+  in
   let records, summary =
-    Sweep.Driver.sweep ~procs:!procs ~timeout:!timeout ~retries:!retries
-      ~cache_dir:!cache_dir ~on_record spec
+    try
+      Sweep.Driver.sweep ~procs:!procs ~timeout:!timeout ~retries:!retries
+        ~cache_dir:!cache_dir ~checkpoint_every:!checkpoint_every ~on_record
+        ~on_retry spec
+    with Sweep.Pool.Interrupted s ->
+      let n = posix_signal s in
+      Printf.eprintf
+        "sweep: interrupted by signal %d; workers reaped, completed points \
+         cached\n%!" n;
+      exit (128 + n)
   in
   let doc = Sweep.Driver.to_json spec summary records in
   (match Filename.dirname !out with

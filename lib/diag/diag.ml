@@ -19,6 +19,7 @@ type code =
   | Checker_divergence
   | Lint_finding
   | Config_error
+  | Snapshot_error
 
 let code_name = function
   | Lex_error -> "LEX_ERROR"
@@ -37,6 +38,7 @@ let code_name = function
   | Checker_divergence -> "CHECKER_DIVERGENCE"
   | Lint_finding -> "LINT_FINDING"
   | Config_error -> "CONFIG_ERROR"
+  | Snapshot_error -> "SNAPSHOT_ERROR"
 
 (* Exit codes are grouped by failure class so scripts can branch on the
    kind of failure without parsing stderr; 1 is left to uncaught
@@ -50,6 +52,7 @@ let exit_code = function
   | Sim_deadlock -> 6
   | Checker_divergence -> 7
   | Lint_finding -> 8
+  | Snapshot_error -> 9
 
 type t = {
   code : code;

@@ -32,6 +32,8 @@ type code =
   | Checker_divergence  (** lockstep golden-model checker violation *)
   | Lint_finding        (** static verifier finding on a linked image *)
   | Config_error        (** invalid simulation configuration *)
+  | Snapshot_error      (** checkpoint file corrupt / truncated /
+                            version- or workload-mismatched *)
 
 val code_name : code -> string
 (** Stable upper-case identifier, e.g. ["SIM_DEADLOCK"]. *)
@@ -40,7 +42,7 @@ val exit_code : code -> int
 (** Process exit code for command-line drivers.  Distinct per failure
     class: 2 usage/config, 3 compile-family, 4 execution/memory faults,
     5 fuel exhaustion, 6 simulator deadlock, 7 checker divergence,
-    8 static-lint finding. *)
+    8 static-lint finding, 9 snapshot rejected. *)
 
 type t = {
   code : code;

@@ -45,6 +45,43 @@ let kind_label u =
   | FU_mul | FU_div -> "ALU"
   | FU_alu -> if u.is_rmov then "RMOV" else if u.is_nop then "NOP" else "ALU"
 
+(* Canonical digest of a uop trace, used by the snapshot machinery to
+   prove that a regenerated trace matches the one a checkpoint was taken
+   against.  Every field participates, so any behavioural change to the
+   ISS or the compilers changes the digest. *)
+let digest (trace : uop array) : string =
+  let b = Buffer.create (64 * Array.length trace) in
+  let add_int n = Buffer.add_string b (string_of_int n); Buffer.add_char b ',' in
+  let add_bool v = Buffer.add_char b (if v then '1' else '0') in
+  let fu_code = function
+    | FU_alu -> 0 | FU_mul -> 1 | FU_div -> 2 | FU_branch -> 3
+    | FU_load -> 4 | FU_store -> 5
+  in
+  Array.iter
+    (fun u ->
+       add_int u.pc;
+       add_int (fu_code u.fu);
+       Array.iter add_int u.srcs_dist;
+       Buffer.add_char b ';';
+       Array.iter add_int u.srcs_reg;
+       Buffer.add_char b ';';
+       add_int u.dest_reg;
+       add_bool u.has_dest;
+       add_bool u.is_rmov;
+       add_bool u.is_nop;
+       add_bool u.is_spadd;
+       add_int u.mem_addr;
+       (match u.ctrl with
+        | Not_ctrl -> Buffer.add_char b 'n'
+        | Cond { taken; target } ->
+          Buffer.add_char b 'c'; add_bool taken; add_int target
+        | Uncond { target; is_call; is_ret } ->
+          Buffer.add_char b 'u'; add_int target; add_bool is_call;
+          add_bool is_ret);
+       Buffer.add_char b '\n')
+    trace;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 (* A completed program run. *)
 type run = {
   output : string;             (* MMIO console output *)

@@ -42,6 +42,12 @@ val kind_label : uop -> string
 (** The Fig. 15 bucket: ["ALU"], ["LD"], ["ST"], ["Jump+Branch"],
     ["RMOV"], or ["NOP"]. *)
 
+val digest : uop array -> string
+(** Canonical MD5 hex digest over every field of every uop.  The
+    snapshot machinery regenerates the trace from the workload source on
+    restore and uses this to prove it matches the one the checkpoint was
+    taken against. *)
+
 (** A completed program run. *)
 type run = {
   output : string;             (** MMIO console output *)

@@ -7,6 +7,8 @@
 type t = {
   predict : int -> bool;          (* pc -> taken? *)
   update : int -> bool -> unit;   (* pc -> actual outcome *)
+  save : Buffer.t -> unit;        (* serialize tables + history *)
+  load : Bin.reader -> unit;      (* inverse, into the same geometry *)
 }
 
 (* ---------- gshare ---------- *)
@@ -26,7 +28,15 @@ let gshare ?(history_bits = 10) ?(entries = 32768) () : t =
     history := ((!history lsl 1) lor (if taken then 1 else 0))
                land ((1 lsl history_bits) - 1)
   in
-  { predict; update }
+  let save b =
+    Bin.w_bytes b table;
+    Bin.w_int b !history
+  in
+  let load r =
+    Bin.r_bytes_into r table;
+    history := Bin.r_int r
+  in
+  { predict; update; save; load }
 
 (* ---------- TAGE ---------- *)
 
@@ -147,12 +157,42 @@ module Tage = struct
     end;
     st.ghist <- ((st.ghist lsl 1) lor (if taken then 1 else 0))
                 land ((1 lsl 62) - 1)
+
+  let save b st =
+    Bin.w_bytes b st.bimodal;
+    Array.iter
+      (fun c ->
+         Array.iter
+           (fun e ->
+              Bin.w_int b e.tag;
+              Bin.w_int b e.ctr;
+              Bin.w_int b e.useful)
+           c.entries)
+      st.comps;
+    Bin.w_int b st.ghist;
+    Bin.w_int b st.tick
+
+  let load r st =
+    Bin.r_bytes_into r st.bimodal;
+    Array.iter
+      (fun c ->
+         Array.iter
+           (fun e ->
+              e.tag <- Bin.r_int r;
+              e.ctr <- Bin.r_int r;
+              e.useful <- Bin.r_int r)
+           c.entries)
+      st.comps;
+    st.ghist <- Bin.r_int r;
+    st.tick <- Bin.r_int r
 end
 
 let tage () : t =
   let st = Tage.create () in
   { predict = (fun pc -> Tage.predict st pc);
-    update = (fun pc taken -> Tage.update st pc taken) }
+    update = (fun pc taken -> Tage.update st pc taken);
+    save = (fun b -> Tage.save b st);
+    load = (fun r -> Tage.load r st) }
 
 let make = function
   | Params.Gshare -> gshare ()
@@ -179,4 +219,13 @@ module Ras = struct
   (* recovery: snapshot/restore the top-of-stack pointer *)
   let save t = t.top
   let restore t top = t.top <- top
+
+  (* checkpointing: the whole stack, not just the pointer *)
+  let save_full b t =
+    Bin.w_int_array b t.stack;
+    Bin.w_int b t.top
+
+  let load_full r t =
+    Bin.r_int_array_into r t.stack;
+    t.top <- Bin.r_int r
 end

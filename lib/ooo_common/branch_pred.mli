@@ -6,6 +6,10 @@
 type t = {
   predict : int -> bool;          (** pc -> predicted taken? *)
   update : int -> bool -> unit;   (** pc -> actual outcome *)
+  save : Buffer.t -> unit;        (** serialize tables + history *)
+  load : Bin.reader -> unit;
+  (** inverse of [save] into a fresh predictor of the same kind and
+      geometry.  @raise Bin.Corrupt on malformed input. *)
 }
 
 val gshare : ?history_bits:int -> ?entries:int -> unit -> t
@@ -23,4 +27,12 @@ module Ras : sig
   val pop : t -> int option
   val save : t -> int
   val restore : t -> int -> unit
+
+  val save_full : Buffer.t -> t -> unit
+  (** Checkpointing: serialize the whole stack plus the pointer (unlike
+      {!save}, which captures only the pointer for misprediction
+      recovery). *)
+
+  val load_full : Bin.reader -> t -> unit
+  (** @raise Bin.Corrupt on malformed input or a depth mismatch. *)
 end

@@ -89,6 +89,22 @@ let corrupt_tag (c : cache) ~victim ~flip : unit =
   if c.tags.(i) >= 0 then
     c.tags.(i) <- c.tags.(i) lxor (max 1 (flip land 0xFF))
 
+(* ---------- snapshot ---------- *)
+
+let save_cache b (c : cache) =
+  Bin.w_int_array b c.tags;
+  Bin.w_int_array b c.lru;
+  Bin.w_int b c.accesses;
+  Bin.w_int b c.misses;
+  Bin.w_int b c.stamp
+
+let load_cache r (c : cache) =
+  Bin.r_int_array_into r c.tags;
+  Bin.r_int_array_into r c.lru;
+  c.accesses <- Bin.r_int r;
+  c.misses <- Bin.r_int r;
+  c.stamp <- Bin.r_int r
+
 (* ---------- hierarchy ---------- *)
 
 type hierarchy = {
@@ -109,6 +125,25 @@ let create_hierarchy (p : Params.t) : hierarchy =
     memory_latency = p.memory_latency;
     prefetch_degree = 2;
     prefetches = 0 }
+
+let save_hierarchy b (h : hierarchy) =
+  save_cache b h.l1i;
+  save_cache b h.l1d;
+  save_cache b h.l2;
+  (match h.l3 with
+   | None -> Bin.w_bool b false
+   | Some l3 -> Bin.w_bool b true; save_cache b l3);
+  Bin.w_int b h.prefetches
+
+let load_hierarchy r (h : hierarchy) =
+  load_cache r h.l1i;
+  load_cache r h.l1d;
+  load_cache r h.l2;
+  (match Bin.r_bool r, h.l3 with
+   | true, Some l3 -> load_cache r l3
+   | false, None -> ()
+   | _ -> raise (Bin.Corrupt "L3 presence does not match the configuration"));
+  h.prefetches <- Bin.r_int r
 
 (* [access_below h addr] walks L2/L3/memory and returns the additional
    latency beyond L1. *)

@@ -28,6 +28,15 @@ val corrupt_tag : cache -> victim:int -> flip:int -> unit
     a corrupted tag induces extra misses or false hits, never wrong
     values.  Invalid lines are left untouched. *)
 
+val save_cache : Buffer.t -> cache -> unit
+(** Serialize the mutable portion of a cache (tags, LRU stamps,
+    counters).  Geometry comes from [Params] on restore. *)
+
+val load_cache : Bin.reader -> cache -> unit
+(** Inverse of {!save_cache} into a freshly [create]d cache of the same
+    geometry.  @raise Bin.Corrupt on malformed input or a shape
+    mismatch. *)
+
 type hierarchy = {
   l1i : cache;
   l1d : cache;
@@ -39,6 +48,14 @@ type hierarchy = {
 }
 
 val create_hierarchy : Params.t -> hierarchy
+
+val save_hierarchy : Buffer.t -> hierarchy -> unit
+(** Serialize every level plus the prefetch counter. *)
+
+val load_hierarchy : Bin.reader -> hierarchy -> unit
+(** Inverse of {!save_hierarchy} into a freshly built hierarchy of the
+    same configuration.  @raise Bin.Corrupt on malformed input or an
+    L3-presence mismatch. *)
 
 val access_below : hierarchy -> int -> int
 (** Walk L2/L3/memory; returns the additional latency beyond L1. *)

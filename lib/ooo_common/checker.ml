@@ -144,3 +144,17 @@ let on_finish t ~cycles ~committed ~free_regs =
   | None -> ()
 
 let commits_checked t = t.checked
+
+(* Checkpointing: the trace and configuration are rebuilt on restore;
+   only the lockstep cursor travels. *)
+let save b t =
+  Bin.w_int b t.last_trace_idx;
+  Bin.w_int b t.last_seq;
+  Bin.w_int b t.last_cycle;
+  Bin.w_int b t.checked
+
+let load r t =
+  t.last_trace_idx <- Bin.r_int r;
+  t.last_seq <- Bin.r_int r;
+  t.last_cycle <- Bin.r_int r;
+  t.checked <- Bin.r_int r

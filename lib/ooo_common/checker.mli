@@ -51,3 +51,12 @@ val on_finish : t -> cycles:int -> committed:int -> free_regs:int -> unit
 
 val commits_checked : t -> int
 (** Number of commit events validated so far. *)
+
+val save : Buffer.t -> t -> unit
+(** Serialize the lockstep cursor (last trace index / seq / cycle and
+    the commit count).  The trace and configuration are rebuilt from the
+    workload on restore. *)
+
+val load : Bin.reader -> t -> unit
+(** Inverse of {!save} into a checker [create]d over the regenerated
+    trace.  @raise Bin.Corrupt on malformed input. *)

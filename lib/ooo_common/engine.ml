@@ -26,7 +26,14 @@
    wheel when the value becomes available or when the producer leaves
    the window.  None of this changes simulated timing — cycle counts are
    bit-identical to the original list/Hashtbl engine (asserted by
-   test_stats.ml against recorded golden counts). *)
+   test_stats.ml against recorded golden counts).
+
+   All simulation state lives in an explicit record [t] so a run can be
+   advanced one cycle at a time ([create] / [step] / [finish]) and
+   checkpointed mid-flight ([save] / [restore]): the serialized image
+   covers every structure above plus the predictors, caches, fault
+   injector, and CPI accounting, with the fixpoint contract
+   [restore (save t); run n  ==  run n] cycle-for-cycle. *)
 
 module Trace = Iss.Trace
 
@@ -162,25 +169,93 @@ let next_pow2 n =
   while !r < n do r := !r * 2 done;
   !r
 
-(* [run p ~trace ~decode_static ?checker ()] simulates the whole trace
-   and returns timing statistics.  [decode_static pc] supplies wrong-path
-   instructions.  [checker] is the lockstep golden-model checker, fed at
-   every commit.  Faults from [p.inject] are injected at fetch/issue
-   opportunities; a deadlock or lack of forward progress trips the
-   watchdog, which raises [Diag.Error Sim_deadlock] carrying a full
-   machine-readable pipeline snapshot. *)
-let run (p : Params.t) ~(trace : Trace.uop array)
+(* ---------- simulation state ---------- *)
+
+type t = {
+  p : Params.t;
+  trace : Trace.uop array;
+  n_trace : int;
+  decode_static : int -> Trace.uop option;
+  checker : Checker.t option;
+  hier : Cache.hierarchy;
+  pred : Branch_pred.t;
+  ras : Branch_pred.Ras.t;
+  memdep : Memdep.t;
+  inj : Inject.t;
+  act : activity;
+  dummy : dyn;
+  (* in-flight window: open-addressed ring indexed by seq.  A slot is
+     occupied only by a live entry (cleared at commit and squash), so a
+     collision on insert means the window span outgrew the capacity. *)
+  mutable win : dyn array;
+  mutable win_mask : int;
+  mutable next_seq : int;
+  trace_seq : int array;
+  (* pipeline structures, all seq-sorted *)
+  frontend_q : Ring.t;
+  rob : Ring.t;
+  ldq : Ring.t;
+  stq : Ring.t;
+  (* issue queue: age-sorted array, compacted in place after selection *)
+  mutable iq_buf : dyn array;
+  mutable iq_len : int;
+  (* timing wheel for operand wakeups (spans the worst-case latency) *)
+  wheel : dyn list array;
+  wheel_mask : int;
+  (* rename state (superscalar) *)
+  rmt : int array;
+  mutable free_regs : int;
+  is_rmt : bool;
+  checkpoint_limit : int;
+  mutable inflight_ctrl : int;
+  mutable spadd_stalls : int;
+  mutable checkpoint_stalls : int;
+  mutable rename_blocked_until : int;
+  mutable fetch_stall_until : int;
+  mutable mode : fetch_mode;
+  mutable now : int;
+  mutable done_ : bool;
+  mutable committed : int;
+  mutable commits_now : int;        (* correct-path commits this cycle *)
+  mutable wrong_fetched : int;
+  mutable branch_misp : int;
+  mutable ret_misp : int;
+  mutable walk_stalls : int;
+  cpi : Stats.cpi_acc;
+  mutable redirect_until : int;     (* CPI attribution of post-squash refill *)
+  mix_counts : int array;
+  (* pending recovery events: (cycle, seq of faulting instr, resume idx,
+     refetch_including_self) *)
+  mutable recoveries : (int * int * int * bool) list;
+  (* watchdog + diagnostics state; last 8 commits kept in a ring *)
+  mutable last_commit_cycle : int;
+  lc_idx : int array;
+  lc_pc : int array;
+  mutable lc_n : int;
+  max_cycles : int;
+}
+
+let watchdog_limit = 20_000
+
+(* retired-kind mix, counted without hashing (labels from
+   Trace.kind_label: LD ST Jump+Branch ALU RMOV NOP) *)
+let mix_slot (u : Trace.uop) =
+  match u.Trace.fu with
+  | Trace.FU_load -> 0
+  | Trace.FU_store -> 1
+  | Trace.FU_branch -> 2
+  | Trace.FU_mul | Trace.FU_div -> 3
+  | Trace.FU_alu ->
+    if u.Trace.is_rmov then 4 else if u.Trace.is_nop then 5 else 3
+
+let mix_labels = [| "LD"; "ST"; "Jump+Branch"; "ALU"; "RMOV"; "NOP" |]
+
+let create (p : Params.t) ~(trace : Trace.uop array)
     ~(decode_static : int -> Trace.uop option)
-    ?(checker : Checker.t option) () : stats =
+    ?(checker : Checker.t option) () : t =
   let n_trace = Array.length trace in
   if n_trace = 0 then
     Diag.error Diag.Config_error "empty trace: nothing to simulate";
-  let hier = Cache.create_hierarchy p in
-  let pred = Branch_pred.make p.predictor in
-  let ras = Branch_pred.Ras.create () in
-  let memdep = Memdep.create () in
-  let inj = Inject.make p.inject in
-  let act = fresh_activity () in
   let dummy_uop =
     { Trace.pc = -1; fu = Trace.FU_alu; srcs_dist = [||]; srcs_reg = [||];
       dest_reg = 0; has_dest = false; is_rmov = false; is_nop = false;
@@ -193,57 +268,8 @@ let run (p : Params.t) ~(trace : Trace.uop array)
       resume_idx = -1; addr_known = false; executed_load = false;
       recovery_at = -1; ras_snapshot = 0; n_unready = 0; waiters = [] }
   in
-  (* in-flight window: open-addressed ring indexed by seq.  A slot is
-     occupied only by a live entry (cleared at commit and squash), so a
-     collision on insert means the window span outgrew the capacity. *)
-  let win = ref (Array.make 1024 dummy) in
-  let win_mask = ref 1023 in
-  (* allocation-free lookup: [dummy] plays the role of [None] *)
-  let win_get s =
-    let d = !win.(s land !win_mask) in
-    if d.seq = s then d else dummy
-  in
-  let win_mem s = (!win.(s land !win_mask)).seq = s in
-  let win_clear d =
-    let i = d.seq land !win_mask in
-    if !win.(i) == d then !win.(i) <- dummy
-  in
-  let win_grow () =
-    (* live seqs are pairwise distinct modulo the old capacity, hence
-       also modulo the doubled capacity: rehashing cannot collide *)
-    let old = !win in
-    let ncap = 2 * Array.length old in
-    win := Array.make ncap dummy;
-    win_mask := ncap - 1;
-    Array.iter (fun d -> if d != dummy then !win.(d.seq land !win_mask) <- d) old
-  in
-  let rec win_insert d =
-    let i = d.seq land !win_mask in
-    if !win.(i) != dummy then begin win_grow (); win_insert d end
-    else !win.(i) <- d
-  in
-  let next_seq = ref 0 in
-  let trace_seq = Array.make n_trace (-1) in
-  (* pipeline structures, all seq-sorted *)
-  let frontend_q = Ring.create dummy in
-  let rob = Ring.create dummy in
-  let ldq = Ring.create dummy in
-  let stq = Ring.create dummy in
-  (* issue queue: age-sorted array, compacted in place after selection *)
-  let iq_buf = ref (Array.make 128 dummy) in
-  let iq_len = ref 0 in
-  let iq_push d =
-    if !iq_len = Array.length !iq_buf then begin
-      let nbuf = Array.make (2 * !iq_len) dummy in
-      Array.blit !iq_buf 0 nbuf 0 !iq_len;
-      iq_buf := nbuf
-    end;
-    !iq_buf.(!iq_len) <- d;
-    incr iq_len
-  in
-  (* timing wheel for operand wakeups: every issued instruction is
-     scheduled at the cycle its value becomes available; the wheel spans
-     the worst-case latency (full memory hierarchy + fault stretch) *)
+  (* the wheel spans the worst-case latency (full memory hierarchy +
+     fault stretch) *)
   let wheel_size =
     let mem =
       p.l1d.Params.hit_latency + p.l2.Params.hit_latency
@@ -256,820 +282,1241 @@ let run (p : Params.t) ~(trace : Trace.uop array)
     (* + injected stretch (<= 9), replay bump, issue cycle, margin *)
     next_pow2 (lat + 32)
   in
-  let wheel : dyn list array = Array.make wheel_size [] in
-  let wheel_mask = wheel_size - 1 in
-  (* rename state (superscalar) *)
-  let rmt = Array.make 32 (-1) in
   let arch_regs = 32 in
-  let free_regs =
-    ref (match p.rename with
-         | Params.Rmt { phys_regs } | Params.Rmt_checkpoint { phys_regs; _ } ->
-           phys_regs - arch_regs
-         | Params.Rp -> max_int / 2)
-  in
-  let is_rmt = match p.rename with Params.Rmt _ | Params.Rmt_checkpoint _ -> true
-                                 | Params.Rp -> false in
-  let checkpoint_limit =
-    match p.rename with
-    | Params.Rmt_checkpoint { checkpoints; _ } -> checkpoints
-    | _ -> max_int
-  in
-  let inflight_ctrl = ref 0 in
-  let spadd_stalls = ref 0 in
-  let checkpoint_stalls = ref 0 in
-  let rename_blocked_until = ref 0 in
-  let fetch_stall_until = ref 0 in
-  let mode = ref (Fetch_correct 0) in
-  let now = ref 0 in
-  let done_ = ref false in
-  let committed = ref 0 in
-  let commits_now = ref 0 in        (* correct-path commits this cycle *)
-  let wrong_fetched = ref 0 in
-  let branch_misp = ref 0 in
-  let ret_misp = ref 0 in
-  let walk_stalls = ref 0 in
-  let cpi = Stats.fresh_acc () in
-  let redirect_until = ref 0 in     (* CPI attribution of post-squash refill *)
-  (* retired-kind mix, counted without hashing (labels from
-     Trace.kind_label: LD ST Jump+Branch ALU RMOV NOP) *)
-  let mix_counts = Array.make 6 0 in
-  let mix_slot (u : Trace.uop) =
-    match u.Trace.fu with
-    | Trace.FU_load -> 0
-    | Trace.FU_store -> 1
-    | Trace.FU_branch -> 2
-    | Trace.FU_mul | Trace.FU_div -> 3
-    | Trace.FU_alu ->
-      if u.Trace.is_rmov then 4 else if u.Trace.is_nop then 5 else 3
-  in
-  let mix_labels = [| "LD"; "ST"; "Jump+Branch"; "ALU"; "RMOV"; "NOP" |] in
-  (* pending recovery events: (cycle, seq of faulting instr, resume idx,
-     refetch_including_self) *)
-  let recoveries : (int * int * int * bool) list ref = ref [] in
-  (* watchdog + diagnostics state; last 8 commits kept in a ring *)
-  let last_commit_cycle = ref 0 in
-  let lc_idx = Array.make 8 0 in
-  let lc_pc = Array.make 8 0 in
-  let lc_n = ref 0 in
+  { p; trace; n_trace; decode_static; checker;
+    hier = Cache.create_hierarchy p;
+    pred = Branch_pred.make p.predictor;
+    ras = Branch_pred.Ras.create ();
+    memdep = Memdep.create ();
+    inj = Inject.make p.inject;
+    act = fresh_activity ();
+    dummy;
+    win = Array.make 1024 dummy;
+    win_mask = 1023;
+    next_seq = 0;
+    trace_seq = Array.make n_trace (-1);
+    frontend_q = Ring.create dummy;
+    rob = Ring.create dummy;
+    ldq = Ring.create dummy;
+    stq = Ring.create dummy;
+    iq_buf = Array.make 128 dummy;
+    iq_len = 0;
+    wheel = Array.make wheel_size [];
+    wheel_mask = wheel_size - 1;
+    rmt = Array.make 32 (-1);
+    free_regs =
+      (match p.rename with
+       | Params.Rmt { phys_regs } | Params.Rmt_checkpoint { phys_regs; _ } ->
+         phys_regs - arch_regs
+       | Params.Rp -> max_int / 2);
+    is_rmt =
+      (match p.rename with
+       | Params.Rmt _ | Params.Rmt_checkpoint _ -> true
+       | Params.Rp -> false);
+    checkpoint_limit =
+      (match p.rename with
+       | Params.Rmt_checkpoint { checkpoints; _ } -> checkpoints
+       | _ -> max_int);
+    inflight_ctrl = 0;
+    spadd_stalls = 0;
+    checkpoint_stalls = 0;
+    rename_blocked_until = 0;
+    fetch_stall_until = 0;
+    mode = Fetch_correct 0;
+    now = 0;
+    done_ = false;
+    committed = 0;
+    commits_now = 0;
+    wrong_fetched = 0;
+    branch_misp = 0;
+    ret_misp = 0;
+    walk_stalls = 0;
+    cpi = Stats.fresh_acc ();
+    redirect_until = 0;
+    mix_counts = Array.make 6 0;
+    recoveries = [];
+    last_commit_cycle = 0;
+    lc_idx = Array.make 8 0;
+    lc_pc = Array.make 8 0;
+    lc_n = 0;
+    max_cycles = 40 * n_trace + 200_000 }
 
-  (* ---------- wakeup plumbing ---------- *)
-  let fire_edges d =
-    List.iter
-      (fun e ->
-         if not e.fired then begin
-           e.fired <- true;
-           e.consumer.n_unready <- e.consumer.n_unready - 1
-         end)
-      d.waiters;
-    d.waiters <- []
-  in
-  (* called once per issued instruction, with the final availability
-     cycle (base latency + cache + injected stretch + replay bump) *)
-  let schedule_wakeup d =
-    let avail = d.ready_at + d.replay_bump in
-    assert (avail - !now < wheel_size);
-    let i = avail land wheel_mask in
-    wheel.(i) <- d :: wheel.(i)
-  in
-  let drain_wheel () =
-    let i = !now land wheel_mask in
-    match wheel.(i) with
-    | [] -> ()
-    | ds -> wheel.(i) <- []; List.iter fire_edges ds
-  in
-  (* register d's dependence edges at dispatch: a producer outside the
-     window (committed or never renamed) is readable immediately; one
-     already issued with an availability in the past likewise *)
-  let register_producers d =
-    List.iter
-      (fun s ->
-         let pr = win_get s in
-         if pr == dummy then ()
-         else if pr.issued && pr.ready_at + pr.replay_bump <= !now then ()
-         else begin
-           d.n_unready <- d.n_unready + 1;
-           pr.waiters <- { consumer = d; fired = false } :: pr.waiters
-         end)
-      d.producers
-  in
+(* ---------- in-flight window ---------- *)
 
-  let mk_dyn ~uop ~wrong_path ~trace_idx =
-    let d =
-      { seq = !next_seq;
-        uop; wrong_path; trace_idx;
-        fetched_at = !now;
-        producers = [];
-        dispatched = false;
-        dispatched_at = 0;
-        issued = false;
-        ready_at = max_int / 2;
-        replay_bump = 0;
-        mispredicted = false;
-        resume_idx = -1;
-        addr_known = false;
-        executed_load = false;
-        recovery_at = -1;
-        ras_snapshot = 0;
-        n_unready = 0;
-        waiters = [] }
-    in
-    incr next_seq;
-    win_insert d;
-    d
-  in
+(* allocation-free lookup: [t.dummy] plays the role of [None] *)
+let win_get t s =
+  let d = t.win.(s land t.win_mask) in
+  if d.seq = s then d else t.dummy
 
-  (* ---------- squash ---------- *)
-  (* Every structure is seq-sorted, so a squash is a suffix truncation:
-     O(squashed) instead of a full-window walk.  Returns the number of
-     physical registers released: one per renamed (ROB-resident) squashed
-     instruction with a destination. *)
-  let squash_from first_bad_seq =
-    while !iq_len > 0 && !iq_buf.(!iq_len - 1).seq >= first_bad_seq do
-      decr iq_len;
-      !iq_buf.(!iq_len) <- dummy
-    done;
-    while Ring.length ldq > 0 && (Ring.back ldq).seq >= first_bad_seq do
-      ignore (Ring.pop_back ldq)
-    done;
-    while Ring.length stq > 0 && (Ring.back stq).seq >= first_bad_seq do
-      ignore (Ring.pop_back stq)
-    done;
-    let freed = ref 0 in
-    while Ring.length rob > 0 && (Ring.back rob).seq >= first_bad_seq do
-      let d = Ring.pop_back rob in
-      if d.uop.Trace.has_dest && d.uop.Trace.dest_reg <> 0 then incr freed;
-      win_clear d
-    done;
-    while Ring.length frontend_q > 0
-          && (Ring.back frontend_q).seq >= first_bad_seq do
-      win_clear (Ring.pop_back frontend_q)
-    done;
-    !freed
-  in
+let win_mem t s = (t.win.(s land t.win_mask)).seq = s
 
-  (* RAM-based RMT recovery walks the ROB over the squashed (younger)
-     entries, undoing each mapping (Section II-A; [14] reports the penalty
-     as several tens of cycles with a 256-entry ROB).  The checkpoint-free
-     RMT cannot rename newly fetched instructions until the walk finishes,
-     so the walk serializes with the refetch. *)
-  let walk_entries_after seqno =
-    (* the ROB is seq-sorted: binary-search the first younger entry *)
-    let lo = ref 0 and hi = ref (Ring.length rob) in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if (Ring.get rob mid).seq > seqno then hi := mid else lo := mid + 1
-    done;
-    Ring.length rob - !lo
-  in
+let win_clear t d =
+  let i = d.seq land t.win_mask in
+  if t.win.(i) == d then t.win.(i) <- t.dummy
 
-  (* ---------- recovery ---------- *)
-  let do_recovery ~(faulting : dyn) ~(resume_idx : int) ~(include_self : bool) =
-    let first_bad = if include_self then faulting.seq else faulting.seq + 1 in
-    let walk_len =
-      match p.rename with
-      | Params.Rmt _ ->
-        let n = walk_entries_after (first_bad - 1) in
-        act.rob_walk_steps <- act.rob_walk_steps + n;
-        (n + p.fetch_width - 1) / p.fetch_width
-      | Params.Rmt_checkpoint _ -> 0 (* checkpoint restore *)
-      | Params.Rp -> 0 (* a single ROB entry read restores RP/SP/PC (Fig. 4) *)
-    in
-    let freed = squash_from first_bad in
-    (* recount in-flight control instructions (checkpoint occupancy) *)
-    inflight_ctrl := 0;
-    Ring.iter
-      (fun d ->
-         match d.uop.Trace.ctrl with
-         | Trace.Cond _ | Trace.Uncond _ -> incr inflight_ctrl
-         | Trace.Not_ctrl -> ())
-      rob;
-    (match p.rename with
-     | Params.Rmt _ | Params.Rmt_checkpoint _ ->
-       (* functionally rebuild the RMT from the surviving ROB (the hardware
-          walk does this incrementally; the walk time is modeled below) *)
-       Array.fill rmt 0 32 (-1);
-       Ring.iter
-         (fun d ->
-            if d.uop.Trace.has_dest && d.uop.Trace.dest_reg <> 0 then
-              rmt.(d.uop.Trace.dest_reg) <- d.seq)
-         rob;
-       (* the walk returns the squashed instructions' registers *)
-       free_regs := !free_regs + freed;
-       (* refetch is gated on walk completion (checkpoint-free RMT) *)
-       rename_blocked_until := max !rename_blocked_until (!now + walk_len);
-       fetch_stall_until := max !fetch_stall_until (!now + walk_len);
-       if walk_len > 0 then walk_stalls := !walk_stalls + walk_len
-     | Params.Rp ->
-       fetch_stall_until := max !fetch_stall_until !now);
-    ignore is_rmt;
-    (* CPI: walk + refetch pipe refill are squash cost *)
-    redirect_until :=
-      max !redirect_until (!now + walk_len + p.frontend_depth);
-    Branch_pred.Ras.restore ras faulting.ras_snapshot;
-    mode := Fetch_correct resume_idx
-  in
+let win_grow t =
+  (* live seqs are pairwise distinct modulo the old capacity, hence
+     also modulo the doubled capacity: rehashing cannot collide *)
+  let old = t.win in
+  let ncap = 2 * Array.length old in
+  t.win <- Array.make ncap t.dummy;
+  t.win_mask <- ncap - 1;
+  Array.iter (fun d -> if d != t.dummy then t.win.(d.seq land t.win_mask) <- d)
+    old
 
-  (* ---------- commit ---------- *)
-  let commit () =
-    let budget = ref p.commit_width in
-    let continue_ = ref true in
-    while !continue_ && !budget > 0 && not (Ring.is_empty rob) do
-      let d = Ring.front rob in
-      (* an instruction with a pending recovery must not retire before the
-         redirect has been processed *)
-      if d.issued && d.ready_at <= !now
-         && (d.recovery_at < 0 || !now >= d.recovery_at)
-      then begin
-        ignore (Ring.pop_front rob);
-        win_clear d;
-        (* the value is now in the committed register file: consumers
-           still counting on this producer become ready *)
-        fire_edges d;
-        decr budget;
+let rec win_insert t d =
+  let i = d.seq land t.win_mask in
+  if t.win.(i) != t.dummy then begin win_grow t; win_insert t d end
+  else t.win.(i) <- d
+
+let iq_push t d =
+  if t.iq_len = Array.length t.iq_buf then begin
+    let nbuf = Array.make (2 * t.iq_len) t.dummy in
+    Array.blit t.iq_buf 0 nbuf 0 t.iq_len;
+    t.iq_buf <- nbuf
+  end;
+  t.iq_buf.(t.iq_len) <- d;
+  t.iq_len <- t.iq_len + 1
+
+(* ---------- wakeup plumbing ---------- *)
+
+let fire_edges d =
+  List.iter
+    (fun e ->
+       if not e.fired then begin
+         e.fired <- true;
+         e.consumer.n_unready <- e.consumer.n_unready - 1
+       end)
+    d.waiters;
+  d.waiters <- []
+
+(* called once per issued instruction, with the final availability
+   cycle (base latency + cache + injected stretch + replay bump) *)
+let schedule_wakeup t d =
+  let avail = d.ready_at + d.replay_bump in
+  assert (avail - t.now < Array.length t.wheel);
+  let i = avail land t.wheel_mask in
+  t.wheel.(i) <- d :: t.wheel.(i)
+
+let drain_wheel t =
+  let i = t.now land t.wheel_mask in
+  match t.wheel.(i) with
+  | [] -> ()
+  | ds -> t.wheel.(i) <- []; List.iter fire_edges ds
+
+(* register d's dependence edges at dispatch: a producer outside the
+   window (committed or never renamed) is readable immediately; one
+   already issued with an availability in the past likewise *)
+let register_producers t d =
+  List.iter
+    (fun s ->
+       let pr = win_get t s in
+       if pr == t.dummy then ()
+       else if pr.issued && pr.ready_at + pr.replay_bump <= t.now then ()
+       else begin
+         d.n_unready <- d.n_unready + 1;
+         pr.waiters <- { consumer = d; fired = false } :: pr.waiters
+       end)
+    d.producers
+
+let mk_dyn t ~uop ~wrong_path ~trace_idx =
+  let d =
+    { seq = t.next_seq;
+      uop; wrong_path; trace_idx;
+      fetched_at = t.now;
+      producers = [];
+      dispatched = false;
+      dispatched_at = 0;
+      issued = false;
+      ready_at = max_int / 2;
+      replay_bump = 0;
+      mispredicted = false;
+      resume_idx = -1;
+      addr_known = false;
+      executed_load = false;
+      recovery_at = -1;
+      ras_snapshot = 0;
+      n_unready = 0;
+      waiters = [] }
+  in
+  t.next_seq <- t.next_seq + 1;
+  win_insert t d;
+  d
+
+(* ---------- squash ---------- *)
+(* Every structure is seq-sorted, so a squash is a suffix truncation:
+   O(squashed) instead of a full-window walk.  Returns the number of
+   physical registers released: one per renamed (ROB-resident) squashed
+   instruction with a destination. *)
+let squash_from t first_bad_seq =
+  while t.iq_len > 0 && t.iq_buf.(t.iq_len - 1).seq >= first_bad_seq do
+    t.iq_len <- t.iq_len - 1;
+    t.iq_buf.(t.iq_len) <- t.dummy
+  done;
+  while Ring.length t.ldq > 0 && (Ring.back t.ldq).seq >= first_bad_seq do
+    ignore (Ring.pop_back t.ldq)
+  done;
+  while Ring.length t.stq > 0 && (Ring.back t.stq).seq >= first_bad_seq do
+    ignore (Ring.pop_back t.stq)
+  done;
+  let freed = ref 0 in
+  while Ring.length t.rob > 0 && (Ring.back t.rob).seq >= first_bad_seq do
+    let d = Ring.pop_back t.rob in
+    if d.uop.Trace.has_dest && d.uop.Trace.dest_reg <> 0 then incr freed;
+    win_clear t d
+  done;
+  while Ring.length t.frontend_q > 0
+        && (Ring.back t.frontend_q).seq >= first_bad_seq do
+    win_clear t (Ring.pop_back t.frontend_q)
+  done;
+  !freed
+
+(* RAM-based RMT recovery walks the ROB over the squashed (younger)
+   entries, undoing each mapping (Section II-A; [14] reports the penalty
+   as several tens of cycles with a 256-entry ROB).  The checkpoint-free
+   RMT cannot rename newly fetched instructions until the walk finishes,
+   so the walk serializes with the refetch. *)
+let walk_entries_after t seqno =
+  (* the ROB is seq-sorted: binary-search the first younger entry *)
+  let lo = ref 0 and hi = ref (Ring.length t.rob) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if (Ring.get t.rob mid).seq > seqno then hi := mid else lo := mid + 1
+  done;
+  Ring.length t.rob - !lo
+
+(* ---------- recovery ---------- *)
+
+let do_recovery t ~(faulting : dyn) ~(resume_idx : int) ~(include_self : bool) =
+  let first_bad = if include_self then faulting.seq else faulting.seq + 1 in
+  let walk_len =
+    match t.p.Params.rename with
+    | Params.Rmt _ ->
+      let n = walk_entries_after t (first_bad - 1) in
+      t.act.rob_walk_steps <- t.act.rob_walk_steps + n;
+      (n + t.p.Params.fetch_width - 1) / t.p.Params.fetch_width
+    | Params.Rmt_checkpoint _ -> 0 (* checkpoint restore *)
+    | Params.Rp -> 0 (* a single ROB entry read restores RP/SP/PC (Fig. 4) *)
+  in
+  let freed = squash_from t first_bad in
+  (* recount in-flight control instructions (checkpoint occupancy) *)
+  t.inflight_ctrl <- 0;
+  Ring.iter
+    (fun d ->
+       match d.uop.Trace.ctrl with
+       | Trace.Cond _ | Trace.Uncond _ -> t.inflight_ctrl <- t.inflight_ctrl + 1
+       | Trace.Not_ctrl -> ())
+    t.rob;
+  (match t.p.Params.rename with
+   | Params.Rmt _ | Params.Rmt_checkpoint _ ->
+     (* functionally rebuild the RMT from the surviving ROB (the hardware
+        walk does this incrementally; the walk time is modeled below) *)
+     Array.fill t.rmt 0 32 (-1);
+     Ring.iter
+       (fun d ->
+          if d.uop.Trace.has_dest && d.uop.Trace.dest_reg <> 0 then
+            t.rmt.(d.uop.Trace.dest_reg) <- d.seq)
+       t.rob;
+     (* the walk returns the squashed instructions' registers *)
+     t.free_regs <- t.free_regs + freed;
+     (* refetch is gated on walk completion (checkpoint-free RMT) *)
+     t.rename_blocked_until <- max t.rename_blocked_until (t.now + walk_len);
+     t.fetch_stall_until <- max t.fetch_stall_until (t.now + walk_len);
+     if walk_len > 0 then t.walk_stalls <- t.walk_stalls + walk_len
+   | Params.Rp ->
+     t.fetch_stall_until <- max t.fetch_stall_until t.now);
+  (* CPI: walk + refetch pipe refill are squash cost *)
+  t.redirect_until <-
+    max t.redirect_until (t.now + walk_len + t.p.Params.frontend_depth);
+  Branch_pred.Ras.restore t.ras faulting.ras_snapshot;
+  t.mode <- Fetch_correct resume_idx
+
+(* ---------- commit ---------- *)
+
+let commit t =
+  let budget = ref t.p.Params.commit_width in
+  let continue_ = ref true in
+  while !continue_ && !budget > 0 && not (Ring.is_empty t.rob) do
+    let d = Ring.front t.rob in
+    (* an instruction with a pending recovery must not retire before the
+       redirect has been processed *)
+    if d.issued && d.ready_at <= t.now
+       && (d.recovery_at < 0 || t.now >= d.recovery_at)
+    then begin
+      ignore (Ring.pop_front t.rob);
+      win_clear t d;
+      (* the value is now in the committed register file: consumers
+         still counting on this producer become ready *)
+      fire_edges d;
+      decr budget;
+      (match d.uop.Trace.fu with
+       | Trace.FU_load ->
+         if Ring.length t.ldq > 0 && (Ring.front t.ldq).seq = d.seq then
+           ignore (Ring.pop_front t.ldq)
+       | Trace.FU_store ->
+         if Ring.length t.stq > 0 && (Ring.front t.stq).seq = d.seq then
+           ignore (Ring.pop_front t.stq)
+       | _ -> ());
+      (* orphaned wrong-path instructions drain through commit; their
+         registers must return to the free list *)
+      (match t.p.Params.rename with
+       | (Params.Rmt _ | Params.Rmt_checkpoint _)
+         when d.wrong_path && d.uop.Trace.has_dest
+              && d.uop.Trace.dest_reg <> 0 ->
+         t.free_regs <- t.free_regs + 1
+       | _ -> ());
+      (match d.uop.Trace.ctrl with
+       | Trace.Cond _ | Trace.Uncond _ ->
+         if t.inflight_ctrl > 0 then t.inflight_ctrl <- t.inflight_ctrl - 1
+       | Trace.Not_ctrl -> ());
+      t.last_commit_cycle <- t.now;
+      if not d.wrong_path then begin
+        t.lc_idx.(t.lc_n land 7) <- d.trace_idx;
+        t.lc_pc.(t.lc_n land 7) <- d.uop.Trace.pc;
+        t.lc_n <- t.lc_n + 1;
+        t.committed <- t.committed + 1;
+        t.commits_now <- t.commits_now + 1;
+        t.mix_counts.(mix_slot d.uop) <- t.mix_counts.(mix_slot d.uop) + 1;
         (match d.uop.Trace.fu with
-         | Trace.FU_load ->
-           if Ring.length ldq > 0 && (Ring.front ldq).seq = d.seq then
-             ignore (Ring.pop_front ldq)
-         | Trace.FU_store ->
-           if Ring.length stq > 0 && (Ring.front stq).seq = d.seq then
-             ignore (Ring.pop_front stq)
+         | Trace.FU_store when d.uop.Trace.mem_addr <> 0 ->
+           (* drain through the store buffer: cache effects only *)
+           ignore (Cache.data_access t.hier d.uop.Trace.mem_addr)
          | _ -> ());
-        (* orphaned wrong-path instructions drain through commit; their
-           registers must return to the free list *)
-        (match p.rename with
-         | (Params.Rmt _ | Params.Rmt_checkpoint _)
-           when d.wrong_path && d.uop.Trace.has_dest
-                && d.uop.Trace.dest_reg <> 0 ->
-           incr free_regs
+        (match t.p.Params.rename with
+         | (Params.Rmt _ | Params.Rmt_checkpoint _) when d.uop.Trace.has_dest ->
+           (* the previous mapping of the destination becomes free *)
+           t.free_regs <- t.free_regs + 1;
+           t.act.freelist_ops <- t.act.freelist_ops + 1
          | _ -> ());
-        (match d.uop.Trace.ctrl with
-         | Trace.Cond _ | Trace.Uncond _ ->
-           if !inflight_ctrl > 0 then decr inflight_ctrl
-         | Trace.Not_ctrl -> ());
-        last_commit_cycle := !now;
-        if not d.wrong_path then begin
-          lc_idx.(!lc_n land 7) <- d.trace_idx;
-          lc_pc.(!lc_n land 7) <- d.uop.Trace.pc;
-          incr lc_n;
-          incr committed;
-          incr commits_now;
-          mix_counts.(mix_slot d.uop) <- mix_counts.(mix_slot d.uop) + 1;
-          (match d.uop.Trace.fu with
-           | Trace.FU_store when d.uop.Trace.mem_addr <> 0 ->
-             (* drain through the store buffer: cache effects only *)
-             ignore (Cache.data_access hier d.uop.Trace.mem_addr)
-           | _ -> ());
-          (match p.rename with
-           | (Params.Rmt _ | Params.Rmt_checkpoint _) when d.uop.Trace.has_dest ->
-             (* the previous mapping of the destination becomes free *)
-             incr free_regs;
-             act.freelist_ops <- act.freelist_ops + 1
-           | _ -> ());
-          if d.uop.Trace.fu = Trace.FU_alu && d.uop.Trace.is_nop
-             && d.trace_idx = n_trace - 1
-          then done_ := true;
-          if d.trace_idx = n_trace - 1 then done_ := true
-        end;
-        (match checker with
-         | Some ck ->
-           Checker.on_commit ck ~cycle:!now ~seq:d.seq
-             ~trace_idx:d.trace_idx ~wrong_path:d.wrong_path
-             ~free_regs:!free_regs d.uop
-         | None -> ())
-      end
-      else continue_ := false
-    done
-  in
+        if d.uop.Trace.fu = Trace.FU_alu && d.uop.Trace.is_nop
+           && d.trace_idx = t.n_trace - 1
+        then t.done_ <- true;
+        if d.trace_idx = t.n_trace - 1 then t.done_ <- true
+      end;
+      (match t.checker with
+       | Some ck ->
+         Checker.on_commit ck ~cycle:t.now ~seq:d.seq
+           ~trace_idx:d.trace_idx ~wrong_path:d.wrong_path
+           ~free_regs:t.free_regs d.uop
+       | None -> ())
+    end
+    else continue_ := false
+  done
 
-  (* ---------- issue ---------- *)
-  let issue () =
-    let ports_alu = ref p.n_alu and ports_mul = ref p.n_mul in
-    let ports_div = ref p.n_div and ports_bc = ref p.n_bc in
-    let ports_mem = ref p.n_mem in
-    let total = ref p.issue_width in
-    let n = !iq_len in
-    let kept = ref 0 in
-    let i = ref 0 in
-    while !i < n && !total > 0 do
-      let d = !iq_buf.(!i) in
-      if not d.issued && !now >= d.dispatched_at + p.dispatch_issue_latency
-      then begin
-        let port =
-          match d.uop.Trace.fu with
-          | Trace.FU_alu -> ports_alu
-          | Trace.FU_mul -> ports_mul
-          | Trace.FU_div -> ports_div
-          | Trace.FU_branch -> ports_bc
-          | Trace.FU_load | Trace.FU_store -> ports_mem
-        in
-        if !port > 0 then begin
-          if d.n_unready = 0 then begin
-            (* loads may have to hold for the memory-dependence
-               predictor *)
-            let lsq_hold =
-              match d.uop.Trace.fu with
-              | Trace.FU_load
-                when (not d.wrong_path) && d.uop.Trace.mem_addr <> 0 ->
-                let older_unknown = ref false in
-                Ring.iter
-                  (fun s ->
-                     if s.seq < d.seq && not s.addr_known then
-                       older_unknown := true)
-                  stq;
-                !older_unknown && Memdep.predict_conflict memdep d.uop.Trace.pc
-              | _ -> false
-            in
-            if not lsq_hold then begin
-              d.issued <- true;
-              decr port;
-              decr total;
-              act.rf_reads <- act.rf_reads + List.length d.producers;
-              act.iq_wakeups <- act.iq_wakeups + 1;
-              if d.uop.Trace.has_dest then
-                act.rf_writes <- act.rf_writes + 1;
-              (match d.uop.Trace.fu with
-               | Trace.FU_alu | Trace.FU_mul | Trace.FU_div ->
-                 act.alu_ops <- act.alu_ops + 1;
-                 d.ready_at <- !now + fu_latency p d.uop.Trace.fu
-               | Trace.FU_branch ->
-                 act.alu_ops <- act.alu_ops + 1;
-                 d.ready_at <- !now + 1;
-                 (* resolution happens one cycle later *)
-                 if not d.wrong_path then begin
-                   if d.mispredicted then begin
-                     d.recovery_at <- !now + p.branch_resolve_latency;
-                     recoveries :=
-                       (d.recovery_at, d.seq, d.resume_idx, false)
-                       :: !recoveries
-                   end
-                   else if d.trace_idx >= 0 && d.trace_idx < n_trace - 1
-                           && Inject.fire inj Inject.Spurious_recovery
-                   then begin
-                     (* fault: a correctly predicted branch resolves as
-                        mispredicted, forcing a full squash-and-refetch
-                        from its own fall-through point *)
-                     d.recovery_at <- !now + p.branch_resolve_latency;
-                     recoveries :=
-                       (d.recovery_at, d.seq, d.trace_idx + 1, false)
-                       :: !recoveries
-                   end
+(* ---------- issue ---------- *)
+
+let issue t =
+  let p = t.p in
+  let ports_alu = ref p.Params.n_alu and ports_mul = ref p.Params.n_mul in
+  let ports_div = ref p.Params.n_div and ports_bc = ref p.Params.n_bc in
+  let ports_mem = ref p.Params.n_mem in
+  let total = ref p.Params.issue_width in
+  let n = t.iq_len in
+  let kept = ref 0 in
+  let i = ref 0 in
+  while !i < n && !total > 0 do
+    let d = t.iq_buf.(!i) in
+    if not d.issued && t.now >= d.dispatched_at + p.Params.dispatch_issue_latency
+    then begin
+      let port =
+        match d.uop.Trace.fu with
+        | Trace.FU_alu -> ports_alu
+        | Trace.FU_mul -> ports_mul
+        | Trace.FU_div -> ports_div
+        | Trace.FU_branch -> ports_bc
+        | Trace.FU_load | Trace.FU_store -> ports_mem
+      in
+      if !port > 0 then begin
+        if d.n_unready = 0 then begin
+          (* loads may have to hold for the memory-dependence
+             predictor *)
+          let lsq_hold =
+            match d.uop.Trace.fu with
+            | Trace.FU_load
+              when (not d.wrong_path) && d.uop.Trace.mem_addr <> 0 ->
+              let older_unknown = ref false in
+              Ring.iter
+                (fun s ->
+                   if s.seq < d.seq && not s.addr_known then
+                     older_unknown := true)
+                t.stq;
+              !older_unknown && Memdep.predict_conflict t.memdep d.uop.Trace.pc
+            | _ -> false
+          in
+          if not lsq_hold then begin
+            d.issued <- true;
+            decr port;
+            decr total;
+            t.act.rf_reads <- t.act.rf_reads + List.length d.producers;
+            t.act.iq_wakeups <- t.act.iq_wakeups + 1;
+            if d.uop.Trace.has_dest then
+              t.act.rf_writes <- t.act.rf_writes + 1;
+            (match d.uop.Trace.fu with
+             | Trace.FU_alu | Trace.FU_mul | Trace.FU_div ->
+               t.act.alu_ops <- t.act.alu_ops + 1;
+               d.ready_at <- t.now + fu_latency p d.uop.Trace.fu
+             | Trace.FU_branch ->
+               t.act.alu_ops <- t.act.alu_ops + 1;
+               d.ready_at <- t.now + 1;
+               (* resolution happens one cycle later *)
+               if not d.wrong_path then begin
+                 if d.mispredicted then begin
+                   d.recovery_at <- t.now + p.Params.branch_resolve_latency;
+                   t.recoveries <-
+                     (d.recovery_at, d.seq, d.resume_idx, false)
+                     :: t.recoveries
                  end
-               | Trace.FU_store ->
-                 act.agu_ops <- act.agu_ops + 1;
-                 d.ready_at <- !now + 1;
-                 d.addr_known <- true;
-                 (* memory-order violation check against younger,
-                    already-executed loads at the same word *)
-                 if (not d.wrong_path) && d.uop.Trace.mem_addr <> 0 then begin
-                   let addr_w = d.uop.Trace.mem_addr lsr 2 in
-                   let victim = ref dummy in
-                   Ring.iter
-                     (fun (l : dyn) ->
-                        if l.seq > d.seq && l.executed_load
-                           && (not l.wrong_path)
-                           && l.uop.Trace.mem_addr lsr 2 = addr_w
-                           && (!victim == dummy || l.seq < !victim.seq)
-                        then victim := l)
-                     ldq;
-                   if !victim != dummy then begin
-                     let l = !victim in
-                     Memdep.train_violation memdep l.uop.Trace.pc;
-                     l.recovery_at <- !now + p.branch_resolve_latency;
-                     recoveries :=
-                       (l.recovery_at, l.seq, l.trace_idx, true)
-                       :: !recoveries
-                   end
+                 else if d.trace_idx >= 0 && d.trace_idx < t.n_trace - 1
+                         && Inject.fire t.inj Inject.Spurious_recovery
+                 then begin
+                   (* fault: a correctly predicted branch resolves as
+                      mispredicted, forcing a full squash-and-refetch
+                      from its own fall-through point *)
+                   d.recovery_at <- t.now + p.Params.branch_resolve_latency;
+                   t.recoveries <-
+                     (d.recovery_at, d.seq, d.trace_idx + 1, false)
+                     :: t.recoveries
                  end
-               | Trace.FU_load ->
-                 act.agu_ops <- act.agu_ops + 1;
-                 if d.wrong_path || d.uop.Trace.mem_addr = 0 then
-                   d.ready_at <- !now + 1 + hier.Cache.l1d.Cache.hit_latency
+               end
+             | Trace.FU_store ->
+               t.act.agu_ops <- t.act.agu_ops + 1;
+               d.ready_at <- t.now + 1;
+               d.addr_known <- true;
+               (* memory-order violation check against younger,
+                  already-executed loads at the same word *)
+               if (not d.wrong_path) && d.uop.Trace.mem_addr <> 0 then begin
+                 let addr_w = d.uop.Trace.mem_addr lsr 2 in
+                 let victim = ref t.dummy in
+                 Ring.iter
+                   (fun (l : dyn) ->
+                      if l.seq > d.seq && l.executed_load
+                         && (not l.wrong_path)
+                         && l.uop.Trace.mem_addr lsr 2 = addr_w
+                         && (!victim == t.dummy || l.seq < !victim.seq)
+                      then victim := l)
+                   t.ldq;
+                 if !victim != t.dummy then begin
+                   let l = !victim in
+                   Memdep.train_violation t.memdep l.uop.Trace.pc;
+                   l.recovery_at <- t.now + p.Params.branch_resolve_latency;
+                   t.recoveries <-
+                     (l.recovery_at, l.seq, l.trace_idx, true)
+                     :: t.recoveries
+                 end
+               end
+             | Trace.FU_load ->
+               t.act.agu_ops <- t.act.agu_ops + 1;
+               if d.wrong_path || d.uop.Trace.mem_addr = 0 then
+                 d.ready_at <- t.now + 1 + t.hier.Cache.l1d.Cache.hit_latency
+               else begin
+                 let addr = d.uop.Trace.mem_addr in
+                 let addr_w = addr lsr 2 in
+                 (* store-to-load forwarding from the youngest older
+                    resolved store to the same word *)
+                 let forward = ref false in
+                 Ring.iter
+                   (fun (s : dyn) ->
+                      if s.seq < d.seq && s.addr_known
+                         && s.uop.Trace.mem_addr lsr 2 = addr_w
+                      then forward := true)
+                   t.stq;
+                 if !forward then d.ready_at <- t.now + 2
                  else begin
-                   let addr = d.uop.Trace.mem_addr in
-                   let addr_w = addr lsr 2 in
-                   (* store-to-load forwarding from the youngest older
-                      resolved store to the same word *)
-                   let forward = ref false in
-                   Ring.iter
-                     (fun (s : dyn) ->
-                        if s.seq < d.seq && s.addr_known
-                           && s.uop.Trace.mem_addr lsr 2 = addr_w
-                        then forward := true)
-                     stq;
-                   if !forward then d.ready_at <- !now + 2
-                   else begin
-                     if Inject.fire inj Inject.Corrupt_cache_tag then
-                       Cache.corrupt_tag hier.Cache.l1d
-                         ~victim:
-                           (Inject.draw inj
-                              (Array.length hier.Cache.l1d.Cache.tags))
-                         ~flip:(Inject.draw inj 256);
-                     let lat = Cache.data_access hier addr in
-                     d.ready_at <- !now + 1 + lat;
-                     (* cache-hit speculation: consumers woken for a hit
-                        pay a replay penalty on a miss *)
-                     if lat > p.l1d.Params.hit_latency then d.replay_bump <- 1
-                   end;
-                   d.executed_load <- true
-                 end);
-              (* fault: a transiently slow functional unit *)
-              if Inject.fire inj Inject.Stretch_fu_latency then
-                d.ready_at <- d.ready_at + 1 + Inject.draw inj 8;
-              schedule_wakeup d
-            end
+                   if Inject.fire t.inj Inject.Corrupt_cache_tag then
+                     Cache.corrupt_tag t.hier.Cache.l1d
+                       ~victim:
+                         (Inject.draw t.inj
+                            (Array.length t.hier.Cache.l1d.Cache.tags))
+                       ~flip:(Inject.draw t.inj 256);
+                   let lat = Cache.data_access t.hier addr in
+                   d.ready_at <- t.now + 1 + lat;
+                   (* cache-hit speculation: consumers woken for a hit
+                      pay a replay penalty on a miss *)
+                   if lat > p.Params.l1d.Params.hit_latency then
+                     d.replay_bump <- 1
+                 end;
+                 d.executed_load <- true
+               end);
+            (* fault: a transiently slow functional unit *)
+            if Inject.fire t.inj Inject.Stretch_fu_latency then
+              d.ready_at <- d.ready_at + 1 + Inject.draw t.inj 8;
+            schedule_wakeup t d
           end
         end
-      end;
-      if not d.issued then begin
-        !iq_buf.(!kept) <- d;
-        incr kept
-      end;
-      incr i
-    done;
-    (* issue width exhausted: shift the unscanned tail down in place *)
-    if !kept < !i then begin
-      if !i < n then Array.blit !iq_buf !i !iq_buf !kept (n - !i);
-      let nlen = n - (!i - !kept) in
-      for j = nlen to n - 1 do !iq_buf.(j) <- dummy done;
-      iq_len := nlen
-    end
-  in
-
-  (* ---------- dispatch (rename) ---------- *)
-  let dispatch () =
-    let budget = ref p.fetch_width in
-    let continue_ = ref true in
-    let spadds_this_cycle = ref 0 in
-    while !continue_ && !budget > 0 && not (Ring.is_empty frontend_q) do
-      let d = Ring.front frontend_q in
-      if d.fetched_at + p.frontend_depth > !now then continue_ := false
-      else if !now < !rename_blocked_until then continue_ := false
-      else if Ring.length rob >= p.rob_entries then continue_ := false
-      else if !iq_len >= p.scheduler_entries then continue_ := false
-      else if d.uop.Trace.fu = Trace.FU_load
-              && Ring.length ldq >= p.ldq_entries then continue_ := false
-      else if d.uop.Trace.fu = Trace.FU_store
-              && Ring.length stq >= p.stq_entries then continue_ := false
-      else if (match p.rename with
-          | Params.Rmt _ | Params.Rmt_checkpoint _ ->
-            d.uop.Trace.has_dest && !free_regs <= 0
-          | Params.Rp -> false)
-      then continue_ := false
-      else if (match d.uop.Trace.ctrl with
-          | (Trace.Cond _ | Trace.Uncond _) when !inflight_ctrl >= checkpoint_limit ->
-            incr checkpoint_stalls; true
-          | _ -> false)
-      then continue_ := false
-      else if p.rename = Params.Rp && d.uop.Trace.is_spadd
-              && !spadds_this_cycle >= Params.spadd_per_cycle
-      then begin incr spadd_stalls; continue_ := false end
-      else begin
-        ignore (Ring.pop_front frontend_q);
-        decr budget;
-        (* operand determination *)
-        if d.uop.Trace.is_spadd then incr spadds_this_cycle;
-        (match d.uop.Trace.ctrl with
-         | Trace.Cond _ | Trace.Uncond _ -> incr inflight_ctrl
-         | Trace.Not_ctrl -> ());
-        (match p.rename with
-         | Params.Rmt _ | Params.Rmt_checkpoint _ ->
-           let srcs = d.uop.Trace.srcs_reg in
-           let ps = ref [] in
-           for k = Array.length srcs - 1 downto 0 do
-             let r = srcs.(k) in
-             if r <> 0 then
-               match rmt.(r) with -1 -> () | s -> ps := s :: !ps
-           done;
-           d.producers <- !ps;
-           act.rename_reads <- act.rename_reads + Array.length srcs + 1;
-           d.ras_snapshot <- Branch_pred.Ras.save ras;
-           if d.uop.Trace.has_dest && d.uop.Trace.dest_reg <> 0 then begin
-             decr free_regs;
-             act.freelist_ops <- act.freelist_ops + 1;
-             rmt.(d.uop.Trace.dest_reg) <- d.seq;
-             act.rename_writes <- act.rename_writes + 1
-           end
-         | Params.Rp ->
-           (* RP arithmetic keyed by distance; only still-in-flight
-              producers are kept *)
-           let srcs = d.uop.Trace.srcs_dist in
-           let ps = ref [] in
-           for k = Array.length srcs - 1 downto 0 do
-             let dist = srcs.(k) in
-             if d.wrong_path then begin
-               let s = d.seq - dist in
-               if win_mem s then ps := s :: !ps
-             end
-             else begin
-               let pidx = d.trace_idx - dist in
-               if pidx >= 0 then begin
-                 let s = trace_seq.(pidx) in
-                 if s >= 0 && win_mem s then ps := s :: !ps
-               end
-             end
-           done;
-           d.producers <- !ps;
-           act.rp_ops <- act.rp_ops + Array.length srcs + 1;
-           d.ras_snapshot <- Branch_pred.Ras.save ras);
-        register_producers d;
-        if not d.wrong_path then trace_seq.(d.trace_idx) <- d.seq;
-        d.dispatched <- true;
-        d.dispatched_at <- !now;
-        Ring.push_back rob d;
-        act.rob_writes <- act.rob_writes + 1;
-        iq_push d;
-        (match d.uop.Trace.fu with
-         | Trace.FU_load -> Ring.push_back ldq d
-         | Trace.FU_store -> Ring.push_back stq d
-         | _ -> ())
       end
-    done
-  in
+    end;
+    if not d.issued then begin
+      t.iq_buf.(!kept) <- d;
+      incr kept
+    end;
+    incr i
+  done;
+  (* issue width exhausted: shift the unscanned tail down in place *)
+  if !kept < !i then begin
+    if !i < n then Array.blit t.iq_buf !i t.iq_buf !kept (n - !i);
+    let nlen = n - (!i - !kept) in
+    for j = nlen to n - 1 do t.iq_buf.(j) <- t.dummy done;
+    t.iq_len <- nlen
+  end
 
-  (* ---------- fetch ---------- *)
-  let fetch () =
-    if !now >= !fetch_stall_until then begin
-      let budget = ref p.fetch_width in
-      let continue_ = ref true in
-      let line_touched = ref (-1) in
-      while !continue_ && !budget > 0 do
-        match !mode with
-        | Fetch_stalled -> continue_ := false
-        | Fetch_correct idx ->
-          if idx >= n_trace then continue_ := false
-          else begin
-            let uop = trace.(idx) in
-            (* instruction cache: one probe per line per group *)
-            let line = uop.Trace.pc lsr hier.Cache.l1i.Cache.line_shift in
-            if line <> !line_touched then begin
-              line_touched := line;
-              if Inject.fire inj Inject.Corrupt_cache_tag then
-                Cache.corrupt_tag hier.Cache.l1i
-                  ~victim:
-                    (Inject.draw inj (Array.length hier.Cache.l1i.Cache.tags))
-                  ~flip:(Inject.draw inj 256);
-              let lat = Cache.inst_access hier uop.Trace.pc in
-              if lat > 0 then begin
-                fetch_stall_until := !now + lat;
-                continue_ := false
-              end
-            end;
-            if !continue_ then begin
-              let d = mk_dyn ~uop ~wrong_path:false ~trace_idx:idx in
-              Ring.push_back frontend_q d;
-              decr budget;
-              (match uop.Trace.ctrl with
-               | Trace.Not_ctrl -> mode := Fetch_correct (idx + 1)
-               | Trace.Cond { taken; target } ->
-                 let predicted = pred.Branch_pred.predict uop.Trace.pc in
-                 (* train at fetch with the oracle outcome: models perfect
-                    speculative-history repair (see DESIGN.md) *)
-                 pred.Branch_pred.update uop.Trace.pc taken;
-                 (* fault: a bit flip in the predictor output *)
-                 let predicted =
-                   if Inject.fire inj Inject.Flip_prediction then not predicted
-                   else predicted
-                 in
-                 if p.ideal_recovery || predicted = taken then begin
-                   mode := Fetch_correct (idx + 1);
-                   if taken then continue_ := false (* group ends *)
-                 end
-                 else begin
-                   incr branch_misp;
-                   d.mispredicted <- true;
-                   d.resume_idx <- idx + 1;
-                   mode :=
-                     Fetch_wrong (if predicted then target else uop.Trace.pc + 4);
-                   continue_ := false
-                 end
-               | Trace.Uncond { target; is_call; is_ret } ->
-                 if is_call then
-                   Branch_pred.Ras.push ras (uop.Trace.pc + 4);
-                 if is_ret then begin
-                   let predicted = Branch_pred.Ras.pop ras in
-                   if p.ideal_recovery || predicted = Some target then
-                     mode := Fetch_correct (idx + 1)
-                   else begin
-                     incr ret_misp;
-                     d.mispredicted <- true;
-                     d.resume_idx <- idx + 1;
-                     mode := Fetch_stalled
-                   end
-                 end
-                 else mode := Fetch_correct (idx + 1);
-                 continue_ := false (* taken transfer ends the group *))
+(* ---------- dispatch (rename) ---------- *)
+
+let dispatch t =
+  let p = t.p in
+  let budget = ref p.Params.fetch_width in
+  let continue_ = ref true in
+  let spadds_this_cycle = ref 0 in
+  while !continue_ && !budget > 0 && not (Ring.is_empty t.frontend_q) do
+    let d = Ring.front t.frontend_q in
+    if d.fetched_at + p.Params.frontend_depth > t.now then continue_ := false
+    else if t.now < t.rename_blocked_until then continue_ := false
+    else if Ring.length t.rob >= p.Params.rob_entries then continue_ := false
+    else if t.iq_len >= p.Params.scheduler_entries then continue_ := false
+    else if d.uop.Trace.fu = Trace.FU_load
+            && Ring.length t.ldq >= p.Params.ldq_entries then continue_ := false
+    else if d.uop.Trace.fu = Trace.FU_store
+            && Ring.length t.stq >= p.Params.stq_entries then continue_ := false
+    else if (match p.Params.rename with
+        | Params.Rmt _ | Params.Rmt_checkpoint _ ->
+          d.uop.Trace.has_dest && t.free_regs <= 0
+        | Params.Rp -> false)
+    then continue_ := false
+    else if (match d.uop.Trace.ctrl with
+        | (Trace.Cond _ | Trace.Uncond _)
+          when t.inflight_ctrl >= t.checkpoint_limit ->
+          t.checkpoint_stalls <- t.checkpoint_stalls + 1; true
+        | _ -> false)
+    then continue_ := false
+    else if p.Params.rename = Params.Rp && d.uop.Trace.is_spadd
+            && !spadds_this_cycle >= Params.spadd_per_cycle
+    then begin t.spadd_stalls <- t.spadd_stalls + 1; continue_ := false end
+    else begin
+      ignore (Ring.pop_front t.frontend_q);
+      decr budget;
+      (* operand determination *)
+      if d.uop.Trace.is_spadd then incr spadds_this_cycle;
+      (match d.uop.Trace.ctrl with
+       | Trace.Cond _ | Trace.Uncond _ -> t.inflight_ctrl <- t.inflight_ctrl + 1
+       | Trace.Not_ctrl -> ());
+      (match p.Params.rename with
+       | Params.Rmt _ | Params.Rmt_checkpoint _ ->
+         let srcs = d.uop.Trace.srcs_reg in
+         let ps = ref [] in
+         for k = Array.length srcs - 1 downto 0 do
+           let r = srcs.(k) in
+           if r <> 0 then
+             match t.rmt.(r) with -1 -> () | s -> ps := s :: !ps
+         done;
+         d.producers <- !ps;
+         t.act.rename_reads <- t.act.rename_reads + Array.length srcs + 1;
+         d.ras_snapshot <- Branch_pred.Ras.save t.ras;
+         if d.uop.Trace.has_dest && d.uop.Trace.dest_reg <> 0 then begin
+           t.free_regs <- t.free_regs - 1;
+           t.act.freelist_ops <- t.act.freelist_ops + 1;
+           t.rmt.(d.uop.Trace.dest_reg) <- d.seq;
+           t.act.rename_writes <- t.act.rename_writes + 1
+         end
+       | Params.Rp ->
+         (* RP arithmetic keyed by distance; only still-in-flight
+            producers are kept *)
+         let srcs = d.uop.Trace.srcs_dist in
+         let ps = ref [] in
+         for k = Array.length srcs - 1 downto 0 do
+           let dist = srcs.(k) in
+           if d.wrong_path then begin
+             let s = d.seq - dist in
+             if win_mem t s then ps := s :: !ps
+           end
+           else begin
+             let pidx = d.trace_idx - dist in
+             if pidx >= 0 then begin
+               let s = t.trace_seq.(pidx) in
+               if s >= 0 && win_mem t s then ps := s :: !ps
+             end
+           end
+         done;
+         d.producers <- !ps;
+         t.act.rp_ops <- t.act.rp_ops + Array.length srcs + 1;
+         d.ras_snapshot <- Branch_pred.Ras.save t.ras);
+      register_producers t d;
+      if not d.wrong_path then t.trace_seq.(d.trace_idx) <- d.seq;
+      d.dispatched <- true;
+      d.dispatched_at <- t.now;
+      Ring.push_back t.rob d;
+      t.act.rob_writes <- t.act.rob_writes + 1;
+      iq_push t d;
+      (match d.uop.Trace.fu with
+       | Trace.FU_load -> Ring.push_back t.ldq d
+       | Trace.FU_store -> Ring.push_back t.stq d
+       | _ -> ())
+    end
+  done
+
+(* ---------- fetch ---------- *)
+
+let fetch t =
+  let p = t.p in
+  if t.now >= t.fetch_stall_until then begin
+    let budget = ref p.Params.fetch_width in
+    let continue_ = ref true in
+    let line_touched = ref (-1) in
+    while !continue_ && !budget > 0 do
+      match t.mode with
+      | Fetch_stalled -> continue_ := false
+      | Fetch_correct idx ->
+        if idx >= t.n_trace then continue_ := false
+        else begin
+          let uop = t.trace.(idx) in
+          (* instruction cache: one probe per line per group *)
+          let line = uop.Trace.pc lsr t.hier.Cache.l1i.Cache.line_shift in
+          if line <> !line_touched then begin
+            line_touched := line;
+            if Inject.fire t.inj Inject.Corrupt_cache_tag then
+              Cache.corrupt_tag t.hier.Cache.l1i
+                ~victim:
+                  (Inject.draw t.inj (Array.length t.hier.Cache.l1i.Cache.tags))
+                ~flip:(Inject.draw t.inj 256);
+            let lat = Cache.inst_access t.hier uop.Trace.pc in
+            if lat > 0 then begin
+              t.fetch_stall_until <- t.now + lat;
+              continue_ := false
             end
-          end
-        | Fetch_wrong pc ->
-          (match decode_static pc with
-           | None -> mode := Fetch_stalled; continue_ := false
-           | Some uop ->
-             let line = pc lsr hier.Cache.l1i.Cache.line_shift in
-             if line <> !line_touched then begin
-               line_touched := line;
-               let lat = Cache.inst_access hier pc in
-               if lat > 0 then begin
-                 fetch_stall_until := !now + lat;
+          end;
+          if !continue_ then begin
+            let d = mk_dyn t ~uop ~wrong_path:false ~trace_idx:idx in
+            Ring.push_back t.frontend_q d;
+            decr budget;
+            (match uop.Trace.ctrl with
+             | Trace.Not_ctrl -> t.mode <- Fetch_correct (idx + 1)
+             | Trace.Cond { taken; target } ->
+               let predicted = t.pred.Branch_pred.predict uop.Trace.pc in
+               (* train at fetch with the oracle outcome: models perfect
+                  speculative-history repair (see DESIGN.md) *)
+               t.pred.Branch_pred.update uop.Trace.pc taken;
+               (* fault: a bit flip in the predictor output *)
+               let predicted =
+                 if Inject.fire t.inj Inject.Flip_prediction then not predicted
+                 else predicted
+               in
+               if p.Params.ideal_recovery || predicted = taken then begin
+                 t.mode <- Fetch_correct (idx + 1);
+                 if taken then continue_ := false (* group ends *)
+               end
+               else begin
+                 t.branch_misp <- t.branch_misp + 1;
+                 d.mispredicted <- true;
+                 d.resume_idx <- idx + 1;
+                 t.mode <-
+                   Fetch_wrong (if predicted then target else uop.Trace.pc + 4);
                  continue_ := false
                end
-             end;
-             if !continue_ then begin
-               let d = mk_dyn ~uop ~wrong_path:true ~trace_idx:(-1) in
-               incr wrong_fetched;
-               Ring.push_back frontend_q d;
-               decr budget;
-               (match uop.Trace.ctrl with
-                | Trace.Not_ctrl -> mode := Fetch_wrong (pc + 4)
-                | Trace.Cond { target; _ } ->
-                  let predicted = pred.Branch_pred.predict pc in
-                  if predicted then begin
-                    mode := Fetch_wrong target;
-                    continue_ := false
-                  end
-                  else mode := Fetch_wrong (pc + 4)
-                | Trace.Uncond { target; is_call; is_ret } ->
-                  if is_call then Branch_pred.Ras.push ras (pc + 4);
-                  if is_ret || target < 0 then begin
-                    match Branch_pred.Ras.pop ras with
-                    | Some t -> mode := Fetch_wrong t
-                    | None -> mode := Fetch_stalled
-                  end
-                  else mode := Fetch_wrong target;
-                  continue_ := false)
-             end)
-      done
-    end
-  in
+             | Trace.Uncond { target; is_call; is_ret } ->
+               if is_call then
+                 Branch_pred.Ras.push t.ras (uop.Trace.pc + 4);
+               if is_ret then begin
+                 let predicted = Branch_pred.Ras.pop t.ras in
+                 if p.Params.ideal_recovery || predicted = Some target then
+                   t.mode <- Fetch_correct (idx + 1)
+                 else begin
+                   t.ret_misp <- t.ret_misp + 1;
+                   d.mispredicted <- true;
+                   d.resume_idx <- idx + 1;
+                   t.mode <- Fetch_stalled
+                 end
+               end
+               else t.mode <- Fetch_correct (idx + 1);
+               continue_ := false (* taken transfer ends the group *))
+          end
+        end
+      | Fetch_wrong pc ->
+        (match t.decode_static pc with
+         | None -> t.mode <- Fetch_stalled; continue_ := false
+         | Some uop ->
+           let line = pc lsr t.hier.Cache.l1i.Cache.line_shift in
+           if line <> !line_touched then begin
+             line_touched := line;
+             let lat = Cache.inst_access t.hier pc in
+             if lat > 0 then begin
+               t.fetch_stall_until <- t.now + lat;
+               continue_ := false
+             end
+           end;
+           if !continue_ then begin
+             let d = mk_dyn t ~uop ~wrong_path:true ~trace_idx:(-1) in
+             t.wrong_fetched <- t.wrong_fetched + 1;
+             Ring.push_back t.frontend_q d;
+             decr budget;
+             (match uop.Trace.ctrl with
+              | Trace.Not_ctrl -> t.mode <- Fetch_wrong (pc + 4)
+              | Trace.Cond { target; _ } ->
+                let predicted = t.pred.Branch_pred.predict pc in
+                if predicted then begin
+                  t.mode <- Fetch_wrong target;
+                  continue_ := false
+                end
+                else t.mode <- Fetch_wrong (pc + 4)
+              | Trace.Uncond { target; is_call; is_ret } ->
+                if is_call then Branch_pred.Ras.push t.ras (pc + 4);
+                if is_ret || target < 0 then begin
+                  match Branch_pred.Ras.pop t.ras with
+                  | Some tgt -> t.mode <- Fetch_wrong tgt
+                  | None -> t.mode <- Fetch_stalled
+                end
+                else t.mode <- Fetch_wrong target;
+                continue_ := false)
+           end)
+    done
+  end
 
-  (* ---------- CPI-stack classification ---------- *)
-  (* One bucket per cycle, judged at the head of the window after commit
-     and issue have run (see Stats and EXPERIMENTS.md for the
-     heuristics).  Observability only: no effect on simulated timing. *)
-  let classify_cycle () : Stats.bucket =
-    if !commits_now > 0 then Stats.Base
-    else if not (Ring.is_empty rob) then begin
-      let d = Ring.front rob in
-      if d.recovery_at >= 0 && !now < d.recovery_at then Stats.Branch_squash
-      else if d.issued then
-        (match d.uop.Trace.fu with
-         | Trace.FU_load | Trace.FU_store -> Stats.Memory
-         | _ -> Stats.Base)
-      else if d.n_unready > 0 then begin
-        (* a dependence stall: charge memory when waiting (directly) on
-           an in-flight load, otherwise count it against base ILP *)
-        let on_load =
-          List.exists
-            (fun s -> (win_get s).uop.Trace.fu = Trace.FU_load)
-            d.producers
-        in
-        if on_load then Stats.Memory else Stats.Base
-      end
-      else Stats.Structural
+(* ---------- CPI-stack classification ---------- *)
+(* One bucket per cycle, judged at the head of the window after commit
+   and issue have run (see Stats and EXPERIMENTS.md for the
+   heuristics).  Observability only: no effect on simulated timing. *)
+let classify_cycle t : Stats.bucket =
+  if t.commits_now > 0 then Stats.Base
+  else if not (Ring.is_empty t.rob) then begin
+    let d = Ring.front t.rob in
+    if d.recovery_at >= 0 && t.now < d.recovery_at then Stats.Branch_squash
+    else if d.issued then
+      (match d.uop.Trace.fu with
+       | Trace.FU_load | Trace.FU_store -> Stats.Memory
+       | _ -> Stats.Base)
+    else if d.n_unready > 0 then begin
+      (* a dependence stall: charge memory when waiting (directly) on
+         an in-flight load, otherwise count it against base ILP *)
+      let on_load =
+        List.exists
+          (fun s -> (win_get t s).uop.Trace.fu = Trace.FU_load)
+          d.producers
+      in
+      if on_load then Stats.Memory else Stats.Base
     end
-    else if not (Ring.is_empty frontend_q) then
-      (if !now < !redirect_until then Stats.Branch_squash else Stats.Frontend)
-    else if !now < !redirect_until then Stats.Branch_squash
-    else Stats.Frontend
-  in
+    else Stats.Structural
+  end
+  else if not (Ring.is_empty t.frontend_q) then
+    (if t.now < t.redirect_until then Stats.Branch_squash else Stats.Frontend)
+  else if t.now < t.redirect_until then Stats.Branch_squash
+  else Stats.Frontend
 
-  (* ---------- watchdog ---------- *)
-  (* Two trip wires: a total cycle budget scaled to the trace length, and
-     a forward-progress limit (no commit for [watchdog_limit] cycles —
-     the worst legitimate commit gap, a serialized chain of full-memory-
-     latency loads, is more than an order of magnitude shorter).  Either
-     raises [Diag.Error Sim_deadlock] carrying a machine-readable
-     pipeline snapshot that names the stuck instruction. *)
-  let max_cycles = 40 * n_trace + 200_000 in
-  let watchdog_limit = 20_000 in
-  let fu_name = function
-    | Trace.FU_alu -> "alu" | Trace.FU_mul -> "mul" | Trace.FU_div -> "div"
-    | Trace.FU_branch -> "br" | Trace.FU_load -> "ld" | Trace.FU_store -> "st"
+(* ---------- watchdog diagnostics ---------- *)
+
+let fu_name = function
+  | Trace.FU_alu -> "alu" | Trace.FU_mul -> "mul" | Trace.FU_div -> "div"
+  | Trace.FU_branch -> "br" | Trace.FU_load -> "ld" | Trace.FU_store -> "st"
+
+let diag_context t reason =
+  let i = string_of_int in
+  let base =
+    [ ("reason", reason);
+      ("cycle", i t.now);
+      ("committed", i t.committed);
+      ("trace_length", i t.n_trace);
+      ("rob_occupancy", i (Ring.length t.rob));
+      ("iq_occupancy", i t.iq_len);
+      ("ldq_occupancy", i (Ring.length t.ldq));
+      ("stq_occupancy", i (Ring.length t.stq));
+      ("frontend_occupancy", i (Ring.length t.frontend_q));
+      ("free_regs", if t.is_rmt then i t.free_regs else "n/a");
+      ("fetch_mode",
+       (match t.mode with
+        | Fetch_correct idx -> Printf.sprintf "correct@%d" idx
+        | Fetch_wrong pc -> Printf.sprintf "wrong@0x%x" pc
+        | Fetch_stalled -> "stalled"));
+      ("fetch_stall_until", i t.fetch_stall_until);
+      ("rename_blocked_until", i t.rename_blocked_until);
+      ("pending_recoveries", i (List.length t.recoveries));
+      ("faults_injected", i (Inject.total t.inj));
+      ("last_commits",
+       if t.lc_n = 0 then "none"
+       else begin
+         let k = min t.lc_n 8 in
+         String.concat ","
+           (List.init k (fun j ->
+                let idx = (t.lc_n - k + j) land 7 in
+                Printf.sprintf "%d:0x%x" t.lc_idx.(idx) t.lc_pc.(idx)))
+       end) ]
   in
-  let snapshot reason =
-    let i = string_of_int in
-    let base =
-      [ ("reason", reason);
-        ("cycle", i !now);
-        ("committed", i !committed);
-        ("trace_length", i n_trace);
-        ("rob_occupancy", i (Ring.length rob));
-        ("iq_occupancy", i !iq_len);
-        ("ldq_occupancy", i (Ring.length ldq));
-        ("stq_occupancy", i (Ring.length stq));
-        ("frontend_occupancy", i (Ring.length frontend_q));
-        ("free_regs", if is_rmt then i !free_regs else "n/a");
-        ("fetch_mode",
-         (match !mode with
-          | Fetch_correct idx -> Printf.sprintf "correct@%d" idx
-          | Fetch_wrong pc -> Printf.sprintf "wrong@0x%x" pc
-          | Fetch_stalled -> "stalled"));
-        ("fetch_stall_until", i !fetch_stall_until);
-        ("rename_blocked_until", i !rename_blocked_until);
-        ("pending_recoveries", i (List.length !recoveries));
-        ("faults_injected", i (Inject.total inj));
-        ("last_commits",
-         if !lc_n = 0 then "none"
-         else begin
-           let k = min !lc_n 8 in
+  let head =
+    if not (Ring.is_empty t.rob) then
+      let d = Ring.front t.rob in
+      [ ("stuck_at", "rob_head");
+        ("head_seq", i d.seq);
+        ("head_pc", Printf.sprintf "0x%x" d.uop.Trace.pc);
+        ("head_fu", fu_name d.uop.Trace.fu);
+        ("head_wrong_path", string_of_bool d.wrong_path);
+        ("head_trace_idx", i d.trace_idx);
+        ("head_issued", string_of_bool d.issued);
+        ("head_ready_at", i d.ready_at);
+        ("head_recovery_at", i d.recovery_at);
+        ("head_producers",
+         if d.producers = [] then "none"
+         else
            String.concat ","
-             (List.init k (fun j ->
-                  let i = (!lc_n - k + j) land 7 in
-                  Printf.sprintf "%d:0x%x" lc_idx.(i) lc_pc.(i)))
-         end) ]
-    in
-    let head =
-      if not (Ring.is_empty rob) then
-        let d = Ring.front rob in
-        [ ("stuck_at", "rob_head");
-          ("head_seq", i d.seq);
-          ("head_pc", Printf.sprintf "0x%x" d.uop.Trace.pc);
-          ("head_fu", fu_name d.uop.Trace.fu);
-          ("head_wrong_path", string_of_bool d.wrong_path);
-          ("head_trace_idx", i d.trace_idx);
-          ("head_issued", string_of_bool d.issued);
-          ("head_ready_at", i d.ready_at);
-          ("head_recovery_at", i d.recovery_at);
-          ("head_producers",
-           if d.producers = [] then "none"
-           else
-             String.concat ","
-               (List.map
-                  (fun s ->
-                     Printf.sprintf "%d%s" s
-                       (if win_mem s then "(inflight)" else ""))
-                  d.producers)) ]
-      else if not (Ring.is_empty frontend_q) then
-        let d = Ring.front frontend_q in
-        [ ("stuck_at", "frontend_head");
-          ("head_seq", i d.seq);
-          ("head_pc", Printf.sprintf "0x%x" d.uop.Trace.pc);
-          ("head_fu", fu_name d.uop.Trace.fu) ]
-      else [ ("stuck_at", "fetch") ]
-    in
-    base @ head
+             (List.map
+                (fun s ->
+                   Printf.sprintf "%d%s" s
+                     (if win_mem t s then "(inflight)" else ""))
+                d.producers)) ]
+    else if not (Ring.is_empty t.frontend_q) then
+      let d = Ring.front t.frontend_q in
+      [ ("stuck_at", "frontend_head");
+        ("head_seq", i d.seq);
+        ("head_pc", Printf.sprintf "0x%x" d.uop.Trace.pc);
+        ("head_fu", fu_name d.uop.Trace.fu) ]
+    else [ ("stuck_at", "fetch") ]
   in
-  (* ---------- main loop ---------- *)
-  while not !done_ do
-    if !now > max_cycles then
-      Diag.error ~context:(snapshot "cycle-budget") Diag.Sim_deadlock
-        "simulation did not converge: %d cycles elapsed, %d/%d committed"
-        !now !committed n_trace;
-    if !now - !last_commit_cycle > watchdog_limit then
-      Diag.error ~context:(snapshot "no-forward-progress") Diag.Sim_deadlock
-        "pipeline deadlock: no commit for %d cycles (cycle %d, %d/%d \
-         committed)"
-        (!now - !last_commit_cycle) !now !committed n_trace;
-    drain_wheel ();
-    (* process recovery events due this cycle, oldest faulting seq first *)
-    if !recoveries <> [] then begin
-      let due, later =
-        List.partition (fun (c, _, _, _) -> c <= !now) !recoveries
-      in
-      recoveries := later;
-      let due =
-        List.sort (fun (_, s1, _, _) (_, s2, _, _) -> compare s1 s2) due
-      in
-      List.iter
-        (fun (_, seqno, resume_idx, include_self) ->
-           let d = win_get seqno in
-           if d != dummy then do_recovery ~faulting:d ~resume_idx ~include_self
-           (* otherwise: already squashed by an older recovery *))
-        due
-    end;
-    commits_now := 0;
-    commit ();
-    issue ();
-    Stats.charge cpi (classify_cycle ());
-    dispatch ();
-    fetch ();
-    incr now
-  done;
-  (match checker with
+  base @ head
+
+(* ---------- stepping ---------- *)
+
+(* One simulated cycle.  Raises [Diag.Error Sim_deadlock] at the cycle
+   boundary (before any state for the cycle is touched), so a caller
+   catching the watchdog sees a consistent, checkpointable engine. *)
+let step t =
+  if t.now > t.max_cycles then
+    Diag.error ~context:(diag_context t "cycle-budget") Diag.Sim_deadlock
+      "simulation did not converge: %d cycles elapsed, %d/%d committed"
+      t.now t.committed t.n_trace;
+  if t.now - t.last_commit_cycle > watchdog_limit then
+    Diag.error ~context:(diag_context t "no-forward-progress") Diag.Sim_deadlock
+      "pipeline deadlock: no commit for %d cycles (cycle %d, %d/%d \
+       committed)"
+      (t.now - t.last_commit_cycle) t.now t.committed t.n_trace;
+  drain_wheel t;
+  (* process recovery events due this cycle, oldest faulting seq first *)
+  if t.recoveries <> [] then begin
+    let due, later =
+      List.partition (fun (c, _, _, _) -> c <= t.now) t.recoveries
+    in
+    t.recoveries <- later;
+    let due =
+      List.sort (fun (_, s1, _, _) (_, s2, _, _) -> compare s1 s2) due
+    in
+    List.iter
+      (fun (_, seqno, resume_idx, include_self) ->
+         let d = win_get t seqno in
+         if d != t.dummy then do_recovery t ~faulting:d ~resume_idx ~include_self
+         (* otherwise: already squashed by an older recovery *))
+      due
+  end;
+  t.commits_now <- 0;
+  commit t;
+  issue t;
+  Stats.charge t.cpi (classify_cycle t);
+  dispatch t;
+  fetch t;
+  t.now <- t.now + 1
+
+let finished t = t.done_
+let cycle t = t.now
+let committed_count t = t.committed
+
+let finish t : stats =
+  (match t.checker with
    | Some ck ->
-     Checker.on_finish ck ~cycles:!now ~committed:!committed
-       ~free_regs:!free_regs
+     Checker.on_finish ck ~cycles:t.now ~committed:t.committed
+       ~free_regs:t.free_regs
    | None -> ());
-  { cycles = !now;
-    committed = !committed;
-    wrong_path_fetched = !wrong_fetched;
-    branch_mispredicts = !branch_misp;
-    return_mispredicts = !ret_misp;
-    memdep_violations = memdep.Memdep.violations;
-    walk_stall_cycles = !walk_stalls;
-    spadd_stall_slots = !spadd_stalls;
-    checkpoint_stall_slots = !checkpoint_stalls;
-    l1i_misses = hier.Cache.l1i.Cache.misses;
-    l1d_misses = hier.Cache.l1d.Cache.misses;
-    l1d_accesses = hier.Cache.l1d.Cache.accesses;
+  { cycles = t.now;
+    committed = t.committed;
+    wrong_path_fetched = t.wrong_fetched;
+    branch_mispredicts = t.branch_misp;
+    return_mispredicts = t.ret_misp;
+    memdep_violations = t.memdep.Memdep.violations;
+    walk_stall_cycles = t.walk_stalls;
+    spadd_stall_slots = t.spadd_stalls;
+    checkpoint_stall_slots = t.checkpoint_stalls;
+    l1i_misses = t.hier.Cache.l1i.Cache.misses;
+    l1d_misses = t.hier.Cache.l1d.Cache.misses;
+    l1d_accesses = t.hier.Cache.l1d.Cache.accesses;
     mix =
       (let acc = ref [] in
        for i = 5 downto 0 do
-         if mix_counts.(i) > 0 then acc := (mix_labels.(i), mix_counts.(i)) :: !acc
+         if t.mix_counts.(i) > 0 then
+           acc := (mix_labels.(i), t.mix_counts.(i)) :: !acc
        done;
        !acc);
-    activity = act;
-    ipc = float_of_int !committed /. float_of_int (max 1 !now);
-    faults_injected = Inject.total inj;
+    activity = t.act;
+    ipc = float_of_int t.committed /. float_of_int (max 1 t.now);
+    faults_injected = Inject.total t.inj;
     commits_checked =
-      (match checker with Some ck -> Checker.commits_checked ck | None -> 0);
-    cpi_stack = Stats.freeze cpi }
+      (match t.checker with Some ck -> Checker.commits_checked ck | None -> 0);
+    cpi_stack = Stats.freeze t.cpi }
+
+(* [run p ~trace ~decode_static ?checker ()] simulates the whole trace
+   and returns timing statistics.  [decode_static pc] supplies wrong-path
+   instructions.  [checker] is the lockstep golden-model checker, fed at
+   every commit.  Faults from [p.inject] are injected at fetch/issue
+   opportunities; a deadlock or lack of forward progress trips the
+   watchdog, which raises [Diag.Error Sim_deadlock] carrying a full
+   machine-readable pipeline snapshot. *)
+let run (p : Params.t) ~(trace : Trace.uop array)
+    ~(decode_static : int -> Trace.uop option)
+    ?(checker : Checker.t option) () : stats =
+  let t = create p ~trace ~decode_static ?checker () in
+  while not t.done_ do step t done;
+  finish t
+
+(* ---------- checkpointing ---------- *)
+
+(* Binary image of the live engine.  Serialization-safety invariants the
+   format relies on (all consequences of suffix-only squash and
+   monotonic, never-reused sequence numbers):
+
+   - the live window is exactly [frontend_q ∪ rob] (disjoint), so those
+     two deques enumerate every live [dyn];
+   - iq/ldq/stq are subsets of the ROB, serialized as seq lists;
+   - an unfired wakeup edge held by a live producer targets either a
+     live consumer or a squashed one (whose counters are dead state) —
+     dead targets are dropped at save;
+   - fired edges never persist ([fire_edges] clears the whole list);
+   - timing-wheel slots may hold squashed producers, but all of their
+     consumers were squashed with them, so dead entries are dropped;
+   - [trace_seq] entries for committed producers are stale in exactly
+     the way a [-1] is (the [win_mem] guard fails either way), so the
+     array is rebuilt sparsely from live dispatched correct-path dyns;
+   - correct-path uops are shared with [trace] and stored by index;
+     wrong-path uops are serialized inline. *)
+
+let engine_version = 1
+
+let fu_code = function
+  | Trace.FU_alu -> 0 | Trace.FU_mul -> 1 | Trace.FU_div -> 2
+  | Trace.FU_branch -> 3 | Trace.FU_load -> 4 | Trace.FU_store -> 5
+
+let fu_of_code = function
+  | 0 -> Trace.FU_alu | 1 -> Trace.FU_mul | 2 -> Trace.FU_div
+  | 3 -> Trace.FU_branch | 4 -> Trace.FU_load | 5 -> Trace.FU_store
+  | n -> raise (Bin.Corrupt (Printf.sprintf "bad fu code %d" n))
+
+let w_uop b (u : Trace.uop) =
+  Bin.w_int b u.Trace.pc;
+  Bin.w_int b (fu_code u.Trace.fu);
+  Bin.w_int_array b u.Trace.srcs_dist;
+  Bin.w_int_array b u.Trace.srcs_reg;
+  Bin.w_int b u.Trace.dest_reg;
+  Bin.w_bool b u.Trace.has_dest;
+  Bin.w_bool b u.Trace.is_rmov;
+  Bin.w_bool b u.Trace.is_nop;
+  Bin.w_bool b u.Trace.is_spadd;
+  Bin.w_int b u.Trace.mem_addr;
+  match u.Trace.ctrl with
+  | Trace.Not_ctrl -> Bin.w_int b 0
+  | Trace.Cond { taken; target } ->
+    Bin.w_int b 1; Bin.w_bool b taken; Bin.w_int b target
+  | Trace.Uncond { target; is_call; is_ret } ->
+    Bin.w_int b 2; Bin.w_int b target; Bin.w_bool b is_call;
+    Bin.w_bool b is_ret
+
+let r_uop r : Trace.uop =
+  let pc = Bin.r_int r in
+  let fu = fu_of_code (Bin.r_int r) in
+  let srcs_dist = Bin.r_int_array r in
+  let srcs_reg = Bin.r_int_array r in
+  let dest_reg = Bin.r_int r in
+  let has_dest = Bin.r_bool r in
+  let is_rmov = Bin.r_bool r in
+  let is_nop = Bin.r_bool r in
+  let is_spadd = Bin.r_bool r in
+  let mem_addr = Bin.r_int r in
+  let ctrl =
+    match Bin.r_int r with
+    | 0 -> Trace.Not_ctrl
+    | 1 ->
+      let taken = Bin.r_bool r in
+      let target = Bin.r_int r in
+      Trace.Cond { taken; target }
+    | 2 ->
+      let target = Bin.r_int r in
+      let is_call = Bin.r_bool r in
+      let is_ret = Bin.r_bool r in
+      Trace.Uncond { target; is_call; is_ret }
+    | n -> raise (Bin.Corrupt (Printf.sprintf "bad ctrl tag %d" n))
+  in
+  { Trace.pc; fu; srcs_dist; srcs_reg; dest_reg; has_dest; is_rmov; is_nop;
+    is_spadd; mem_addr; ctrl }
+
+let w_dyn t b (d : dyn) =
+  Bin.w_int b d.seq;
+  Bin.w_bool b d.wrong_path;
+  Bin.w_int b d.trace_idx;
+  if d.trace_idx < 0 then w_uop b d.uop;
+  Bin.w_int b d.fetched_at;
+  Bin.w_list b Bin.w_int d.producers;
+  Bin.w_bool b d.dispatched;
+  Bin.w_int b d.dispatched_at;
+  Bin.w_bool b d.issued;
+  Bin.w_int b d.ready_at;
+  Bin.w_int b d.replay_bump;
+  Bin.w_bool b d.mispredicted;
+  Bin.w_int b d.resume_idx;
+  Bin.w_bool b d.addr_known;
+  Bin.w_bool b d.executed_load;
+  Bin.w_int b d.recovery_at;
+  Bin.w_int b d.ras_snapshot;
+  Bin.w_int b d.n_unready;
+  (* unfired edges whose consumer is still live; dead consumers only
+     absorb a harmless counter decrement, so they are dropped *)
+  Bin.w_list b Bin.w_int
+    (List.filter_map
+       (fun e -> if win_mem t e.consumer.seq then Some e.consumer.seq else None)
+       d.waiters)
+
+(* first pass: reconstruct the record; waiter seqs are resolved in a
+   second pass once every live dyn is back in the window *)
+let r_dyn t r : dyn * int list =
+  let seq = Bin.r_int r in
+  let wrong_path = Bin.r_bool r in
+  let trace_idx = Bin.r_int r in
+  let uop =
+    if trace_idx < 0 then r_uop r
+    else if trace_idx < t.n_trace then t.trace.(trace_idx)
+    else
+      raise
+        (Bin.Corrupt
+           (Printf.sprintf "dyn trace index %d outside trace of %d" trace_idx
+              t.n_trace))
+  in
+  let fetched_at = Bin.r_int r in
+  let producers = Bin.r_list r Bin.r_int in
+  let dispatched = Bin.r_bool r in
+  let dispatched_at = Bin.r_int r in
+  let issued = Bin.r_bool r in
+  let ready_at = Bin.r_int r in
+  let replay_bump = Bin.r_int r in
+  let mispredicted = Bin.r_bool r in
+  let resume_idx = Bin.r_int r in
+  let addr_known = Bin.r_bool r in
+  let executed_load = Bin.r_bool r in
+  let recovery_at = Bin.r_int r in
+  let ras_snapshot = Bin.r_int r in
+  let n_unready = Bin.r_int r in
+  let waiter_seqs = Bin.r_list r Bin.r_int in
+  ( { seq; uop; wrong_path; trace_idx; fetched_at; producers; dispatched;
+      dispatched_at; issued; ready_at; replay_bump; mispredicted; resume_idx;
+      addr_known; executed_load; recovery_at; ras_snapshot; n_unready;
+      waiters = [] },
+    waiter_seqs )
+
+let save b t =
+  Bin.w_int b engine_version;
+  Bin.w_int b t.n_trace;
+  (* scalar state *)
+  Bin.w_int b t.next_seq;
+  Bin.w_int b t.now;
+  Bin.w_bool b t.done_;
+  Bin.w_int b t.committed;
+  Bin.w_int b t.commits_now;
+  Bin.w_int b t.wrong_fetched;
+  Bin.w_int b t.branch_misp;
+  Bin.w_int b t.ret_misp;
+  Bin.w_int b t.walk_stalls;
+  Bin.w_int b t.spadd_stalls;
+  Bin.w_int b t.checkpoint_stalls;
+  Bin.w_int b t.inflight_ctrl;
+  Bin.w_int b t.rename_blocked_until;
+  Bin.w_int b t.fetch_stall_until;
+  Bin.w_int b t.redirect_until;
+  Bin.w_int b t.last_commit_cycle;
+  Bin.w_int b t.lc_n;
+  Bin.w_int b t.free_regs;
+  Bin.w_int_array b t.lc_idx;
+  Bin.w_int_array b t.lc_pc;
+  Bin.w_int_array b t.mix_counts;
+  (match t.mode with
+   | Fetch_correct idx -> Bin.w_int b 0; Bin.w_int b idx
+   | Fetch_wrong pc -> Bin.w_int b 1; Bin.w_int b pc
+   | Fetch_stalled -> Bin.w_int b 2);
+  Bin.w_int_array b t.rmt;
+  (* window capacity, so a restored run grows at the same points *)
+  Bin.w_int b (Array.length t.win);
+  (* every live dyn: ROB (dispatched) then front-end queue (fetched) *)
+  Bin.w_int b (Ring.length t.rob);
+  Ring.iter (fun d -> w_dyn t b d) t.rob;
+  Bin.w_int b (Ring.length t.frontend_q);
+  Ring.iter (fun d -> w_dyn t b d) t.frontend_q;
+  (* ROB-subset structures as seq lists *)
+  Bin.w_int b t.iq_len;
+  for i = 0 to t.iq_len - 1 do Bin.w_int b t.iq_buf.(i).seq done;
+  Bin.w_int b (Ring.length t.ldq);
+  Ring.iter (fun d -> Bin.w_int b d.seq) t.ldq;
+  Bin.w_int b (Ring.length t.stq);
+  Ring.iter (fun d -> Bin.w_int b d.seq) t.stq;
+  (* timing wheel: per-slot live seqs (dead producers have only dead
+     consumers, so they are dropped) *)
+  Bin.w_int b (Array.length t.wheel);
+  Array.iter
+    (fun ds ->
+       Bin.w_list b Bin.w_int
+         (List.filter_map
+            (fun d -> if win_mem t d.seq then Some d.seq else None)
+            ds))
+    t.wheel;
+  Bin.w_list b
+    (fun b (c, s, ri, inc) ->
+       Bin.w_int b c; Bin.w_int b s; Bin.w_int b ri; Bin.w_bool b inc)
+    t.recoveries;
+  (* sub-components *)
+  t.pred.Branch_pred.save b;
+  Branch_pred.Ras.save_full b t.ras;
+  Memdep.save b t.memdep;
+  Inject.save b t.inj;
+  Cache.save_hierarchy b t.hier;
+  Stats.save_acc b t.cpi;
+  Bin.w_int b t.act.rename_reads;
+  Bin.w_int b t.act.rename_writes;
+  Bin.w_int b t.act.freelist_ops;
+  Bin.w_int b t.act.rp_ops;
+  Bin.w_int b t.act.rf_reads;
+  Bin.w_int b t.act.rf_writes;
+  Bin.w_int b t.act.iq_wakeups;
+  Bin.w_int b t.act.rob_writes;
+  Bin.w_int b t.act.rob_walk_steps;
+  Bin.w_int b t.act.alu_ops;
+  Bin.w_int b t.act.agu_ops;
+  (match t.checker with
+   | None -> Bin.w_bool b false
+   | Some ck -> Bin.w_bool b true; Checker.save b ck)
+
+let restore (p : Params.t) ~(trace : Trace.uop array)
+    ~(decode_static : int -> Trace.uop option)
+    ?(checker : Checker.t option) (r : Bin.reader) : t =
+  let t = create p ~trace ~decode_static ?checker () in
+  let v = Bin.r_int r in
+  if v <> engine_version then
+    raise
+      (Bin.Corrupt
+         (Printf.sprintf "engine image version %d, this build reads %d" v
+            engine_version));
+  let n = Bin.r_int r in
+  if n <> t.n_trace then
+    raise
+      (Bin.Corrupt
+         (Printf.sprintf "engine image covers a %d-uop trace, workload \
+                          regenerated %d uops" n t.n_trace));
+  t.next_seq <- Bin.r_int r;
+  t.now <- Bin.r_int r;
+  t.done_ <- Bin.r_bool r;
+  t.committed <- Bin.r_int r;
+  t.commits_now <- Bin.r_int r;
+  t.wrong_fetched <- Bin.r_int r;
+  t.branch_misp <- Bin.r_int r;
+  t.ret_misp <- Bin.r_int r;
+  t.walk_stalls <- Bin.r_int r;
+  t.spadd_stalls <- Bin.r_int r;
+  t.checkpoint_stalls <- Bin.r_int r;
+  t.inflight_ctrl <- Bin.r_int r;
+  t.rename_blocked_until <- Bin.r_int r;
+  t.fetch_stall_until <- Bin.r_int r;
+  t.redirect_until <- Bin.r_int r;
+  t.last_commit_cycle <- Bin.r_int r;
+  t.lc_n <- Bin.r_int r;
+  t.free_regs <- Bin.r_int r;
+  Bin.r_int_array_into r t.lc_idx;
+  Bin.r_int_array_into r t.lc_pc;
+  Bin.r_int_array_into r t.mix_counts;
+  (match Bin.r_int r with
+   | 0 -> t.mode <- Fetch_correct (Bin.r_int r)
+   | 1 -> t.mode <- Fetch_wrong (Bin.r_int r)
+   | 2 -> t.mode <- Fetch_stalled
+   | n -> raise (Bin.Corrupt (Printf.sprintf "bad fetch-mode tag %d" n)));
+  Bin.r_int_array_into r t.rmt;
+  let win_cap = Bin.r_int r in
+  if win_cap < 1 || win_cap land (win_cap - 1) <> 0 then
+    raise (Bin.Corrupt (Printf.sprintf "bad window capacity %d" win_cap));
+  t.win <- Array.make win_cap t.dummy;
+  t.win_mask <- win_cap - 1;
+  (* pass 1: rebuild every live dyn, reinsert into the window *)
+  let pending_waiters = ref [] in
+  let read_ring ring =
+    let len = Bin.r_int r in
+    if len < 0 || len > Bin.remaining r then
+      raise (Bin.Corrupt (Printf.sprintf "bad deque length %d" len));
+    for _ = 1 to len do
+      let d, waiter_seqs = r_dyn t r in
+      win_insert t d;
+      Ring.push_back ring d;
+      if waiter_seqs <> [] then
+        pending_waiters := (d, waiter_seqs) :: !pending_waiters
+    done
+  in
+  read_ring t.rob;
+  read_ring t.frontend_q;
+  (* seq -> live dyn; a dangling reference means a corrupt image *)
+  let live s =
+    let d = win_get t s in
+    if d == t.dummy then
+      raise (Bin.Corrupt (Printf.sprintf "dangling seq %d in engine image" s));
+    d
+  in
+  (* pass 2: rebuild wakeup edges (all serialized edges are unfired) *)
+  List.iter
+    (fun (d, waiter_seqs) ->
+       d.waiters <-
+         List.map (fun s -> { consumer = live s; fired = false }) waiter_seqs)
+    !pending_waiters;
+  let iq_n = Bin.r_int r in
+  if iq_n < 0 || iq_n > Bin.remaining r then
+    raise (Bin.Corrupt (Printf.sprintf "bad issue-queue length %d" iq_n));
+  for _ = 1 to iq_n do iq_push t (live (Bin.r_int r)) done;
+  let read_seq_ring ring =
+    let len = Bin.r_int r in
+    if len < 0 || len > Bin.remaining r then
+      raise (Bin.Corrupt (Printf.sprintf "bad queue length %d" len));
+    for _ = 1 to len do Ring.push_back ring (live (Bin.r_int r)) done
+  in
+  read_seq_ring t.ldq;
+  read_seq_ring t.stq;
+  let wheel_n = Bin.r_int r in
+  if wheel_n <> Array.length t.wheel then
+    raise
+      (Bin.Corrupt
+         (Printf.sprintf "timing wheel of %d slots, configuration builds %d"
+            wheel_n (Array.length t.wheel)));
+  for i = 0 to wheel_n - 1 do
+    t.wheel.(i) <- List.map live (Bin.r_list r Bin.r_int)
+  done;
+  t.recoveries <-
+    Bin.r_list r (fun r ->
+        let c = Bin.r_int r in
+        let s = Bin.r_int r in
+        let ri = Bin.r_int r in
+        let inc = Bin.r_bool r in
+        (c, s, ri, inc));
+  (* trace_seq: sparse rebuild from live dispatched correct-path dyns;
+     stale entries behave exactly like -1 behind the win_mem guard *)
+  Ring.iter
+    (fun d -> if not d.wrong_path then t.trace_seq.(d.trace_idx) <- d.seq)
+    t.rob;
+  t.pred.Branch_pred.load r;
+  Branch_pred.Ras.load_full r t.ras;
+  Memdep.load r t.memdep;
+  Inject.load r t.inj;
+  Cache.load_hierarchy r t.hier;
+  Stats.load_acc r t.cpi;
+  t.act.rename_reads <- Bin.r_int r;
+  t.act.rename_writes <- Bin.r_int r;
+  t.act.freelist_ops <- Bin.r_int r;
+  t.act.rp_ops <- Bin.r_int r;
+  t.act.rf_reads <- Bin.r_int r;
+  t.act.rf_writes <- Bin.r_int r;
+  t.act.iq_wakeups <- Bin.r_int r;
+  t.act.rob_writes <- Bin.r_int r;
+  t.act.rob_walk_steps <- Bin.r_int r;
+  t.act.alu_ops <- Bin.r_int r;
+  t.act.agu_ops <- Bin.r_int r;
+  let had_checker = Bin.r_bool r in
+  (match had_checker, t.checker with
+   | true, Some ck -> Checker.load r ck
+   | false, None -> ()
+   | true, None ->
+     raise
+       (Bin.Corrupt
+          "checkpoint was taken with lockstep checking on; restore requires \
+           a checker")
+   | false, Some _ ->
+     raise
+       (Bin.Corrupt
+          "checkpoint was taken without lockstep checking; restore must not \
+           add a checker"));
+  t

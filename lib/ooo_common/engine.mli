@@ -48,6 +48,39 @@ type stats = {
       (** per-cycle attribution; buckets sum to [cycles] *)
 }
 
+type t
+(** A live simulation: the full engine state, advanced one cycle at a
+    time.  [run] is [create] + [step] to completion + [finish]. *)
+
+val create :
+  Params.t ->
+  trace:Iss.Trace.uop array ->
+  decode_static:(int -> Iss.Trace.uop option) ->
+  ?checker:Checker.t ->
+  unit -> t
+(** Fresh engine at cycle 0.
+    @raise Diag.Error with code [Config_error] on an empty trace. *)
+
+val step : t -> unit
+(** Simulate one cycle.  The watchdog runs first, at the cycle boundary,
+    so a [Sim_deadlock] raise leaves the engine in a consistent,
+    checkpointable state.
+    @raise Diag.Error with code [Sim_deadlock] when the watchdog trips
+    (total cycle budget exceeded, or no commit for 20k cycles) — the
+    diagnostic context is a pipeline snapshot naming the stuck
+    instruction and all queue occupancies — and code
+    [Checker_divergence] from the checker. *)
+
+val finished : t -> bool
+(** The last trace entry has committed; [step] is no longer meaningful. *)
+
+val cycle : t -> int
+val committed_count : t -> int
+
+val finish : t -> stats
+(** Run the checker's end-of-run validation (when present) and freeze
+    the statistics.  @raise Diag.Error code [Checker_divergence]. *)
+
 val run :
   Params.t ->
   trace:Iss.Trace.uop array ->
@@ -66,3 +99,23 @@ val run :
     or no commit for 20k cycles) — the diagnostic context is a pipeline
     snapshot naming the stuck instruction and all queue occupancies —
     and code [Checker_divergence] from the checker. *)
+
+val save : Buffer.t -> t -> unit
+(** Serialize the complete engine state (window, deques, issue queue,
+    timing wheel, predictors, caches, fault injector, CPI accounting)
+    at a cycle boundary.  Fixpoint contract: restoring the image and
+    stepping [n] cycles is bit-identical — every stat, every cycle — to
+    stepping the original [n] cycles. *)
+
+val restore :
+  Params.t ->
+  trace:Iss.Trace.uop array ->
+  decode_static:(int -> Iss.Trace.uop option) ->
+  ?checker:Checker.t ->
+  Bin.reader -> t
+(** Inverse of {!save}.  [p] and [trace] must be the ones the image was
+    saved under (the snapshot file layer enforces this; the engine layer
+    shape-checks trace length, wheel geometry, and internal references).
+    A checkpoint taken with a lockstep checker must be restored with
+    one, and vice versa.
+    @raise Bin.Corrupt on any malformed or mismatched image. *)

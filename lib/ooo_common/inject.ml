@@ -91,3 +91,13 @@ let counts t =
     all_kinds
 
 let total t = Array.fold_left ( + ) 0 t.counters
+
+(* Checkpointing: the plan (period, armed kinds) is rebuilt from Params,
+   so only the PRNG position and the counters travel. *)
+let save b t =
+  Bin.w_i64 b t.state;
+  Bin.w_int_array b t.counters
+
+let load r t =
+  t.state <- Bin.r_i64 r;
+  Bin.r_int_array_into r t.counters

@@ -59,3 +59,11 @@ val counts : t -> (kind * int) list
 (** Injections fired so far, per armed kind. *)
 
 val total : t -> int
+
+val save : Buffer.t -> t -> unit
+(** Serialize the PRNG position and the per-kind counters.  The plan
+    itself (period, armed kinds) is rebuilt from [Params] on restore. *)
+
+val load : Bin.reader -> t -> unit
+(** Inverse of {!save} into an injector built from the same plan.
+    @raise Bin.Corrupt on malformed input. *)

@@ -22,3 +22,11 @@ let predict_conflict t pc = Bytes.get t.table (index t pc) <> '\000'
 let train_violation t pc =
   t.violations <- t.violations + 1;
   Bytes.set t.table (index t pc) '\001'
+
+let save b t =
+  Bin.w_bytes b t.table;
+  Bin.w_int b t.violations
+
+let load r t =
+  Bin.r_bytes_into r t.table;
+  t.violations <- Bin.r_int r

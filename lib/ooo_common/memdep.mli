@@ -16,3 +16,10 @@ val predict_conflict : t -> int -> bool
 
 val train_violation : t -> int -> unit
 (** A violation was detected: the load at this PC must wait next time. *)
+
+val save : Buffer.t -> t -> unit
+(** Serialize the conflict table and the violation counter. *)
+
+val load : Bin.reader -> t -> unit
+(** Inverse of {!save} into a table of the same size.
+    @raise Bin.Corrupt on malformed input or a size mismatch. *)

@@ -52,6 +52,20 @@ let freeze acc =
     memory = acc.acc_memory;
     structural = acc.acc_structural }
 
+let save_acc b acc =
+  Bin.w_int b acc.acc_base;
+  Bin.w_int b acc.acc_frontend;
+  Bin.w_int b acc.acc_branch;
+  Bin.w_int b acc.acc_memory;
+  Bin.w_int b acc.acc_structural
+
+let load_acc r acc =
+  acc.acc_base <- Bin.r_int r;
+  acc.acc_frontend <- Bin.r_int r;
+  acc.acc_branch <- Bin.r_int r;
+  acc.acc_memory <- Bin.r_int r;
+  acc.acc_structural <- Bin.r_int r
+
 (* ---------- JSON ---------- *)
 
 module Json = struct

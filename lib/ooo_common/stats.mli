@@ -43,6 +43,12 @@ val fresh_acc : unit -> cpi_acc
 val charge : cpi_acc -> bucket -> unit
 val freeze : cpi_acc -> cpi_stack
 
+val save_acc : Buffer.t -> cpi_acc -> unit
+(** Serialize the accumulator for checkpointing. *)
+
+val load_acc : Bin.reader -> cpi_acc -> unit
+(** Inverse of {!save_acc}.  @raise Bin.Corrupt on malformed input. *)
+
 (** Minimal JSON tree with a printer and parser — the interchange format
     of [bench --json], [straightsim -stats-json], and
     [scripts/bench_gate].  No external dependency. *)

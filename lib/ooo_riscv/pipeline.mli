@@ -11,10 +11,38 @@ type result = {
   output : string;
 }
 
+(** A live run: the cycle-level engine plus the ISS result it replays
+    (the functional simulation always completes first — the engine is
+    trace-driven). *)
+type session = {
+  engine : Ooo_common.Engine.t;
+  run_info : Iss.Trace.run;
+}
+
+val start :
+  ?max_insns:int -> ?check:bool ->
+  Ooo_common.Params.t -> Assembler.Image.t -> session
+(** Run the functional simulator and stand up the timing model at
+    cycle 0.  Advance with {!Ooo_common.Engine.step} until
+    {!Ooo_common.Engine.finished}, then call {!finish}. *)
+
+val resume :
+  ?max_insns:int -> ?check:bool ->
+  Ooo_common.Params.t -> Assembler.Image.t ->
+  Ooo_common.Bin.reader -> session
+(** Like {!start}, but the engine state comes from a checkpoint image
+    instead of cycle 0.  The ISS re-runs deterministically; the caller
+    (the snapshot layer) is responsible for checking that params and the
+    regenerated trace match the checkpoint.
+    @raise Ooo_common.Bin.Corrupt on a malformed or mismatched image. *)
+
+val finish : session -> result
+(** Run the checker's end-of-run validation and freeze statistics. *)
+
 val run :
   ?max_insns:int -> ?check:bool ->
   Ooo_common.Params.t -> Assembler.Image.t -> result
 (** Run the functional simulator to obtain the correct-path trace, then
-    the timing model over it.  [check] (default [true]) arms the lockstep
-    golden-model checker against the ISS trace.
+    the timing model over it — [start] stepped to completion.  [check]
+    (default [true]) arms the lockstep golden-model checker.
     @raise Diag.Error on simulator deadlock or checker divergence. *)

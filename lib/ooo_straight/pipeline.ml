@@ -63,27 +63,61 @@ type result = {
   dist_histogram : int array;
 }
 
-(* [run params image] runs the functional simulator to obtain the
-   correct-path trace and then the timing model over it.  The ISS trace
-   doubles as the golden model: unless [check] is false, a lockstep
-   checker validates every commit against it. *)
-let run ?(max_insns = 50_000_000) ?(check = true) ?(max_dist = Isa.max_dist)
-    (params : Ooo_common.Params.t) (image : Image.t) : result =
-  let r =
-    Iss.Straight_iss.run
-      ~config:{ Iss.Straight_iss.collect_trace = true;
-                collect_dist = true; max_insns }
-      image
-  in
-  let checker =
-    if check then
-      Some
-        (Ooo_common.Checker.create ~max_dist
-           ~rename:params.Ooo_common.Params.rename ~trace:r.Trace.trace ())
-    else None
-  in
-  let stats =
-    Ooo_common.Engine.run params ~trace:r.Trace.trace
+(* A live run: the cycle-level engine plus the ISS result it replays.
+   The ISS always runs to completion first (the engine is trace-driven),
+   so a session holds the whole functional outcome from the start; the
+   snapshot layer uses that to fingerprint checkpoints. *)
+type session = {
+  engine : Ooo_common.Engine.t;
+  run_info : Trace.run;
+}
+
+let iss_run ~max_insns image =
+  Iss.Straight_iss.run
+    ~config:{ Iss.Straight_iss.collect_trace = true;
+              collect_dist = true; max_insns }
+    image
+
+(* The ISS trace doubles as the golden model: unless [check] is false, a
+   lockstep checker validates every commit against it. *)
+let make_checker ~check ~max_dist (params : Ooo_common.Params.t)
+    (r : Trace.run) =
+  if check then
+    Some
+      (Ooo_common.Checker.create ~max_dist
+         ~rename:params.Ooo_common.Params.rename ~trace:r.Trace.trace ())
+  else None
+
+let start ?(max_insns = 50_000_000) ?(check = true) ?(max_dist = Isa.max_dist)
+    (params : Ooo_common.Params.t) (image : Image.t) : session =
+  let r = iss_run ~max_insns image in
+  let checker = make_checker ~check ~max_dist params r in
+  let engine =
+    Ooo_common.Engine.create params ~trace:r.Trace.trace
       ~decode_static:(static_uop image) ?checker ()
   in
-  { stats; output = r.Trace.output; dist_histogram = r.Trace.dist_histogram }
+  { engine; run_info = r }
+
+let resume ?(max_insns = 50_000_000) ?(check = true) ?(max_dist = Isa.max_dist)
+    (params : Ooo_common.Params.t) (image : Image.t)
+    (reader : Ooo_common.Bin.reader) : session =
+  let r = iss_run ~max_insns image in
+  let checker = make_checker ~check ~max_dist params r in
+  let engine =
+    Ooo_common.Engine.restore params ~trace:r.Trace.trace
+      ~decode_static:(static_uop image) ?checker reader
+  in
+  { engine; run_info = r }
+
+let finish (s : session) : result =
+  { stats = Ooo_common.Engine.finish s.engine;
+    output = s.run_info.Trace.output;
+    dist_histogram = s.run_info.Trace.dist_histogram }
+
+let run ?max_insns ?check ?max_dist (params : Ooo_common.Params.t)
+    (image : Image.t) : result =
+  let s = start ?max_insns ?check ?max_dist params image in
+  while not (Ooo_common.Engine.finished s.engine) do
+    Ooo_common.Engine.step s.engine
+  done;
+  finish s

@@ -1,0 +1,55 @@
+(** The on-disk checkpoint container.
+
+    Layout (all multi-byte header fields little-endian):
+
+    {v
+    offset  size  field
+    0       8     magic "STR8SNAP"
+    8       4     container version
+    12      8     payload length
+    20      4     CRC-32 of the payload
+    24      n     payload: Bin-encoded meta, then the raw engine image
+    v}
+
+    The meta section embeds the full workload source and model
+    configuration, so a snapshot file alone reproduces its run: restore
+    recompiles the workload, re-runs the functional simulator (which is
+    deterministic), and proves the regenerated trace identical via
+    {!meta.trace_digest} before handing the engine image over.
+
+    Writes are atomic (temp file + [rename] in the destination
+    directory), so a crash mid-checkpoint can never leave a torn file
+    where a reader looks.  Every load failure — missing file, bad magic,
+    unsupported version, short payload, CRC mismatch, malformed meta —
+    raises {!Diag.Error} with code [Snapshot_error] (exit code 9) and a
+    context naming the file and the reason. *)
+
+val magic : string
+val version : int
+
+type meta = {
+  target : string;              (** [Experiment.target_label] *)
+  params_json : string;         (** compact [Params.to_json] rendering *)
+  workload_name : string;
+  workload_source : string;     (** full MiniC source *)
+  workload_iterations : int;
+  max_insns : int;
+  max_dist : int;
+  check : bool;                 (** lockstep checker armed *)
+  cycle : int;                  (** engine cycle at the save point *)
+  committed : int;
+  trace_digest : string;        (** {!Iss.Trace.digest} of the uop trace *)
+  output : string;              (** ISS console output (full run) *)
+  retired : int;                (** ISS retired count (full run) *)
+  dist_histogram : int array;
+}
+
+val save : string -> meta -> engine:string -> unit
+(** [save path meta ~engine] atomically writes the container.
+    @raise Sys_error when the destination is not writable. *)
+
+val load : string -> meta * Ooo_common.Bin.reader
+(** Validate the container and decode the meta section.  The returned
+    reader is positioned at the engine image; the caller consumes it
+    (and should [expect_end] it).
+    @raise Diag.Error code [Snapshot_error] on any invalid container. *)

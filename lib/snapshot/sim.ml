@@ -1,0 +1,268 @@
+(* Checkpointable simulation sessions over either pipeline.  See sim.mli
+   for the fixpoint and validation contracts. *)
+
+module Bin = Ooo_common.Bin
+module Engine = Ooo_common.Engine
+module Params = Ooo_common.Params
+module Json = Ooo_common.Stats.Json
+module Trace = Iss.Trace
+module Exp = Straight_core.Experiment
+module Compile = Straight_core.Compile
+
+type spec = {
+  target : Exp.target;
+  params : Params.t;
+  workload : Workloads.t;
+  max_insns : int;
+  max_dist : int;
+  check : bool;
+}
+
+let spec ?(max_insns = 50_000_000) ?(max_dist = Params.straight_max_dist)
+    ?(check = true) ~model ~target workload =
+  { target; params = model; workload; max_insns; max_dist; check }
+
+type session = {
+  spec : spec;
+  engine : Engine.t;
+  run_info : Trace.run;
+}
+
+let compile (s : spec) : Assembler.Image.t =
+  match s.target with
+  | Exp.Riscv -> Compile.to_riscv s.workload.Workloads.source
+  | Exp.Straight_raw ->
+    fst
+      (Compile.to_straight ~max_dist:s.max_dist
+         ~level:Straight_cc.Codegen.Raw s.workload.Workloads.source)
+  | Exp.Straight_re ->
+    fst
+      (Compile.to_straight ~max_dist:s.max_dist
+         ~level:Straight_cc.Codegen.Re_plus s.workload.Workloads.source)
+
+let start (s : spec) : session =
+  let image = compile s in
+  match s.target with
+  | Exp.Riscv ->
+    let ps =
+      Ooo_riscv.Pipeline.start ~max_insns:s.max_insns ~check:s.check s.params
+        image
+    in
+    { spec = s; engine = ps.Ooo_riscv.Pipeline.engine;
+      run_info = ps.Ooo_riscv.Pipeline.run_info }
+  | Exp.Straight_raw | Exp.Straight_re ->
+    let ps =
+      Ooo_straight.Pipeline.start ~max_insns:s.max_insns ~check:s.check
+        ~max_dist:s.max_dist s.params image
+    in
+    { spec = s; engine = ps.Ooo_straight.Pipeline.engine;
+      run_info = ps.Ooo_straight.Pipeline.run_info }
+
+let step s = Engine.step s.engine
+let finished s = Engine.finished s.engine
+let cycle s = Engine.cycle s.engine
+
+(* ---------- save ---------- *)
+
+let meta_of (s : session) : File.meta =
+  { File.target = Exp.target_label s.spec.target;
+    params_json = Json.to_string ~indent:false (Params.to_json s.spec.params);
+    workload_name = s.spec.workload.Workloads.name;
+    workload_source = s.spec.workload.Workloads.source;
+    workload_iterations = s.spec.workload.Workloads.iterations;
+    max_insns = s.spec.max_insns;
+    max_dist = s.spec.max_dist;
+    check = s.spec.check;
+    cycle = Engine.cycle s.engine;
+    committed = Engine.committed_count s.engine;
+    trace_digest = Trace.digest s.run_info.Trace.trace;
+    output = s.run_info.Trace.output;
+    retired = s.run_info.Trace.retired;
+    dist_histogram = s.run_info.Trace.dist_histogram }
+
+let save (s : session) path =
+  let b = Buffer.create 65536 in
+  Engine.save b s.engine;
+  File.save path (meta_of s) ~engine:(Buffer.contents b)
+
+(* ---------- restore ---------- *)
+
+let reject path fmt =
+  Printf.ksprintf
+    (fun reason ->
+       Diag.error
+         ~context:[ ("snapshot", path); ("reason", reason) ]
+         Diag.Snapshot_error "cannot restore checkpoint %s: %s" path reason)
+    fmt
+
+let target_of_label path = function
+  | "STRAIGHT(RAW)" -> Exp.Straight_raw
+  | "STRAIGHT(RE+)" -> Exp.Straight_re
+  | "SS" -> Exp.Riscv
+  | l -> reject path "unknown target label %S" l
+
+let spec_of_meta path (m : File.meta) : spec =
+  let params =
+    try Params.of_json (Json.of_string m.File.params_json) with
+    | Params.Json_error msg -> reject path "embedded model: %s" msg
+    | Json.Parse_error msg -> reject path "embedded model JSON: %s" msg
+  in
+  { target = target_of_label path m.File.target;
+    params;
+    workload =
+      { Workloads.name = m.File.workload_name;
+        source = m.File.workload_source;
+        iterations = m.File.workload_iterations };
+    max_insns = m.File.max_insns;
+    max_dist = m.File.max_dist;
+    check = m.File.check }
+
+let restore_meta path (m : File.meta) (r : Bin.reader) : session =
+  let s = spec_of_meta path m in
+  let image = compile s in
+  let session =
+    try
+      match s.target with
+      | Exp.Riscv ->
+        let ps =
+          Ooo_riscv.Pipeline.resume ~max_insns:s.max_insns ~check:s.check
+            s.params image r
+        in
+        { spec = s; engine = ps.Ooo_riscv.Pipeline.engine;
+          run_info = ps.Ooo_riscv.Pipeline.run_info }
+      | Exp.Straight_raw | Exp.Straight_re ->
+        let ps =
+          Ooo_straight.Pipeline.resume ~max_insns:s.max_insns ~check:s.check
+            ~max_dist:s.max_dist s.params image r
+        in
+        { spec = s; engine = ps.Ooo_straight.Pipeline.engine;
+          run_info = ps.Ooo_straight.Pipeline.run_info }
+    with Bin.Corrupt msg -> reject path "engine image: %s" msg
+  in
+  (try Bin.expect_end r
+   with Bin.Corrupt msg -> reject path "engine image: %s" msg);
+  (* prove the regenerated functional run is the one the checkpoint was
+     taken against, not merely shaped like it *)
+  let digest = Trace.digest session.run_info.Trace.trace in
+  if digest <> m.File.trace_digest then
+    reject path
+      "regenerated trace digest %s differs from checkpoint digest %s \
+       (compiler or ISS drift since the checkpoint was taken)"
+      digest m.File.trace_digest;
+  if session.run_info.Trace.output <> m.File.output then
+    reject path "regenerated program output differs from the checkpoint";
+  if session.run_info.Trace.retired <> m.File.retired then
+    reject path "regenerated run retired %d instructions, checkpoint ran %d"
+      session.run_info.Trace.retired m.File.retired;
+  if Engine.cycle session.engine <> m.File.cycle then
+    reject path "engine image is at cycle %d, meta records %d"
+      (Engine.cycle session.engine) m.File.cycle;
+  session
+
+let restore path : session =
+  let m, r = File.load path in
+  restore_meta path m r
+
+let resume (want : spec) path : session =
+  let m, r = File.load path in
+  let got = spec_of_meta path m in
+  if got.target <> want.target then
+    reject path "checkpoint targets %s, caller wants %s"
+      (Exp.target_label got.target) (Exp.target_label want.target);
+  if not (Params.equal got.params want.params) then
+    reject path "checkpoint model %S (digest %s) differs from caller's %S \
+                 (digest %s)"
+      got.params.Params.name (Params.digest got.params)
+      want.params.Params.name (Params.digest want.params);
+  if got.workload.Workloads.name <> want.workload.Workloads.name
+     || got.workload.Workloads.source <> want.workload.Workloads.source
+     || got.workload.Workloads.iterations <> want.workload.Workloads.iterations
+  then
+    reject path "checkpoint workload %S differs from caller's %S"
+      got.workload.Workloads.name want.workload.Workloads.name;
+  if got.max_insns <> want.max_insns || got.max_dist <> want.max_dist then
+    reject path "checkpoint budgets (max_insns %d, max_dist %d) differ from \
+                 caller's (%d, %d)"
+      got.max_insns got.max_dist want.max_insns want.max_dist;
+  if got.check <> want.check then
+    reject path "checkpoint %s the lockstep checker, caller %s it"
+      (if got.check then "arms" else "omits")
+      (if want.check then "arms" else "omits");
+  restore_meta path m r
+
+(* ---------- finish ---------- *)
+
+let finish (s : session) : Exp.result =
+  let stats = Engine.finish s.engine in
+  { Exp.workload = s.spec.workload.Workloads.name;
+    model = s.spec.params.Params.name;
+    target = s.spec.target;
+    cycles = stats.Engine.cycles;
+    committed = stats.Engine.committed;
+    ipc = stats.Engine.ipc;
+    output = s.run_info.Trace.output;
+    stats;
+    dist_histogram =
+      (match s.spec.target with
+       | Exp.Riscv -> [||]
+       | _ -> s.run_info.Trace.dist_histogram) }
+
+(* ---------- driver loop ---------- *)
+
+type outcome =
+  | Completed of Exp.result
+  | Stopped of { cycle : int; path : string }
+
+let drive ?(checkpoint_every = 0) ?checkpoint_path ?stop_at
+    ?deadlock_snapshot (s : session) : outcome =
+  (match checkpoint_path, checkpoint_every, stop_at with
+   | None, n, _ when n > 0 ->
+     Diag.error Diag.Config_error
+       "checkpoint interval given without a checkpoint path"
+   | None, _, Some _ ->
+     Diag.error Diag.Config_error
+       "a stop cycle was given without a checkpoint path"
+   | _ -> ());
+  let step_guarded () =
+    match deadlock_snapshot with
+    | None -> step s
+    | Some path ->
+      (try step s
+       with Diag.Error d when d.Diag.code = Diag.Sim_deadlock ->
+         (* the watchdog raises at the cycle boundary, so the wedged
+            machine is consistent and restorable *)
+         save s path;
+         raise
+           (Diag.Error
+              { d with Diag.context = d.Diag.context @ [ ("snapshot", path) ] }))
+  in
+  let stopped = ref None in
+  while !stopped = None && not (finished s) do
+    (match stop_at with
+     | Some n when cycle s >= n ->
+       let path = Option.get checkpoint_path in
+       save s path;
+       stopped := Some path
+     | _ ->
+       step_guarded ();
+       if checkpoint_every > 0 && not (finished s)
+          && cycle s mod checkpoint_every = 0
+       then save s (Option.get checkpoint_path))
+  done;
+  match !stopped with
+  | Some path -> Stopped { cycle = cycle s; path }
+  | None -> Completed (finish s)
+
+let run ?checkpoint_every ?checkpoint_path ?restore_from ?stop_at
+    ?deadlock_snapshot (sp : spec) : outcome =
+  let s =
+    match restore_from with
+    | Some path -> resume sp path
+    | None -> start sp
+  in
+  drive ?checkpoint_every ?checkpoint_path ?stop_at ?deadlock_snapshot s
+
+let run_restored path : Exp.result =
+  let s = restore path in
+  while not (finished s) do step s done;
+  finish s

@@ -11,9 +11,34 @@ type summary = {
   wall_seconds : float;
 }
 
+let ensure_dir path =
+  if not (Sys.file_exists path) then begin
+    let parent = Filename.dirname path in
+    if parent <> path && not (Sys.file_exists parent) then
+      (try Unix.mkdir parent 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* remove torn checkpoint temp files a SIGKILLed worker may have left;
+   completed checkpoints (".snap", written atomically) stay — they are
+   the resume points.  Temp names are "<key>.snap.tmp.<pid>". *)
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let clean_ckpt_tmp dir =
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f ->
+         if contains_sub ~sub:".snap.tmp." f then
+           try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir)
+
 let sweep ?(procs = 0) ?(timeout = 600.) ?(retries = 1)
-    ?(cache_dir = "_sweep") ?(on_record = fun _ -> ()) (spec : Grid.spec) :
-  Runner.record list * summary =
+    ?(cache_dir = "_sweep") ?(checkpoint_every = 20_000)
+    ?(on_record = fun _ -> ()) ?(on_retry = fun _ ~attempt:_ ~backoff:_ _ -> ())
+    (spec : Grid.spec) : Runner.record list * summary =
   let t0 = Unix.gettimeofday () in
   let points = Array.of_list (Grid.expand spec) in
   let keys = Array.map (fun pt -> Store.key pt) points in
@@ -36,25 +61,43 @@ let sweep ?(procs = 0) ?(timeout = 600.) ?(retries = 1)
     results.(i) <- Some r;
     on_record r
   in
+  let ckpt_dir = Filename.concat cache_dir "ckpt" in
+  let ckpt_path i = Filename.concat ckpt_dir (keys.(i) ^ ".snap") in
+  let drop_ckpt i =
+    try Sys.remove (ckpt_path i) with Sys_error _ -> ()
+  in
   if Array.length todo > 0 then begin
     if procs <= 0 then
       Array.iter (fun i -> finish i (Runner.run points.(i))) todo
     else begin
+      ensure_dir ckpt_dir;
       let worker j =
-        let r = Runner.run points.(todo.(j)) in
+        let i = todo.(j) in
+        let r =
+          if checkpoint_every > 0 then
+            Runner.run ~checkpoint:(ckpt_path i) ~checkpoint_every points.(i)
+          else Runner.run points.(i)
+        in
         J.to_string ~indent:false (Runner.to_json r)
       in
       Pool.run ~jobs:(Array.length todo) ~worker ~procs ~timeout ~retries
+        ~on_event:(fun (Pool.Retry { job; attempt; backoff; reason }) ->
+            on_retry points.(todo.(job)) ~attempt ~backoff reason)
+        ~on_interrupt:(fun () -> clean_ckpt_tmp ckpt_dir)
         ~on_result:(fun j outcome ->
             let i = todo.(j) in
             match outcome with
-            | Ok line -> finish i (Runner.of_json (J.of_string line))
+            | Ok line ->
+              drop_ckpt i;
+              finish i (Runner.of_json (J.of_string line))
             | Error msg ->
               incr failed;
+              drop_ckpt i;
               Printf.eprintf "sweep: point %s/%s failed: %s\n%!"
                 points.(i).Grid.params.Params.name
                 points.(i).Grid.workload.Workloads.name msg)
-        ()
+        ();
+      clean_ckpt_tmp ckpt_dir
     end
   end;
   let records =

@@ -11,6 +11,11 @@
    the [worker] closure, which the child inherits through fork — so a
    killed worker is replaced by simply forking again. *)
 
+exception Interrupted of int
+
+type event =
+  | Retry of { job : int; attempt : int; backoff : float; reason : string }
+
 type worker_slot = {
   pid : int;
   job_fd : Unix.file_descr;       (* raw write end, for sibling cleanup *)
@@ -25,6 +30,15 @@ let oneline s =
   match String.index_opt s '\n' with
   | None -> s
   | Some i -> String.sub s 0 i
+
+(* Deterministic jitter in [0.75, 1.25], derived from the job identity,
+   so two attempts of the same job always wait the same amount (the
+   recovery-determinism tests rely on reproducible pool behavior) while
+   different jobs still decorrelate. *)
+let backoff_delay ~base ~cap idx attempt =
+  let raw = min cap (base *. (2. ** float_of_int (attempt - 1))) in
+  let h = Hashtbl.hash (idx, attempt) land 0xffff in
+  raw *. (0.75 +. (0.5 *. float_of_int h /. 65535.))
 
 (* [siblings] are the parent's pipe ends for the other live workers:
    fork duplicates them into the child, and a child holding a copy of a
@@ -44,6 +58,13 @@ let spawn ~(siblings : Unix.file_descr list) (worker : int -> string) :
     List.iter
       (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
       siblings;
+    (* the parent's interrupt choreography (kill, reap, cleanup) must
+       run exactly once, in the parent: children take the default
+       disposition and simply die when the parent guns them down *)
+    (try Sys.set_signal Sys.sigint Sys.Signal_default
+     with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigterm Sys.Signal_default
+     with Invalid_argument _ -> ());
     let ic = Unix.in_channel_of_descr jr in
     let oc = Unix.out_channel_of_descr rw in
     let rec loop () =
@@ -85,7 +106,16 @@ let dismiss (w : worker_slot) ~kill =
 let sibling_fds workers =
   List.concat_map (fun w -> [ w.job_fd; w.res_fd ]) workers
 
+(* a signal can land during select(); treat the EINTR as an empty wait
+   and let the loop head observe the interrupt flag *)
+let select_read fds t =
+  match Unix.select fds [] [] t with
+  | r, _, _ -> r
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+
 let run ~jobs ~(worker : int -> string) ~procs ?(timeout = 600.) ?(retries = 1)
+    ?(backoff_base = 0.25) ?(backoff_cap = 30.) ?(on_event = fun _ -> ())
+    ?(on_interrupt = fun () -> ())
     ~(on_result : int -> (string, string) result -> unit) () : unit =
   let procs = max 1 (min procs (max 1 jobs)) in
   (* a worker killed between select() and the parent's write must not
@@ -94,13 +124,40 @@ let run ~jobs ~(worker : int -> string) ~procs ?(timeout = 600.) ?(retries = 1)
     try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
     with Invalid_argument _ -> None
   in
+  (* SIGINT/SIGTERM only raise a flag here; the loop head does the
+     actual shutdown at a point where the worker list is consistent *)
+  let interrupted = ref None in
+  let install s =
+    try Some (Sys.signal s (Sys.Signal_handle (fun _ -> interrupted := Some s)))
+    with Invalid_argument _ -> None
+  in
+  let old_sigint = install Sys.sigint in
+  let old_sigterm = install Sys.sigterm in
+  let restore_signals () =
+    let put s = function
+      | Some b -> (try ignore (Sys.signal s b) with Invalid_argument _ -> ())
+      | None -> ()
+    in
+    put Sys.sigint old_sigint;
+    put Sys.sigterm old_sigterm;
+    put Sys.sigpipe old_sigpipe
+  in
   let pending = Queue.create () in
   for i = 0 to jobs - 1 do
     Queue.add (i, 0) pending
   done;
+  (* retries waiting out their backoff: (eligible_at, idx, attempt) *)
+  let delayed = ref [] in
   let attempts = Array.make (max 1 jobs) 0 in
   let done_count = ref 0 in
   let workers = ref [] in
+  let abort signal =
+    List.iter (fun w -> dismiss w ~kill:true) !workers;
+    workers := [];
+    on_interrupt ();
+    restore_signals ();
+    raise (Interrupted signal)
+  in
   for _ = 1 to procs do
     workers := spawn ~siblings:(sibling_fds !workers) worker :: !workers
   done;
@@ -123,7 +180,13 @@ let run ~jobs ~(worker : int -> string) ~procs ?(timeout = 600.) ?(retries = 1)
          workers := spawn ~siblings:(sibling_fds rest) worker :: rest)
   in
   let fail_or_retry idx msg =
-    if attempts.(idx) < retries then Queue.add (idx, attempts.(idx) + 1) pending
+    if attempts.(idx) < retries then begin
+      let attempt = attempts.(idx) + 1 in
+      let backoff = backoff_delay ~base:backoff_base ~cap:backoff_cap idx attempt in
+      on_event (Retry { job = idx; attempt; backoff; reason = msg });
+      delayed :=
+        (Unix.gettimeofday () +. backoff, idx, attempt) :: !delayed
+    end
     else begin
       incr done_count;
       on_result idx (Error msg)
@@ -141,16 +204,25 @@ let run ~jobs ~(worker : int -> string) ~procs ?(timeout = 600.) ?(retries = 1)
     w'
   in
   while !done_count < jobs do
+    (match !interrupted with Some s -> abort s | None -> ());
+    (* promote retries whose backoff has elapsed *)
+    if !delayed <> [] then begin
+      let now = Unix.gettimeofday () in
+      let due, later = List.partition (fun (at, _, _) -> at <= now) !delayed in
+      delayed := later;
+      List.iter
+        (fun (_, idx, attempt) -> Queue.add (idx, attempt) pending)
+        (List.sort compare due)
+    end;
     List.iter (fun w -> if w.current = None then assign w) !workers;
     let busy = List.filter (fun w -> w.current <> None) !workers in
     if busy = [] then
-      (* nothing in flight and jobs remain: all workers idle with an
-         empty queue can't happen while done_count < jobs, but guard
-         against a protocol bug turning this into a spin *)
-      ignore (Unix.select [] [] [] 0.01)
+      (* everything idle: either retries are waiting out their backoff,
+         or (guarding against a protocol bug) nothing is due at all *)
+      ignore (select_read [] 0.01)
     else begin
       let fds = List.map (fun w -> w.res_fd) busy in
-      let readable, _, _ = Unix.select fds [] [] 0.2 in
+      let readable = select_read fds 0.2 in
       List.iter
         (fun w ->
            if List.mem w.res_fd readable then
@@ -186,12 +258,11 @@ let run ~jobs ~(worker : int -> string) ~procs ?(timeout = 600.) ?(retries = 1)
         !workers
     end
   done;
+  (match !interrupted with Some s -> abort s | None -> ());
   (* two-phase shutdown: drop every job pipe first so EOF reaches all
      children, then reap *)
   List.iter
     (fun w -> try close_out w.job_w with Sys_error _ -> ())
     !workers;
   List.iter (fun w -> dismiss w ~kill:false) !workers;
-  match old_sigpipe with
-  | Some b -> ignore (Sys.signal Sys.sigpipe b)
-  | None -> ()
+  restore_signals ()

@@ -12,11 +12,35 @@
     - a worker that raises ships the exception text back and the job is
       retried the same way;
     - a worker that dies unexpectedly (EOF on its result pipe) is
-      respawned and its in-flight job retried.
+      respawned and its in-flight job retried;
+    - each retry waits out a capped exponential backoff
+      ([min cap (base * 2^(attempt-1))], jittered deterministically in
+      [0.75, 1.25] from the job index and attempt number) before
+      becoming eligible again, so a point that dies from transient
+      resource pressure does not immediately re-trip it.  Every retry
+      is announced through [on_event].
 
     A job whose retries are exhausted is reported as [Error msg].
     [run] returns once every job has a result.  The caller must flush
-    [stdout]/[stderr] before calling (children inherit the buffers). *)
+    [stdout]/[stderr] before calling (children inherit the buffers).
+
+    Interruption: [run] installs SIGINT/SIGTERM handlers for its
+    duration.  On either signal it kills and reaps every worker (no
+    orphan processes), runs [on_interrupt] (the caller's chance to
+    sweep temp files), restores the previous handlers, and raises
+    {!Interrupted} with the signal number — partial results already
+    delivered through [on_result] remain valid. *)
+
+exception Interrupted of int
+(** Raised out of {!run} after a SIGINT/SIGTERM shutdown; carries the
+    signal number (use [128 + Sys.sigint -> exit code] conventions at
+    the CLI). *)
+
+(** Scheduling notifications (today: retries). *)
+type event =
+  | Retry of { job : int; attempt : int; backoff : float; reason : string }
+      (** [job] will be re-run as attempt [attempt] (1 = first retry)
+          after [backoff] seconds, because of [reason]. *)
 
 val run :
   jobs:int ->
@@ -24,11 +48,18 @@ val run :
   procs:int ->
   ?timeout:float ->
   ?retries:int ->
+  ?backoff_base:float ->
+  ?backoff_cap:float ->
+  ?on_event:(event -> unit) ->
+  ?on_interrupt:(unit -> unit) ->
   on_result:(int -> (string, string) result -> unit) ->
   unit ->
   unit
 (** @param timeout per-attempt wall-clock budget, seconds (default 600)
     @param retries extra attempts after the first failure (default 1)
+    @param backoff_base first-retry delay, seconds (default 0.25)
+    @param backoff_cap backoff ceiling, seconds (default 30)
     [procs] is clamped to at least 1.  Result strings must be single
     lines; the worker's return value is truncated at the first
-    newline. *)
+    newline.
+    @raise Interrupted on SIGINT/SIGTERM. *)

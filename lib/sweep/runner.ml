@@ -27,10 +27,43 @@ type record = {
   cached : bool;
 }
 
-let run (pt : Grid.point) : record =
+(* With [checkpoint], the point runs under the snapshot driver: resume
+   from the file when it exists (a previous attempt died mid-run),
+   checkpoint every [checkpoint_every] cycles while running.  A
+   checkpoint the snapshot layer rejects (corrupt, or taken under
+   different inputs — possible only if the caller keyed the path wrong,
+   since cache keys cover params, workload, and code digest) is deleted
+   and the point starts clean rather than wedging every retry. *)
+let run ?checkpoint ?(checkpoint_every = 20_000) (pt : Grid.point) : record =
   let p = pt.Grid.params in
   let t0 = Unix.gettimeofday () in
-  let r = Exp.run ~model:p ~target:pt.Grid.target pt.Grid.workload in
+  let r =
+    match checkpoint with
+    | None -> Exp.run ~model:p ~target:pt.Grid.target pt.Grid.workload
+    | Some path ->
+      let spec =
+        Snapshot.Sim.spec ~model:p ~target:pt.Grid.target pt.Grid.workload
+      in
+      let go restore_from =
+        match
+          Snapshot.Sim.run ?restore_from ~checkpoint_every
+            ~checkpoint_path:path spec
+        with
+        | Snapshot.Sim.Completed r -> r
+        | Snapshot.Sim.Stopped _ -> assert false (* no stop_at here *)
+      in
+      (match
+         if Sys.file_exists path then
+           try Ok (go (Some path))
+           with Diag.Error d when d.Diag.code = Diag.Snapshot_error ->
+             Error d
+         else Ok (go None)
+       with
+       | Ok r -> r
+       | Error _ ->
+         (try Sys.remove path with Sys_error _ -> ());
+         go None)
+  in
   let host_seconds = Unix.gettimeofday () -. t0 in
   { model = p.Params.name;
     target = Exp.target_label pt.Grid.target;

@@ -24,9 +24,16 @@ type record = {
   cached : bool;                  (** served from the on-disk cache *)
 }
 
-val run : Grid.point -> record
+val run : ?checkpoint:string -> ?checkpoint_every:int -> Grid.point -> record
 (** Compile, run the functional ISS, and simulate the point on the
-    cycle engine (lockstep checker on, as in the bench harness). *)
+    cycle engine (lockstep checker on, as in the bench harness).
+
+    [checkpoint] arms crash recovery: the engine state is saved to that
+    path every [checkpoint_every] cycles (default 20k), and when the
+    file already exists the run resumes from it instead of starting at
+    cycle 0 — so a retry after a kill repeats only the remaining
+    cycles.  An unusable checkpoint file is deleted and the point
+    restarts clean.  The caller owns deleting the file on success. *)
 
 val to_json : record -> Ooo_common.Stats.Json.t
 

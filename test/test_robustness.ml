@@ -146,6 +146,148 @@ let test_checker_divergence () =
       (Some "pc-lockstep")
       (List.assoc_opt "invariant" d.Diag.context)
 
+(* ---------- restore then re-inject ---------- *)
+
+let test_restore_then_reinject () =
+  (* checkpoint a faulted run mid-flight, restore, and let the plan keep
+     firing: the injection cursor travels with the snapshot, so faults
+     land after the restore point too and the recovered run's outcome
+     (absorbed, with the same fault count) matches the uninterrupted
+     one *)
+  let module Sim = Snapshot.Sim in
+  let model =
+    Params.with_faults (Inject.plan ~period:120 ~kinds:all_kinds 3)
+      Params.straight_2way
+  in
+  let spec =
+    Sim.spec ~model ~target:Straight_core.Experiment.Straight_re
+      (Workloads.sort ~n:40 ())
+  in
+  let baseline =
+    match Sim.run spec with
+    | Sim.Completed r -> r
+    | Sim.Stopped _ -> assert false
+  in
+  let total = baseline.Straight_core.Experiment.stats.Engine.faults_injected in
+  Alcotest.(check bool) "plan injects enough to straddle the save" true
+    (total >= 4);
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "straight-reinject.%d.snap" (Unix.getpid ()))
+  in
+  let stop = baseline.Straight_core.Experiment.cycles / 2 in
+  (match Sim.run ~checkpoint_path:path ~stop_at:stop spec with
+   | Sim.Stopped _ -> ()
+   | Sim.Completed _ -> Alcotest.fail "run completed before the kill point");
+  let session = Sim.restore path in
+  Sys.remove path;
+  let mid = Sim.cycle session in
+  while not (Sim.finished session) do Sim.step session done;
+  let r = Sim.finish session in
+  let after = r.Straight_core.Experiment.stats.Engine.faults_injected in
+  Alcotest.(check int) "restored run replays the full fault schedule"
+    total after;
+  Alcotest.(check bool) "faults fired before the restore point" true
+    (mid > 0 && total > 0);
+  Alcotest.(check bool) "stats identical to the uninterrupted run" true
+    (baseline.Straight_core.Experiment.stats
+     = r.Straight_core.Experiment.stats);
+  Alcotest.(check string) "output identical"
+    baseline.Straight_core.Experiment.output
+    r.Straight_core.Experiment.output
+
+(* ---------- pool shutdown ---------- *)
+
+let test_pool_sigterm_cleanup () =
+  (* SIGTERM mid-sweep: Pool.run must kill and reap every worker (no
+     orphans), fire on_interrupt (the temp-file sweep hook), and raise
+     Interrupted — with partial results already delivered still valid *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "straight-pool-test.%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let pidfile j = Filename.concat dir (Printf.sprintf "worker-%d.pid" j) in
+  (* worker: record the child pid, pretend to checkpoint (a torn temp
+     file), then hang until killed *)
+  let worker j =
+    let oc = open_out (pidfile j) in
+    Printf.fprintf oc "%d\n" (Unix.getpid ());
+    close_out oc;
+    let oc = open_out (Filename.concat dir
+                         (Printf.sprintf "ckpt-%d.snap.tmp.%d" j
+                            (Unix.getpid ()))) in
+    close_out oc;
+    Unix.sleepf 60.;
+    "never"
+  in
+  (* the killer: a helper child that SIGTERMs us shortly after start *)
+  let me = Unix.getpid () in
+  flush stdout; flush stderr;
+  let killer =
+    match Unix.fork () with
+    | 0 ->
+      Unix.sleepf 0.5;
+      (try Unix.kill me Sys.sigterm with _ -> ());
+      Stdlib.exit 0
+    | pid -> pid
+  in
+  let interrupted_hook = ref false in
+  let outcome =
+    try
+      Sweep.Pool.run ~jobs:4 ~worker ~procs:2 ~timeout:120. ~retries:0
+        ~on_interrupt:(fun () ->
+            interrupted_hook := true;
+            (* the sweep driver's hook: sweep torn temp files *)
+            Array.iter
+              (fun f ->
+                 if String.length f > 5 && String.sub f 0 5 = "ckpt-" then
+                   try Sys.remove (Filename.concat dir f)
+                   with Sys_error _ -> ())
+              (Sys.readdir dir))
+        ~on_result:(fun _ _ -> ()) ();
+      `Finished
+    with Sweep.Pool.Interrupted s -> `Interrupted s
+  in
+  ignore (Unix.waitpid [] killer);
+  (match outcome with
+   | `Interrupted s ->
+     Alcotest.(check bool) "raised Interrupted with the signal" true
+       (s = Sys.sigterm)
+   | `Finished -> Alcotest.fail "pool survived SIGTERM");
+  Alcotest.(check bool) "on_interrupt hook ran" true !interrupted_hook;
+  (* every recorded worker pid must be dead AND reaped: kill 0 raises
+     ESRCH once the zombie is gone *)
+  let still_alive = ref [] in
+  Array.iter
+    (fun f ->
+       if Filename.check_suffix f ".pid" then begin
+         let p = Filename.concat dir f in
+         let pid =
+           In_channel.with_open_text p (fun ic ->
+               int_of_string (String.trim (Option.get (In_channel.input_line ic))))
+         in
+         (match Unix.kill pid 0 with
+          | () -> still_alive := pid :: !still_alive
+          | exception Unix.Unix_error (Unix.ESRCH, _, _) -> ());
+         Sys.remove p
+       end)
+    (Sys.readdir dir);
+  Alcotest.(check (list int)) "no orphan worker processes" [] !still_alive;
+  (* the interrupt hook swept the torn checkpoint temp files *)
+  let strays =
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun f -> String.length f > 5 && String.sub f 0 5 = "ckpt-")
+  in
+  Alcotest.(check (list string)) "no stray checkpoint temp files" [] strays;
+  Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+    (Sys.readdir dir);
+  (try Unix.rmdir dir with _ -> ());
+  (* the pool restored the previous handlers on the way out *)
+  let prev = Sys.signal Sys.sigterm Sys.Signal_default in
+  Alcotest.(check bool) "SIGTERM handler restored to default" true
+    (prev = Sys.Signal_default)
+
 (* ---------- exit-code scheme ---------- *)
 
 let test_exit_codes_distinct () =
@@ -166,6 +308,10 @@ let suite =
   [ ("fault campaign (100 seeded runs, 4 models)", `Slow, test_fault_campaign);
     ("campaign determinism", `Quick, test_campaign_determinism);
     ("watchdog: deadlock snapshot", `Quick, test_watchdog_deadlock);
+    ("restore then re-inject (fault schedule survives the snapshot)",
+     `Slow, test_restore_then_reinject);
+    ("pool: SIGTERM reaps workers and sweeps temp files", `Quick,
+     test_pool_sigterm_cleanup);
     ("checker: divergence reported", `Quick, test_checker_divergence);
     ("exit codes distinct", `Quick, test_exit_codes_distinct) ]
 
