@@ -1,5 +1,5 @@
 .PHONY: check build test bench bench-json bench-gate fuzz-smoke lint fmt \
-	sweep-quick sweep-smoke snapshot-smoke coverage clean
+	sweep-quick sweep-smoke snapshot-smoke sample-smoke coverage clean
 
 check: build test
 
@@ -17,9 +17,11 @@ bench:
 
 # Measure the perf suite (engine host throughput + CPI stacks) into
 # bench.json.  Pass QUICK= (empty) for the full workload sizes.
+# Includes the micro suite so the measurement set matches the CI gate's
+# first invocation exactly.
 QUICK ?= --quick
 bench-json:
-	dune exec bench/main.exe -- $(QUICK) --json bench.json
+	dune exec bench/main.exe -- micro $(QUICK) --json bench.json
 
 # Perf-regression gate: fresh measurement vs the checked-in baseline.
 # Host throughput is noisy, so a failing comparison gets one fresh
@@ -86,6 +88,29 @@ snapshot-smoke:
 	done
 	@echo "snapshot-smoke: recovered runs bit-identical on all 4 configs"
 	rm -rf $(SNAP_DIR)
+
+# Sampling smoke: on one workload x both pipelines, exercise the
+# fast-forward warmed handoff, then run the interval sampler over a
+# 4-worker pool and require the recombined CPI estimate to land within
+# its reported error bars of an exact simulation of the same run
+# (-sample-check exits 1 otherwise).  The straight-sample/1 reports are
+# left in $(SAMPLE_DIR) for CI to archive.
+SAMPLE_DIR = _sample_smoke
+sample-smoke:
+	rm -rf $(SAMPLE_DIR) && mkdir -p $(SAMPLE_DIR)
+	dune exec bin/straightsim.exe -- -model straight-2way -target straight \
+	  -workload dhrystone -fast-forward 20000 -warm >/dev/null
+	dune exec bin/straightsim.exe -- -model ss-2way -target riscv \
+	  -workload dhrystone -fast-forward 20000 -warm >/dev/null
+	dune exec bin/straightsim.exe -- -model straight-2way -target straight \
+	  -workload dhrystone -sample interval=5k,warmup=1k -j 4 \
+	  -store $(SAMPLE_DIR) -sample-json $(SAMPLE_DIR)/sample-straight.json \
+	  -sample-check
+	dune exec bin/straightsim.exe -- -model ss-2way -target riscv \
+	  -workload dhrystone -sample interval=5k,warmup=1k -j 4 \
+	  -store $(SAMPLE_DIR) -sample-json $(SAMPLE_DIR)/sample-riscv.json \
+	  -sample-check
+	@echo "sample-smoke: sampled CPI within error bars on both pipelines"
 
 # Line coverage for the test suite via bisect_ppx (not vendored: the
 # target is a no-op with a hint when the tooling is absent).  The HTML

@@ -8,7 +8,27 @@
                  [-inject-period N] [-dump-on-error FILE]
                  [-stats-json FILE] [-checkpoint FILE]
                  [-checkpoint-every N] [-stop-at N] [-restore FILE]
+                 [-fast-forward N] [-warm]
+                 [-sample interval=1M,warmup=100k[,every=K]] [-j N]
+                 [-store DIR] [-sample-json FILE] [-sample-check]
+                 [-sample-floor F]
                  [-workload NAME] [FILE]
+
+   Fast-forward: [-fast-forward N] skips the first N retired
+   instructions at functional-simulation speed and runs the detailed
+   model over the rest; with [-warm] the skipped prefix functionally
+   warms the caches, branch predictor and RAS before the handoff (cold
+   otherwise).
+
+   Sampling: [-sample interval=1M,warmup=100k] slices the run into
+   fixed-length intervals, materializes each as a warmed checkpoint
+   under the content-addressed store ([-store], default _sweep), fans
+   them out over [-j] worker processes, and recombines the per-interval
+   CPI stacks into a whole-run estimate with 95% error bars.
+   [-sample-json] writes the straight-sample/1 report; [-sample-check]
+   additionally simulates the run exactly and fails (exit 1) unless the
+   estimate lands within max(ci95, [-sample-floor] x exact CPI) of the
+   exact CPI.
 
    Checkpointing: [-checkpoint FILE] names the snapshot file;
    [-checkpoint-every N] saves it every N cycles; [-stop-at N] saves it
@@ -41,7 +61,9 @@ let workloads : (string * (unit -> Workloads.t)) list =
     ("iota", fun () -> Workloads.iota ());
     ("sort", fun () -> Workloads.sort ());
     ("quicksort", fun () -> Workloads.quicksort ());
-    ("pointer-chase", fun () -> Workloads.pointer_chase ()) ]
+    ("pointer-chase", fun () -> Workloads.pointer_chase ());
+    ("stream", fun () -> Workloads.stream ());
+    ("stream-short", fun () -> Workloads.stream ~iterations:1 ()) ]
 
 let parse_inject_kinds (s : string) : Inject.kind list =
   if s = "all" then
@@ -80,6 +102,14 @@ let () =
   let checkpoint_every = ref 0 in
   let stop_at = ref 0 in
   let restore = ref "" in
+  let fast_forward = ref 0 in
+  let warm = ref false in
+  let sample = ref "" in
+  let jobs = ref 1 in
+  let store = ref "_sweep" in
+  let sample_json = ref "" in
+  let sample_check = ref false in
+  let sample_floor = ref 0.02 in
   let workload = ref "" in
   let file = ref "" in
   let spec =
@@ -110,6 +140,23 @@ let () =
         requires -checkpoint)");
       ("-restore", Arg.Set_string restore,
        "resume from a snapshot file (self-contained: no other flags needed)");
+      ("-fast-forward", Arg.Set_int fast_forward,
+       "skip the first N retired instructions at functional speed");
+      ("-warm", Arg.Set warm,
+       "functionally warm caches/predictors over the fast-forwarded prefix");
+      ("-sample", Arg.Set_string sample,
+       "sampled simulation, e.g. interval=1M,warmup=100k,every=4");
+      ("-j", Arg.Set_int jobs, "sampling worker processes (default 1)");
+      ("-store", Arg.Set_string store,
+       "content-addressed checkpoint store directory (default _sweep)");
+      ("-sample-json", Arg.Set_string sample_json,
+       "write the sampled-CPI report (straight-sample/1) to FILE (- for \
+        stdout)");
+      ("-sample-check", Arg.Set sample_check,
+       "also simulate exactly and fail unless the estimate is within its \
+        error bars");
+      ("-sample-floor", Arg.Set_float sample_floor,
+       "relative tolerance floor for -sample-check (default 0.02)");
       ("-workload", Arg.Set_string workload, "built-in workload name") ]
   in
   Arg.parse spec (fun f -> file := f) "straightsim [options] [FILE]";
@@ -186,6 +233,165 @@ let () =
          | p -> Some (p ^ ".snap"))
       session
   in
+  let handle_failure e =
+    match Diagnostics.of_exn e with
+    | None -> raise e
+    | Some d ->
+      Printf.eprintf "straightsim: %s\n" (Diagnostics.to_string d);
+      (match !dump_on_error with
+       | "" -> ()
+       | "-" -> prerr_string (Diagnostics.context_dump d)
+       | path ->
+         Out_channel.with_open_text path (fun oc ->
+             output_string oc (Diagnostics.context_dump d));
+         Printf.eprintf "straightsim: diagnostic context written to %s\n"
+           path);
+      exit (Diagnostics.exit_code d.Diagnostics.code)
+  in
+  let print_cpi_stack stack =
+    Printf.printf "CPI stack    : %s\n"
+      (String.concat ", "
+         (List.map
+            (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+            (Stats.cpi_to_assoc stack)))
+  in
+  (* -fast-forward: functional skip (optionally warming), then the
+     detailed model over the remainder only *)
+  let run_fast_forward () =
+    let spec =
+      Sim.spec ~max_dist:!maxdist ~check:(not !no_check) ~model ~target
+        (resolve_workload ())
+    in
+    let image = Sim.compile spec in
+    let engine, finish =
+      match target with
+      | Exp.Riscv ->
+        let s =
+          Ooo_riscv.Pipeline.start_region ~check:spec.Sim.check ~warm:!warm
+            ~from:!fast_forward model image
+        in
+        ( s.Ooo_riscv.Pipeline.engine,
+          fun () ->
+            let r = Ooo_riscv.Pipeline.finish s in
+            (r.Ooo_riscv.Pipeline.stats, r.Ooo_riscv.Pipeline.output) )
+      | Exp.Straight_raw | Exp.Straight_re ->
+        let s =
+          Ooo_straight.Pipeline.start_region ~check:spec.Sim.check
+            ~max_dist:!maxdist ~warm:!warm ~from:!fast_forward model image
+        in
+        ( s.Ooo_straight.Pipeline.engine,
+          fun () ->
+            let r = Ooo_straight.Pipeline.finish s in
+            (r.Ooo_straight.Pipeline.stats, r.Ooo_straight.Pipeline.output) )
+    in
+    while not (Engine.finished engine) do
+      Engine.step engine
+    done;
+    let committed = Engine.committed_count engine in
+    let stats, output = finish () in
+    Printf.printf "model        : %s\n" model.Params.name;
+    Printf.printf "target       : %s\n" (Exp.target_label target);
+    Printf.printf "fast-forward : %d instructions (%s handoff)\n"
+      !fast_forward (if !warm then "warmed" else "cold");
+    Printf.printf "cycles       : %d (measured region only)\n"
+      stats.Engine.cycles;
+    Printf.printf "instructions : %d\n" committed;
+    Printf.printf "IPC          : %.3f\n"
+      (float_of_int committed /. float_of_int (max 1 stats.Engine.cycles));
+    print_cpi_stack stats.Engine.cpi_stack;
+    print_string "--- program output ---\n";
+    print_string output
+  in
+  (* -sample: materialize interval checkpoints, fan out, recombine *)
+  let run_sampled () =
+    let sp =
+      try Sample.Spec.parse !sample
+      with Sample.Spec.Parse_error m ->
+        Printf.eprintf "straightsim: -sample %S: %s\n" !sample m;
+        exit 2
+    in
+    let w = resolve_workload () in
+    let spec =
+      Sim.spec ~max_dist:!maxdist ~check:(not !no_check) ~model ~target w
+    in
+    let plan, cached = Sample.Interval.materialize ~dir:!store spec sp in
+    let entries = Array.of_list plan.Sample.Interval.entries in
+    Printf.printf "plan %s: %d interval(s) over %d retired insns%s\n"
+      (String.sub plan.Sample.Interval.key 0 12)
+      (Array.length entries) plan.Sample.Interval.total_retired
+      (if cached then " (store hit, ISS pass skipped)" else "");
+    flush stdout;
+    flush stderr;
+    let results = Array.make (Array.length entries) None in
+    let failures = ref [] in
+    Sweep.Pool.run ~jobs:(Array.length entries)
+      ~worker:(fun i ->
+          Stats.Json.to_string ~indent:false
+            (Sample.Interval.result_to_json
+               (Sample.Interval.run_file entries.(i).Sample.Interval.path)))
+      ~procs:!jobs
+      ~on_result:(fun i -> function
+          | Ok line ->
+            results.(i) <-
+              Some
+                (Sample.Interval.result_of_json (Stats.Json.of_string line))
+          | Error msg -> failures := (i, msg) :: !failures)
+      ();
+    List.iter
+      (fun (i, msg) ->
+         Printf.eprintf "straightsim: interval %d failed: %s\n" i msg)
+      (List.rev !failures);
+    if !failures <> [] then exit 4;
+    let est =
+      Sample.Recombine.recombine
+        ~total_insns:plan.Sample.Interval.total_retired
+        (Array.to_list results |> List.filter_map Fun.id)
+    in
+    Printf.printf
+      "sampled CPI  : %.4f +/- %.4f (95%% CI, %d intervals, %d of %d insns \
+       measured)\n"
+      est.Sample.Recombine.cpi est.Sample.Recombine.ci95
+      est.Sample.Recombine.intervals est.Sample.Recombine.measured_insns
+      est.Sample.Recombine.total_insns;
+    Printf.printf "est cycles   : %.0f\n" est.Sample.Recombine.est_cycles;
+    Printf.printf "CPI stack    : %s\n"
+      (String.concat ", "
+         (List.map
+            (fun (k, v) -> Printf.sprintf "%s=%.4f" k v)
+            est.Sample.Recombine.stack));
+    (if !sample_json <> "" then begin
+       let text =
+         Stats.Json.to_string
+           (Sample.Recombine.report_json ~workload:w.Workloads.name
+              ~target:(Exp.target_label target) ~spec:sp est)
+       in
+       match !sample_json with
+       | "-" -> print_string text
+       | path ->
+         Out_channel.with_open_text path (fun oc -> output_string oc text)
+     end);
+    if !sample_check then begin
+      let exact =
+        Exp.run ~max_dist:!maxdist ~check:(not !no_check) ~model ~target w
+      in
+      let v =
+        Sample.Recombine.check est ~exact_cycles:exact.Exp.cycles
+          ~floor:!sample_floor
+      in
+      Printf.printf "exact CPI    : %.4f (err %.4f, tolerance %.4f) -> %s\n"
+        v.Sample.Recombine.exact_cpi v.Sample.Recombine.err
+        v.Sample.Recombine.tolerance
+        (if v.Sample.Recombine.ok then "OK" else "FAIL");
+      if not v.Sample.Recombine.ok then exit 1
+    end
+  in
+  if !sample <> "" then
+    try run_sampled () with
+    | Sweep.Pool.Interrupted _ -> exit 130
+    | e -> handle_failure e
+  else if !fast_forward > 0 then
+    try run_fast_forward () with e -> handle_failure e
+  else
   match outcome () with
   | Sim.Stopped { cycle; path } ->
     Printf.printf "stopped at cycle %d; checkpoint written to %s\n" cycle path
@@ -251,17 +457,4 @@ let () =
      end);
     print_string "--- program output ---\n";
     print_string r.Exp.output
-  | exception e ->
-    (match Diagnostics.of_exn e with
-     | None -> raise e
-     | Some d ->
-       Printf.eprintf "straightsim: %s\n" (Diagnostics.to_string d);
-       (match !dump_on_error with
-        | "" -> ()
-        | "-" -> prerr_string (Diagnostics.context_dump d)
-        | path ->
-          Out_channel.with_open_text path (fun oc ->
-              output_string oc (Diagnostics.context_dump d));
-          Printf.eprintf "straightsim: diagnostic context written to %s\n"
-            path);
-       exit (Diagnostics.exit_code d.Diagnostics.code))
+  | exception e -> handle_failure e

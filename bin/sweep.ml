@@ -36,6 +36,8 @@ let usage () =
      \  -predictors LIST  gshare,tage\n\
      \  -ideal LIST       real,ideal (recovery model)\n\
      \  -workloads LIST   dhrystone,coremark,fib,iota,sort,quicksort,pointer_chase\n\
+     \  -samples LIST     ';'-separated fidelity axis: exact and/or sampling\n\
+     \                    specs like interval=1M,warmup=100k,every=4\n\
      \  -out FILE         aggregated output (default sweep.json)\n\
      \  -figures FILE     derived tables (default FIGURES.md; 'none' skips)\n\
      \  -cache-dir DIR    result cache root (default _sweep)\n\
@@ -154,6 +156,22 @@ let () =
     | "-workloads" :: v :: rest ->
       let ws = split_list v in
       override (fun s -> { s with Sweep.Grid.workloads = ws });
+      parse rest
+    | "-samples" :: v :: rest ->
+      let ss =
+        String.split_on_char ';' v
+        |> List.filter (fun x -> String.trim x <> "")
+        |> List.map (fun x ->
+            let x = String.trim x in
+            if x = "exact" then None
+            else
+              try Some (Sample.Spec.parse x)
+              with Sample.Spec.Parse_error m ->
+                Printf.eprintf "bad sample spec %S: %s\n" x m;
+                usage ())
+      in
+      if ss = [] then usage ();
+      override (fun s -> { s with Sweep.Grid.samples = ss });
       parse rest
     | "-out" :: f :: rest -> out := f; parse rest
     | "-figures" :: f :: rest -> figures := f; parse rest

@@ -1,4 +1,9 @@
-(* Functional simulator for the RV32IM baseline. *)
+(* Functional simulator for the RV32IM baseline.
+
+   Organized as a stepwise session (start / step / run_session / finish),
+   mirroring Straight_iss, so the sampling machinery can drive both ISSes
+   through one shape: run at full speed, observe every retirement through
+   [on_retire], stop at instruction boundaries. *)
 
 module Isa = Riscv_isa.Isa
 module Encoding = Riscv_isa.Encoding
@@ -23,6 +28,129 @@ let decode_text (image : Image.t) : Isa.resolved array =
            (image.Image.text_base + (4 * i)))
     image.Image.text
 
+type session = {
+  code : Isa.resolved array;
+  text_base : int;
+  mem : Memory.t;
+  regs : int32 array;
+  mutable pc : int;
+  mutable count : int;
+  mutable halted : bool;
+  config : config;
+  mutable uops : Trace.uop list;
+  on_retire : (int -> Trace.uop -> unit) option;
+}
+
+let start ?(config = default_config) ?on_retire (image : Image.t) : session =
+  let mem = Memory.create () in
+  Memory.load_image mem image;
+  let regs = Array.make 32 0l in
+  regs.(2) <- Int32.of_int Layout.stack_top;
+  { code = decode_text image;
+    text_base = image.Image.text_base;
+    mem;
+    regs;
+    pc = image.Image.entry;
+    count = 0;
+    halted = false;
+    config;
+    uops = [];
+    on_retire }
+
+(* [step s] executes one instruction. *)
+let step (s : session) : unit =
+  if s.count >= s.config.max_insns then
+    Diag.error
+      ~context:[ ("retired", string_of_int s.count);
+                 ("max_insns", string_of_int s.config.max_insns);
+                 ("pc", Printf.sprintf "0x%x" s.pc) ]
+      Diag.Fuel_exhausted
+      "instruction budget exceeded: %d instructions retired (max_insns=%d)"
+      s.count s.config.max_insns;
+  let idx = (s.pc - s.text_base) asr 2 in
+  if idx < 0 || idx >= Array.length s.code then
+    fail "PC out of text: 0x%x" s.pc;
+  let insn = s.code.(idx) in
+  let here = s.pc in
+  let next = ref (here + 4) in
+  let mem_addr = ref 0 in
+  let ctrl = ref Trace.Not_ctrl in
+  let regs = s.regs in
+  let set rd v = if rd <> 0 then regs.(rd) <- v in
+  (match insn with
+   | Isa.Lui (rd, i) -> set rd (Int32.shift_left i 12)
+   | Isa.Auipc (rd, i) ->
+     set rd (Int32.add (Int32.of_int here) (Int32.shift_left i 12))
+   | Isa.Jal (rd, off) ->
+     let target = here + off in
+     set rd (Int32.of_int (here + 4));
+     next := target;
+     ctrl := Trace.Uncond { target; is_call = rd = 1; is_ret = false }
+   | Isa.Jalr (rd, rs1, imm) ->
+     let target = (Int32.to_int regs.(rs1) + imm) land 0xFFFFFFFE in
+     set rd (Int32.of_int (here + 4));
+     next := target;
+     ctrl := Trace.Uncond { target; is_call = rd = 1; is_ret = rd = 0 && rs1 = 1 }
+   | Isa.Branch (cond, rs1, rs2, off) ->
+     let taken = Isa.eval_branch cond regs.(rs1) regs.(rs2) in
+     let target = here + off in
+     if taken then next := target;
+     ctrl := Trace.Cond { taken; target }
+   | Isa.Lw (rd, rs1, imm) ->
+     let addr = (Int32.to_int regs.(rs1) + imm) land 0xFFFFFFFF in
+     mem_addr := addr;
+     set rd (Memory.read s.mem addr)
+   | Isa.Sw (rs2, rs1, imm) ->
+     let addr = (Int32.to_int regs.(rs1) + imm) land 0xFFFFFFFF in
+     mem_addr := addr;
+     Memory.write s.mem addr regs.(rs2)
+   | Isa.Alui (op, rd, rs1, imm) ->
+     set rd (Isa.eval_alu (Isa.alu_of_alui op) regs.(rs1) (Int32.of_int imm))
+   | Isa.Alu (op, rd, rs1, rs2) -> set rd (Isa.eval_alu op regs.(rs1) regs.(rs2))
+   | Isa.Ebreak -> s.halted <- true);
+  if s.config.collect_trace || s.on_retire <> None then begin
+    let fu =
+      match Isa.kind insn with
+      | Isa.Kmul -> Trace.FU_mul
+      | Isa.Kdiv -> Trace.FU_div
+      | Isa.Kload -> Trace.FU_load
+      | Isa.Kstore -> Trace.FU_store
+      | Isa.Kbranch | Isa.Kjump -> Trace.FU_branch
+      | Isa.Kalu | Isa.Khalt -> Trace.FU_alu
+    in
+    let dest = match Isa.dest insn with Some rd -> rd | None -> 0 in
+    let u =
+      { Trace.pc = here;
+        fu;
+        srcs_dist = [||];
+        srcs_reg = Array.of_list (List.filter (fun r -> r <> 0) (Isa.sources insn));
+        dest_reg = dest;
+        has_dest = dest <> 0;
+        is_rmov = false;
+        is_nop = false;
+        is_spadd = false;
+        mem_addr = !mem_addr;
+        ctrl = !ctrl }
+    in
+    if s.config.collect_trace then s.uops <- u :: s.uops;
+    match s.on_retire with Some f -> f s.count u | None -> ()
+  end;
+  s.count <- s.count + 1;
+  s.pc <- !next
+
+let run_session ?(until = max_int) (s : session) : unit =
+  while (not s.halted) && s.count < until do
+    step s
+  done
+
+let session_memory (s : session) : Memory.t = s.mem
+
+let finish (s : session) : Trace.run =
+  { Trace.output = Memory.output s.mem;
+    retired = s.count;
+    trace = Array.of_list (List.rev s.uops);
+    dist_histogram = [||] }
+
 (* Full outcome of a run: the trace plus the final architectural state,
    for differential comparison against the other executions of the same
    program (the fuzzer compares exit values and final memory). *)
@@ -33,101 +161,9 @@ type outcome = {
 }
 
 let run_outcome ?(config = default_config) (image : Image.t) : outcome =
-  let code = decode_text image in
-  let mem = Memory.create () in
-  Memory.load_image mem image;
-  let regs = Array.make 32 0l in
-  regs.(2) <- Int32.of_int Layout.stack_top;
-  let pc = ref image.Image.entry in
-  let count = ref 0 in
-  let uops = ref [] in
-  let halted = ref false in
-  let text_base = image.Image.text_base in
-  let text_len = Array.length code in
-  let set rd v = if rd <> 0 then regs.(rd) <- v in
-  while not !halted do
-    if !count >= config.max_insns then
-      Diag.error
-        ~context:[ ("retired", string_of_int !count);
-                   ("max_insns", string_of_int config.max_insns);
-                   ("pc", Printf.sprintf "0x%x" !pc) ]
-        Diag.Fuel_exhausted
-        "instruction budget exceeded: %d instructions retired (max_insns=%d)"
-        !count config.max_insns;
-    let idx = (!pc - text_base) asr 2 in
-    if idx < 0 || idx >= text_len then fail "PC out of text: 0x%x" !pc;
-    let insn = code.(idx) in
-    let here = !pc in
-    let next = ref (here + 4) in
-    let mem_addr = ref 0 in
-    let ctrl = ref Trace.Not_ctrl in
-    (match insn with
-     | Isa.Lui (rd, i) -> set rd (Int32.shift_left i 12)
-     | Isa.Auipc (rd, i) ->
-       set rd (Int32.add (Int32.of_int here) (Int32.shift_left i 12))
-     | Isa.Jal (rd, off) ->
-       let target = here + off in
-       set rd (Int32.of_int (here + 4));
-       next := target;
-       ctrl := Trace.Uncond { target; is_call = rd = 1; is_ret = false }
-     | Isa.Jalr (rd, rs1, imm) ->
-       let target = (Int32.to_int regs.(rs1) + imm) land 0xFFFFFFFE in
-       set rd (Int32.of_int (here + 4));
-       next := target;
-       ctrl := Trace.Uncond { target; is_call = rd = 1; is_ret = rd = 0 && rs1 = 1 }
-     | Isa.Branch (cond, rs1, rs2, off) ->
-       let taken = Isa.eval_branch cond regs.(rs1) regs.(rs2) in
-       let target = here + off in
-       if taken then next := target;
-       ctrl := Trace.Cond { taken; target }
-     | Isa.Lw (rd, rs1, imm) ->
-       let addr = (Int32.to_int regs.(rs1) + imm) land 0xFFFFFFFF in
-       mem_addr := addr;
-       set rd (Memory.read mem addr)
-     | Isa.Sw (rs2, rs1, imm) ->
-       let addr = (Int32.to_int regs.(rs1) + imm) land 0xFFFFFFFF in
-       mem_addr := addr;
-       Memory.write mem addr regs.(rs2)
-     | Isa.Alui (op, rd, rs1, imm) ->
-       set rd (Isa.eval_alu (Isa.alu_of_alui op) regs.(rs1) (Int32.of_int imm))
-     | Isa.Alu (op, rd, rs1, rs2) -> set rd (Isa.eval_alu op regs.(rs1) regs.(rs2))
-     | Isa.Ebreak -> halted := true);
-    if config.collect_trace then begin
-      let fu =
-        match Isa.kind insn with
-        | Isa.Kmul -> Trace.FU_mul
-        | Isa.Kdiv -> Trace.FU_div
-        | Isa.Kload -> Trace.FU_load
-        | Isa.Kstore -> Trace.FU_store
-        | Isa.Kbranch | Isa.Kjump -> Trace.FU_branch
-        | Isa.Kalu | Isa.Khalt -> Trace.FU_alu
-      in
-      let dest = match Isa.dest insn with Some rd -> rd | None -> 0 in
-      let u =
-        { Trace.pc = here;
-          fu;
-          srcs_dist = [||];
-          srcs_reg = Array.of_list (List.filter (fun r -> r <> 0) (Isa.sources insn));
-          dest_reg = dest;
-          has_dest = dest <> 0;
-          is_rmov = false;
-          is_nop = false;
-          is_spadd = false;
-          mem_addr = !mem_addr;
-          ctrl = !ctrl }
-      in
-      uops := u :: !uops
-    end;
-    incr count;
-    pc := !next
-  done;
-  { run =
-      { Trace.output = Memory.output mem;
-        retired = !count;
-        trace = Array.of_list (List.rev !uops);
-        dist_histogram = [||] };
-    mem;
-    regs }
+  let s = start ~config image in
+  run_session s;
+  { run = finish s; mem = s.mem; regs = s.regs }
 
 let run ?config (image : Image.t) : Trace.run = (run_outcome ?config image).run
 

@@ -6,6 +6,32 @@ type config = { max_insns : int; collect_trace : bool }
 
 val default_config : config
 
+type session
+(** An in-progress execution, mirroring {!Straight_iss}'s session shape
+    so the sampling machinery drives both ISSes identically. *)
+
+val start :
+  ?config:config -> ?on_retire:(int -> Trace.uop -> unit) ->
+  Assembler.Image.t -> session
+(** Load the image; SP (x2) at the stack top, PC at the entry point.
+    [on_retire], when given, is fed [(index, uop)] at every retirement —
+    independently of [collect_trace]. *)
+
+val step : session -> unit
+(** Execute one instruction.
+    @raise Exec_error on illegal instructions or PC out of text.
+    @raise Diag.Error with code [Fuel_exhausted] (context carries the
+    retired count) on budget overrun, or [Mem_unaligned]/[Mem_mmio] on
+    memory faults. *)
+
+val run_session : ?until:int -> session -> unit
+(** Execute until [ebreak], or until the retired count reaches
+    [until]. *)
+
+val finish : session -> Trace.run
+
+val session_memory : session -> Memory.t
+
 val run : ?config:config -> Assembler.Image.t -> Trace.run
 (** Execute from the entry point until [ebreak]; SP (x2) starts at the
     stack top.

@@ -60,11 +60,14 @@ type session = {
   config : config;
   mutable uops : Trace.uop list;
   dist_hist : int array;
+  on_retire : (int -> Trace.uop -> unit) option;
+      (* observer fed (index, uop) at every retirement, independent of
+         trace collection — the functional-warming / sampling tap *)
 }
 
 (* [start ?config image] loads the image and returns a fresh session at the
    reset state (SP at the stack top, PC at the entry point). *)
-let start ?(config = default_config) (image : Image.t) : session =
+let start ?(config = default_config) ?on_retire (image : Image.t) : session =
   let mem = Memory.create () in
   Memory.load_image mem image;
   { code = decode_text image;
@@ -77,7 +80,8 @@ let start ?(config = default_config) (image : Image.t) : session =
     halted = false;
     config;
     uops = [];
-    dist_hist = Array.make (Isa.max_dist + 1) 0 }
+    dist_hist = Array.make (Isa.max_dist + 1) 0;
+    on_retire }
 
 (* The precise architectural state at an instruction boundary: PC, SP, RP,
    and the last [max_dist] register values (window.(i) is the value at
@@ -104,8 +108,8 @@ let checkpoint (s : session) : arch_state =
 (* [resume ?config image mem state] rebuilds a session from a checkpoint:
    only {PC, SP, RP, window} are needed — the paper's precise-interrupt
    property. *)
-let resume ?(config = default_config) (image : Image.t) (mem : Memory.t)
-    (st : arch_state) : session =
+let resume ?(config = default_config) ?on_retire (image : Image.t)
+    (mem : Memory.t) (st : arch_state) : session =
   let s =
     { code = decode_text image;
       text_base = image.Image.text_base;
@@ -117,7 +121,8 @@ let resume ?(config = default_config) (image : Image.t) (mem : Memory.t)
       halted = false;
       config;
       uops = [];
-      dist_hist = Array.make (Isa.max_dist + 1) 0 }
+      dist_hist = Array.make (Isa.max_dist + 1) 0;
+      on_retire }
   in
   Array.iteri
     (fun i v ->
@@ -204,7 +209,7 @@ let step (s : session) : unit =
      result := s.sp
    | Isa.Halt -> s.halted <- true);
   s.regs.(s.count land ring_mask) <- !result;
-  if s.config.collect_trace then begin
+  if s.config.collect_trace || s.on_retire <> None then begin
     let fu =
       match Isa.kind insn with
       | Isa.Kmul -> Trace.FU_mul
@@ -227,7 +232,8 @@ let step (s : session) : unit =
         mem_addr = !mem_addr;
         ctrl = !ctrl }
     in
-    s.uops <- u :: s.uops
+    if s.config.collect_trace then s.uops <- u :: s.uops;
+    match s.on_retire with Some f -> f s.count u | None -> ()
   end;
   s.count <- s.count + 1;
   s.pc <- !next

@@ -24,8 +24,14 @@ val default_config : config
 type session
 (** An in-progress execution. *)
 
-val start : ?config:config -> Assembler.Image.t -> session
-(** Load the image; SP at the stack top, PC at the entry point. *)
+val start :
+  ?config:config -> ?on_retire:(int -> Trace.uop -> unit) ->
+  Assembler.Image.t -> session
+(** Load the image; SP at the stack top, PC at the entry point.
+    [on_retire], when given, is fed [(index, uop)] at every retirement —
+    independently of [collect_trace] — so functional warming and the
+    interval sampler can observe a full-speed run without accumulating
+    the whole trace in memory. *)
 
 val step : session -> unit
 (** Execute one instruction.
@@ -63,7 +69,8 @@ val checkpoint : session -> arch_state
     part of the register checkpoint, as on a conventional CPU). *)
 
 val resume :
-  ?config:config -> Assembler.Image.t -> Memory.t -> arch_state -> session
+  ?config:config -> ?on_retire:(int -> Trace.uop -> unit) ->
+  Assembler.Image.t -> Memory.t -> arch_state -> session
 (** Rebuild a session from a checkpoint: only {PC, SP, RP, window} are
     needed — the paper's precise-interrupt property. *)
 

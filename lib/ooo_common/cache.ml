@@ -184,3 +184,41 @@ let inst_access h pc : int =
     fill h.l1i (pc + line_bytes);   (* next-line instruction prefetch *)
     extra
   end
+
+(* ---------- functional warming ----------
+
+   Warming replays the ISS retirement stream through the same lookup/
+   replacement path as detailed simulation so the tag and LRU state ends
+   up exactly where a detailed run would leave it, but the latencies are
+   discarded: during fast-forward nothing is timed.  [reset_stats] then
+   zeroes the counters so warming never pollutes measured miss rates
+   (LRU stamps are kept — they are ordering state, not statistics). *)
+
+let warm_inst h pc =
+  if not (touch h.l1i pc) then begin
+    ignore (access_below h pc);
+    let line_bytes = 1 lsl h.l1i.line_shift in
+    fill h.l1i (pc + line_bytes)
+  end
+
+let warm_data h addr =
+  if not (touch h.l1d addr) then begin
+    ignore (access_below h addr);
+    let line_bytes = 1 lsl h.l1d.line_shift in
+    for k = 1 to h.prefetch_degree do
+      let a = addr + (k * line_bytes) in
+      fill h.l1d a;
+      fill h.l2 a
+    done
+  end
+
+let reset_cache_stats (c : cache) =
+  c.accesses <- 0;
+  c.misses <- 0
+
+let reset_stats (h : hierarchy) =
+  reset_cache_stats h.l1i;
+  reset_cache_stats h.l1d;
+  reset_cache_stats h.l2;
+  Option.iter reset_cache_stats h.l3;
+  h.prefetches <- 0

@@ -68,3 +68,16 @@ val inst_access : hierarchy -> int -> int
 (** Instruction-fetch penalty for the line at [pc]: 0 on an L1I hit (the
     hit latency is pipelined into the front-end depth), the miss latency
     otherwise. *)
+
+val warm_inst : hierarchy -> int -> unit
+(** Functional warming of the instruction path: same lookup, fill and
+    next-line prefetch as {!inst_access}, latency discarded. *)
+
+val warm_data : hierarchy -> int -> unit
+(** Functional warming of the data path: same lookup, fill and stream
+    prefetch as {!data_access}, latency discarded. *)
+
+val reset_stats : hierarchy -> unit
+(** Zero the access/miss/prefetch counters at every level while keeping
+    tags and LRU ordering — called at the warm-to-detailed handoff so
+    warming never pollutes measured miss rates. *)

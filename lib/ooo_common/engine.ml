@@ -252,7 +252,7 @@ let mix_labels = [| "LD"; "ST"; "Jump+Branch"; "ALU"; "RMOV"; "NOP" |]
 
 let create (p : Params.t) ~(trace : Trace.uop array)
     ~(decode_static : int -> Trace.uop option)
-    ?(checker : Checker.t option) () : t =
+    ?(checker : Checker.t option) ?(warm : Warm.t option) () : t =
   let n_trace = Array.length trace in
   if n_trace = 0 then
     Diag.error Diag.Config_error "empty trace: nothing to simulate";
@@ -283,10 +283,21 @@ let create (p : Params.t) ~(trace : Trace.uop array)
     next_pow2 (lat + 32)
   in
   let arch_regs = 32 in
+  (* Warmed handoff: adopt the functionally warmed tables instead of
+     cold ones, with their warming-phase counters zeroed so measured
+     miss rates cover only the detailed region.  Memdep stays cold — it
+     trains on timing violations the ISS cannot observe. *)
+  let hier, pred, ras =
+    match warm with
+    | None ->
+      (Cache.create_hierarchy p, Branch_pred.make p.predictor,
+       Branch_pred.Ras.create ())
+    | Some w ->
+      Cache.reset_stats w.Warm.hier;
+      (w.Warm.hier, w.Warm.pred, w.Warm.ras)
+  in
   { p; trace; n_trace; decode_static; checker;
-    hier = Cache.create_hierarchy p;
-    pred = Branch_pred.make p.predictor;
-    ras = Branch_pred.Ras.create ();
+    hier; pred; ras;
     memdep = Memdep.create ();
     inj = Inject.make p.inject;
     act = fresh_activity ();
@@ -1111,6 +1122,11 @@ let finished t = t.done_
 let cycle t = t.now
 let committed_count t = t.committed
 
+(* Mid-run snapshot of the cycle-accounting buckets; the interval
+   sampler subtracts the snapshot taken at the warmup boundary from the
+   final stack to measure only the interval proper. *)
+let cpi_now t = Stats.freeze t.cpi
+
 let finish t : stats =
   (match t.checker with
    | Some ck ->
@@ -1180,61 +1196,9 @@ let run (p : Params.t) ~(trace : Trace.uop array)
 
 let engine_version = 1
 
-let fu_code = function
-  | Trace.FU_alu -> 0 | Trace.FU_mul -> 1 | Trace.FU_div -> 2
-  | Trace.FU_branch -> 3 | Trace.FU_load -> 4 | Trace.FU_store -> 5
-
-let fu_of_code = function
-  | 0 -> Trace.FU_alu | 1 -> Trace.FU_mul | 2 -> Trace.FU_div
-  | 3 -> Trace.FU_branch | 4 -> Trace.FU_load | 5 -> Trace.FU_store
-  | n -> raise (Bin.Corrupt (Printf.sprintf "bad fu code %d" n))
-
-let w_uop b (u : Trace.uop) =
-  Bin.w_int b u.Trace.pc;
-  Bin.w_int b (fu_code u.Trace.fu);
-  Bin.w_int_array b u.Trace.srcs_dist;
-  Bin.w_int_array b u.Trace.srcs_reg;
-  Bin.w_int b u.Trace.dest_reg;
-  Bin.w_bool b u.Trace.has_dest;
-  Bin.w_bool b u.Trace.is_rmov;
-  Bin.w_bool b u.Trace.is_nop;
-  Bin.w_bool b u.Trace.is_spadd;
-  Bin.w_int b u.Trace.mem_addr;
-  match u.Trace.ctrl with
-  | Trace.Not_ctrl -> Bin.w_int b 0
-  | Trace.Cond { taken; target } ->
-    Bin.w_int b 1; Bin.w_bool b taken; Bin.w_int b target
-  | Trace.Uncond { target; is_call; is_ret } ->
-    Bin.w_int b 2; Bin.w_int b target; Bin.w_bool b is_call;
-    Bin.w_bool b is_ret
-
-let r_uop r : Trace.uop =
-  let pc = Bin.r_int r in
-  let fu = fu_of_code (Bin.r_int r) in
-  let srcs_dist = Bin.r_int_array r in
-  let srcs_reg = Bin.r_int_array r in
-  let dest_reg = Bin.r_int r in
-  let has_dest = Bin.r_bool r in
-  let is_rmov = Bin.r_bool r in
-  let is_nop = Bin.r_bool r in
-  let is_spadd = Bin.r_bool r in
-  let mem_addr = Bin.r_int r in
-  let ctrl =
-    match Bin.r_int r with
-    | 0 -> Trace.Not_ctrl
-    | 1 ->
-      let taken = Bin.r_bool r in
-      let target = Bin.r_int r in
-      Trace.Cond { taken; target }
-    | 2 ->
-      let target = Bin.r_int r in
-      let is_call = Bin.r_bool r in
-      let is_ret = Bin.r_bool r in
-      Trace.Uncond { target; is_call; is_ret }
-    | n -> raise (Bin.Corrupt (Printf.sprintf "bad ctrl tag %d" n))
-  in
-  { Trace.pc; fu; srcs_dist; srcs_reg; dest_reg; has_dest; is_rmov; is_nop;
-    is_spadd; mem_addr; ctrl }
+(* The uop codec lives in Uop_io so the sampling checkpoints share it. *)
+let w_uop = Uop_io.write
+let r_uop = Uop_io.read
 
 let w_dyn t b (d : dyn) =
   Bin.w_int b d.seq;

@@ -57,8 +57,15 @@ val create :
   trace:Iss.Trace.uop array ->
   decode_static:(int -> Iss.Trace.uop option) ->
   ?checker:Checker.t ->
+  ?warm:Warm.t ->
   unit -> t
-(** Fresh engine at cycle 0.
+(** Fresh engine at cycle 0.  When [warm] is supplied the engine adopts
+    its functionally warmed caches, branch predictor and RAS instead of
+    cold ones (their access/miss counters are zeroed first so measured
+    stats cover only the detailed region) — the fast-forward/sampling
+    handoff.  [trace] may be any contiguous slice of a program's
+    retirement stream: RP-relative producers that precede the slice are
+    treated as already committed, matching a mid-program start.
     @raise Diag.Error with code [Config_error] on an empty trace. *)
 
 val step : t -> unit
@@ -76,6 +83,11 @@ val finished : t -> bool
 
 val cycle : t -> int
 val committed_count : t -> int
+
+val cpi_now : t -> Stats.cpi_stack
+(** Mid-run snapshot of the cycle-accounting buckets (buckets sum to
+    {!cycle}).  The interval sampler subtracts the snapshot taken at the
+    warmup boundary from the final stack via {!Stats.cpi_sub}. *)
 
 val finish : t -> stats
 (** Run the checker's end-of-run validation (when present) and freeze

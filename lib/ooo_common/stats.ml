@@ -23,6 +23,13 @@ let cpi_to_assoc c =
     ("memory", c.memory);
     ("structural", c.structural) ]
 
+let cpi_sub a b =
+  { base = a.base - b.base;
+    frontend = a.frontend - b.frontend;
+    branch_squash = a.branch_squash - b.branch_squash;
+    memory = a.memory - b.memory;
+    structural = a.structural - b.structural }
+
 (* Mutable accumulator used by the engine's per-cycle classifier. *)
 type bucket = Base | Frontend | Branch_squash | Memory | Structural
 

@@ -33,6 +33,11 @@ val cpi_to_assoc : cpi_stack -> (string * int) list
 (** Stable field order: base, frontend, branch_squash, memory,
     structural. *)
 
+val cpi_sub : cpi_stack -> cpi_stack -> cpi_stack
+(** Bucket-wise difference [a - b]: the cycles charged between two
+    mid-run snapshots (interval measurement excluding its detailed
+    warmup prefix). *)
+
 (** One-cycle classification, charged by the engine's per-cycle loop. *)
 type bucket = Base | Frontend | Branch_squash | Memory | Structural
 

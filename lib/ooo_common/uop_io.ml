@@ -1,0 +1,60 @@
+(* Binary uop codec, shared by the engine checkpoint image and the
+   interval-sampling checkpoints. *)
+
+module Trace = Iss.Trace
+
+let fu_code = function
+  | Trace.FU_alu -> 0 | Trace.FU_mul -> 1 | Trace.FU_div -> 2
+  | Trace.FU_branch -> 3 | Trace.FU_load -> 4 | Trace.FU_store -> 5
+
+let fu_of_code = function
+  | 0 -> Trace.FU_alu | 1 -> Trace.FU_mul | 2 -> Trace.FU_div
+  | 3 -> Trace.FU_branch | 4 -> Trace.FU_load | 5 -> Trace.FU_store
+  | n -> raise (Bin.Corrupt (Printf.sprintf "bad fu code %d" n))
+
+let write b (u : Trace.uop) =
+  Bin.w_int b u.Trace.pc;
+  Bin.w_int b (fu_code u.Trace.fu);
+  Bin.w_int_array b u.Trace.srcs_dist;
+  Bin.w_int_array b u.Trace.srcs_reg;
+  Bin.w_int b u.Trace.dest_reg;
+  Bin.w_bool b u.Trace.has_dest;
+  Bin.w_bool b u.Trace.is_rmov;
+  Bin.w_bool b u.Trace.is_nop;
+  Bin.w_bool b u.Trace.is_spadd;
+  Bin.w_int b u.Trace.mem_addr;
+  match u.Trace.ctrl with
+  | Trace.Not_ctrl -> Bin.w_int b 0
+  | Trace.Cond { taken; target } ->
+    Bin.w_int b 1; Bin.w_bool b taken; Bin.w_int b target
+  | Trace.Uncond { target; is_call; is_ret } ->
+    Bin.w_int b 2; Bin.w_int b target; Bin.w_bool b is_call;
+    Bin.w_bool b is_ret
+
+let read r : Trace.uop =
+  let pc = Bin.r_int r in
+  let fu = fu_of_code (Bin.r_int r) in
+  let srcs_dist = Bin.r_int_array r in
+  let srcs_reg = Bin.r_int_array r in
+  let dest_reg = Bin.r_int r in
+  let has_dest = Bin.r_bool r in
+  let is_rmov = Bin.r_bool r in
+  let is_nop = Bin.r_bool r in
+  let is_spadd = Bin.r_bool r in
+  let mem_addr = Bin.r_int r in
+  let ctrl =
+    match Bin.r_int r with
+    | 0 -> Trace.Not_ctrl
+    | 1 ->
+      let taken = Bin.r_bool r in
+      let target = Bin.r_int r in
+      Trace.Cond { taken; target }
+    | 2 ->
+      let target = Bin.r_int r in
+      let is_call = Bin.r_bool r in
+      let is_ret = Bin.r_bool r in
+      Trace.Uncond { target; is_call; is_ret }
+    | n -> raise (Bin.Corrupt (Printf.sprintf "bad ctrl tag %d" n))
+  in
+  { Trace.pc; fu; srcs_dist; srcs_reg; dest_reg; has_dest; is_rmov; is_nop;
+    is_spadd; mem_addr; ctrl }

@@ -1,0 +1,11 @@
+(** Binary serialization of {!Iss.Trace.uop} values, shared between the
+    engine checkpoint image and the interval-sampling checkpoints. *)
+
+val fu_code : Iss.Trace.fu_class -> int
+val fu_of_code : int -> Iss.Trace.fu_class
+(** @raise Bin.Corrupt on an unknown code. *)
+
+val write : Buffer.t -> Iss.Trace.uop -> unit
+
+val read : Bin.reader -> Iss.Trace.uop
+(** @raise Bin.Corrupt on malformed input. *)

@@ -1,0 +1,43 @@
+(* Functional warming: train caches, the branch predictor and the RAS
+   from the ISS retirement stream without timing anything.  See warm.mli
+   for the handoff contract. *)
+
+module Trace = Iss.Trace
+
+type t = {
+  hier : Cache.hierarchy;
+  pred : Branch_pred.t;
+  ras : Branch_pred.Ras.t;
+  mutable observed : int;
+}
+
+let create (p : Params.t) : t =
+  { hier = Cache.create_hierarchy p;
+    pred = Branch_pred.make p.predictor;
+    ras = Branch_pred.Ras.create ();
+    observed = 0 }
+
+let observe t (u : Trace.uop) =
+  t.observed <- t.observed + 1;
+  Cache.warm_inst t.hier u.Trace.pc;
+  (match u.Trace.fu with
+   | Trace.FU_load | Trace.FU_store -> Cache.warm_data t.hier u.Trace.mem_addr
+   | _ -> ());
+  match u.Trace.ctrl with
+  | Trace.Not_ctrl -> ()
+  | Trace.Cond { taken; _ } -> t.pred.Branch_pred.update u.Trace.pc taken
+  | Trace.Uncond { is_call; is_ret; _ } ->
+    if is_call then Branch_pred.Ras.push t.ras (u.Trace.pc + 4);
+    if is_ret then ignore (Branch_pred.Ras.pop t.ras)
+
+let save b t =
+  Cache.save_hierarchy b t.hier;
+  t.pred.Branch_pred.save b;
+  Branch_pred.Ras.save_full b t.ras;
+  Bin.w_int b t.observed
+
+let load r t =
+  Cache.load_hierarchy r t.hier;
+  t.pred.Branch_pred.load r;
+  Branch_pred.Ras.load_full r t.ras;
+  t.observed <- Bin.r_int r

@@ -1,0 +1,38 @@
+(** Functional warming for fast-forward and interval sampling.
+
+    A [Warm.t] bundles the microarchitectural state the detailed model
+    cares about across a region boundary — the cache hierarchy, the
+    branch direction predictor and the return-address stack — and trains
+    all three from the ISS retirement stream at functional-simulation
+    speed.  Handing the bundle to {!Engine.create} via [?warm] starts
+    detailed simulation with the tables in the state a full detailed run
+    would have left them, which is what makes mid-trace measurement
+    intervals meaningful (the SMARTS/Sniper "functional warming" move).
+
+    The memory-dependence predictor is deliberately not warmed: it
+    trains on timing violations, which functional simulation cannot
+    observe, so a cold [Memdep] is the faithful handoff state. *)
+
+type t = {
+  hier : Cache.hierarchy;
+  pred : Branch_pred.t;
+  ras : Branch_pred.Ras.t;
+  mutable observed : int;  (** retired instructions replayed so far *)
+}
+
+val create : Params.t -> t
+(** Fresh, cold state for the given machine configuration. *)
+
+val observe : t -> Iss.Trace.uop -> unit
+(** Replay one retired instruction: touch the instruction path at its
+    pc, the data path at its memory address (loads and stores), train
+    the direction predictor on conditional outcomes, and push/pop the
+    RAS on calls/returns — the same training the detailed engine applies
+    on the correct path, minus all timing. *)
+
+val save : Buffer.t -> t -> unit
+(** Serialize the warmed tables (checkpoint "warmed-state" sections). *)
+
+val load : Bin.reader -> t -> unit
+(** Inverse of {!save} into a freshly [create]d bundle of the same
+    configuration.  @raise Bin.Corrupt on malformed input. *)

@@ -98,6 +98,44 @@ let start ?(max_insns = 50_000_000) ?(check = true) ?(max_dist = Isa.max_dist)
   in
   { engine; run_info = r }
 
+(* [start_region ~from ?len] fast-forwards functionally over the first
+   [from] retirements — warming caches/predictors along the way unless
+   [warm] is false — and stands up the timing model over the next [len]
+   retirements only (to the end of the program when [len] is omitted).
+   The engine starts at cycle 0 on the sub-trace: RP operands whose
+   producers precede the region resolve as already-committed, exactly as
+   they would mid-flight. *)
+let start_region ?(max_insns = 50_000_000) ?(check = true)
+    ?(max_dist = Isa.max_dist) ?(warm = true) ~(from : int) ?len
+    (params : Ooo_common.Params.t) (image : Image.t) : session =
+  let stop = match len with None -> max_int | Some l -> from + l in
+  let w = if warm then Some (Ooo_common.Warm.create params) else None in
+  let buf = ref [] in
+  let on_retire idx u =
+    if idx < from then
+      (match w with Some w -> Ooo_common.Warm.observe w u | None -> ())
+    else if idx < stop then buf := u :: !buf
+  in
+  let s =
+    Iss.Straight_iss.start
+      ~config:{ Iss.Straight_iss.collect_trace = false;
+                collect_dist = false; max_insns }
+      ~on_retire image
+  in
+  Iss.Straight_iss.run_session ~until:stop s;
+  let r0 = Iss.Straight_iss.finish s in
+  let r = { r0 with Trace.trace = Array.of_list (List.rev !buf) } in
+  if Array.length r.Trace.trace = 0 then
+    Diag.error Diag.Config_error
+      "region start %d is past the end of the run (%d retired)" from
+      r.Trace.retired;
+  let checker = make_checker ~check ~max_dist params r in
+  let engine =
+    Ooo_common.Engine.create params ~trace:r.Trace.trace
+      ~decode_static:(static_uop image) ?checker ?warm:w ()
+  in
+  { engine; run_info = r }
+
 let resume ?(max_insns = 50_000_000) ?(check = true) ?(max_dist = Isa.max_dist)
     (params : Ooo_common.Params.t) (image : Image.t)
     (reader : Ooo_common.Bin.reader) : session =

@@ -31,6 +31,20 @@ val start :
     Advance with {!Ooo_common.Engine.step} until
     {!Ooo_common.Engine.finished}, then call {!finish}. *)
 
+val start_region :
+  ?max_insns:int -> ?check:bool -> ?max_dist:int -> ?warm:bool ->
+  from:int -> ?len:int ->
+  Ooo_common.Params.t -> Assembler.Image.t -> session
+(** Fast-forward: run the functional simulator over the first [from]
+    retirements at full speed — functionally warming the caches, branch
+    predictor and RAS unless [warm] is [false] — then stand up the
+    timing model over the next [len] retirements only (to the end of the
+    program when omitted), with the warmed tables handed to the engine.
+    [run_info.trace] holds just the region's uops; the lockstep checker
+    (when [check]) validates the region commit stream against it.
+    @raise Diag.Error code [Config_error] when [from] is at or past the
+    end of the program. *)
+
 val resume :
   ?max_insns:int -> ?check:bool -> ?max_dist:int ->
   Ooo_common.Params.t -> Assembler.Image.t ->

@@ -5,10 +5,19 @@
 module Bin = Ooo_common.Bin
 
 let magic = "STR8SNAP"
-let version = 1
+
+(* v2 added the [kind] discriminator (engine image vs. sampling-interval
+   checkpoint); v1 files are rejected with a version message. *)
+let version = 2
 let header_len = 24
 
+(* What the payload after the meta section holds. *)
+type kind =
+  | Engine_image
+  | Interval of { index : int; start : int; len : int; warmup : int }
+
 type meta = {
+  kind : kind;
   target : string;
   params_json : string;
   workload_name : string;
@@ -26,6 +35,14 @@ type meta = {
 }
 
 let w_meta b (m : meta) =
+  (match m.kind with
+   | Engine_image -> Bin.w_int b 0
+   | Interval { index; start; len; warmup } ->
+     Bin.w_int b 1;
+     Bin.w_int b index;
+     Bin.w_int b start;
+     Bin.w_int b len;
+     Bin.w_int b warmup);
   Bin.w_string b m.target;
   Bin.w_string b m.params_json;
   Bin.w_string b m.workload_name;
@@ -42,6 +59,17 @@ let w_meta b (m : meta) =
   Bin.w_int_array b m.dist_histogram
 
 let r_meta r : meta =
+  let kind =
+    match Bin.r_int r with
+    | 0 -> Engine_image
+    | 1 ->
+      let index = Bin.r_int r in
+      let start = Bin.r_int r in
+      let len = Bin.r_int r in
+      let warmup = Bin.r_int r in
+      Interval { index; start; len; warmup }
+    | n -> raise (Bin.Corrupt (Printf.sprintf "bad snapshot kind %d" n))
+  in
   let target = Bin.r_string r in
   let params_json = Bin.r_string r in
   let workload_name = Bin.r_string r in
@@ -56,9 +84,9 @@ let r_meta r : meta =
   let output = Bin.r_string r in
   let retired = Bin.r_int r in
   let dist_histogram = Bin.r_int_array r in
-  { target; params_json; workload_name; workload_source; workload_iterations;
-    max_insns; max_dist; check; cycle; committed; trace_digest; output;
-    retired; dist_histogram }
+  { kind; target; params_json; workload_name; workload_source;
+    workload_iterations; max_insns; max_dist; check; cycle; committed;
+    trace_digest; output; retired; dist_histogram }
 
 (* little-endian fixed-width header fields *)
 let put_le b n width =
@@ -81,10 +109,11 @@ let reject path fmt =
          Diag.Snapshot_error "cannot restore checkpoint %s: %s" path reason)
     fmt
 
-let save path (m : meta) ~(engine : string) =
-  let payload = Buffer.create (String.length engine + 4096) in
+let save path (m : meta) ~(payload : string) =
+  let body = payload in
+  let payload = Buffer.create (String.length body + 4096) in
   w_meta payload m;
-  Buffer.add_string payload engine;
+  Buffer.add_string payload body;
   let payload = Buffer.contents payload in
   let hdr = Buffer.create header_len in
   Buffer.add_string hdr magic;

@@ -25,9 +25,25 @@
     context naming the file and the reason. *)
 
 val magic : string
+
 val version : int
+(** Container version 2: v2 added {!meta.kind} (engine image vs.
+    sampling-interval checkpoint); v1 files are rejected. *)
+
+(** What the payload after the meta section holds. *)
+type kind =
+  | Engine_image
+      (** a full engine image ({!Ooo_common.Engine.save}) — the
+          crash-recovery checkpoints of {!Sim} *)
+  | Interval of { index : int; start : int; len : int; warmup : int }
+      (** a sampling-interval checkpoint ([lib/sample]): warmed
+          microarchitectural state at retirement [start - warmup], then
+          the region's uop sub-trace.  [start]/[len] are in retired
+          instructions of the measured interval proper; [index] is the
+          interval's ordinal in the sampling plan. *)
 
 type meta = {
+  kind : kind;
   target : string;              (** [Experiment.target_label] *)
   params_json : string;         (** compact [Params.to_json] rendering *)
   workload_name : string;
@@ -44,12 +60,13 @@ type meta = {
   dist_histogram : int array;
 }
 
-val save : string -> meta -> engine:string -> unit
-(** [save path meta ~engine] atomically writes the container.
+val save : string -> meta -> payload:string -> unit
+(** [save path meta ~payload] atomically writes the container; the
+    payload's shape is named by [meta.kind].
     @raise Sys_error when the destination is not writable. *)
 
 val load : string -> meta * Ooo_common.Bin.reader
 (** Validate the container and decode the meta section.  The returned
-    reader is positioned at the engine image; the caller consumes it
-    (and should [expect_end] it).
+    reader is positioned at the kind-specific payload; the caller
+    consumes it (and should [expect_end] it).
     @raise Diag.Error code [Snapshot_error] on any invalid container. *)

@@ -65,7 +65,8 @@ let cycle s = Engine.cycle s.engine
 (* ---------- save ---------- *)
 
 let meta_of (s : session) : File.meta =
-  { File.target = Exp.target_label s.spec.target;
+  { File.kind = File.Engine_image;
+    target = Exp.target_label s.spec.target;
     params_json = Json.to_string ~indent:false (Params.to_json s.spec.params);
     workload_name = s.spec.workload.Workloads.name;
     workload_source = s.spec.workload.Workloads.source;
@@ -83,7 +84,7 @@ let meta_of (s : session) : File.meta =
 let save (s : session) path =
   let b = Buffer.create 65536 in
   Engine.save b s.engine;
-  File.save path (meta_of s) ~engine:(Buffer.contents b)
+  File.save path (meta_of s) ~payload:(Buffer.contents b)
 
 (* ---------- restore ---------- *)
 
@@ -118,6 +119,12 @@ let spec_of_meta path (m : File.meta) : spec =
     check = m.File.check }
 
 let restore_meta path (m : File.meta) (r : Bin.reader) : session =
+  (match m.File.kind with
+   | File.Engine_image -> ()
+   | File.Interval _ ->
+     reject path
+       "this is a sampling-interval checkpoint, not an engine image \
+        (use straightsim -sample to consume it)");
   let s = spec_of_meta path m in
   let image = compile s in
   let session =

@@ -30,6 +30,16 @@ val spec :
 (** Defaults mirror [Experiment.run]: 50M instruction budget, Table-I
     max distance, checker on. *)
 
+val compile : spec -> Assembler.Image.t
+(** Compile the spec's workload for its target (shared with the
+    interval sampler, which needs the image for wrong-path decode). *)
+
+val spec_of_meta : string -> File.meta -> spec
+(** Decode the spec embedded in a checkpoint's meta section; the string
+    is the file path, used only for error context.
+    @raise Diag.Error code [Snapshot_error] on an unknown target label
+    or malformed model JSON. *)
+
 type session
 
 val start : spec -> session

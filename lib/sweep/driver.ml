@@ -68,15 +68,18 @@ let sweep ?(procs = 0) ?(timeout = 600.) ?(retries = 1)
   in
   if Array.length todo > 0 then begin
     if procs <= 0 then
-      Array.iter (fun i -> finish i (Runner.run points.(i))) todo
+      Array.iter
+        (fun i -> finish i (Runner.run ~sample_store:cache_dir points.(i)))
+        todo
     else begin
       ensure_dir ckpt_dir;
       let worker j =
         let i = todo.(j) in
         let r =
           if checkpoint_every > 0 then
-            Runner.run ~checkpoint:(ckpt_path i) ~checkpoint_every points.(i)
-          else Runner.run points.(i)
+            Runner.run ~checkpoint:(ckpt_path i) ~checkpoint_every
+              ~sample_store:cache_dir points.(i)
+          else Runner.run ~sample_store:cache_dir points.(i)
         in
         J.to_string ~indent:false (Runner.to_json r)
       in
@@ -133,6 +136,11 @@ let spec_to_json (s : Grid.spec) : J.t =
             s.Grid.predictors));
       ("ideal", J.List (List.map (fun b -> J.Bool b) s.Grid.ideal));
       ("workloads", J.List (List.map (fun w -> J.Str w) s.Grid.workloads));
+      ("samples",
+       J.List
+         (List.map
+            (function None -> J.Null | Some sp -> Sample.Spec.to_json sp)
+            s.Grid.samples));
       ("quick", J.Bool s.Grid.quick) ]
 
 let to_json (spec : Grid.spec) (s : summary) (records : Runner.record list) :

@@ -31,6 +31,7 @@ type spec = {
   predictors : Params.predictor_kind list;
   ideal : bool list;
   workloads : string list;
+  samples : Sample.Spec.t option list;
   quick : bool;
 }
 
@@ -40,6 +41,7 @@ type point = {
   workload : Workloads.t;
   machine : machine;
   width : int;
+  sample : Sample.Spec.t option;
 }
 
 (* ---------- workload axis ---------- *)
@@ -125,7 +127,7 @@ let apply_sched sched (p : Params.t) =
     { p with Params.scheduler_entries = n;
       name = Printf.sprintf "%s-sched%d" p.Params.name n }
 
-let point_of ~quick machine width rob sched predictor ideal wname =
+let point_of ~quick machine width rob sched predictor ideal sample wname =
   let straight =
     match machine with Ss | Ss_ckpt _ -> false | Straight_raw | Straight_re -> true
   in
@@ -143,7 +145,8 @@ let point_of ~quick machine width rob sched predictor ideal wname =
     | Straight_raw -> Exp.Straight_raw
     | Straight_re -> Exp.Straight_re
   in
-  { params = p; target; workload = workload ~quick wname; machine; width }
+  { params = p; target; workload = workload ~quick wname; machine; width;
+    sample }
 
 let expand (s : spec) : point list =
   List.concat_map
@@ -158,10 +161,13 @@ let expand (s : spec) : point list =
                         (fun predictor ->
                            List.concat_map
                              (fun ideal ->
-                                List.map
-                                  (point_of ~quick:s.quick machine width rob
-                                     sched predictor ideal)
-                                  s.workloads)
+                                List.concat_map
+                                  (fun sample ->
+                                     List.map
+                                       (point_of ~quick:s.quick machine width
+                                          rob sched predictor ideal sample)
+                                       s.workloads)
+                                  s.samples)
                              s.ideal)
                         s.predictors)
                    s.scheds)
@@ -179,6 +185,7 @@ let default ~quick =
     predictors = [ Params.Gshare; Params.Tage ];
     ideal = [ false; true ];
     workloads = [ "dhrystone"; "coremark" ];
+    samples = [ None ];
     quick }
 
 let smoke =
@@ -189,6 +196,7 @@ let smoke =
     predictors = [ Params.Gshare ];
     ideal = [ false ];
     workloads = [ "fib"; "quicksort" ];
+    samples = [ None ];
     quick = true }
 
 (* The pinned regression grid: quick sizes so `dune runtest` stays
@@ -202,4 +210,5 @@ let golden =
     predictors = [ Params.Gshare ];
     ideal = [ false ];
     workloads = [ "fib"; "quicksort"; "pointer_chase" ];
+    samples = [ None ];
     quick = true }

@@ -29,6 +29,10 @@ type spec = {
   predictors : Ooo_common.Params.predictor_kind list;
   ideal : bool list;          (** Fig. 13 zero-penalty recovery knob *)
   workloads : string list;    (** resolved by {!workload} *)
+  samples : Sample.Spec.t option list;
+      (** simulation-fidelity axis: [None] simulates the point exactly;
+          [Some spec] runs it through the interval sampler, so long
+          workloads compose with the rest of the grid *)
   quick : bool;               (** smaller iteration counts *)
 }
 
@@ -38,6 +42,7 @@ type point = {
   workload : Workloads.t;
   machine : machine;
   width : int;
+  sample : Sample.Spec.t option;
 }
 
 val workload_names : string list

@@ -25,6 +25,9 @@ type record = {
   cpi : Stats.cpi_stack;
   host_seconds : float;
   cached : bool;
+  sample : Sample.Spec.t option;
+  sample_ci95 : float;
+  sample_intervals : int;
 }
 
 (* With [checkpoint], the point runs under the snapshot driver: resume
@@ -34,7 +37,79 @@ type record = {
    different inputs — possible only if the caller keyed the path wrong,
    since cache keys cover params, workload, and code digest) is deleted
    and the point starts clean rather than wedging every retry. *)
-let run ?checkpoint ?(checkpoint_every = 20_000) (pt : Grid.point) : record =
+let cpi_zero =
+  { Stats.base = 0; frontend = 0; branch_squash = 0; memory = 0;
+    structural = 0 }
+
+let base_record (pt : Grid.point) : record =
+  let p = pt.Grid.params in
+  { model = p.Params.name;
+    target = Exp.target_label pt.Grid.target;
+    workload = pt.Grid.workload.Workloads.name;
+    iterations = pt.Grid.workload.Workloads.iterations;
+    machine = Grid.machine_label pt.Grid.machine;
+    width = pt.Grid.width;
+    rob = p.Params.rob_entries;
+    sched = p.Params.scheduler_entries;
+    predictor = Params.predictor_name p.Params.predictor;
+    ideal = p.Params.ideal_recovery;
+    params_hash = Params.digest p;
+    cycles = 0;
+    committed = 0;
+    ipc = 0.;
+    branch_mispredicts = 0;
+    cpi = cpi_zero;
+    host_seconds = 0.;
+    cached = false;
+    sample = None;
+    sample_ci95 = 0.;
+    sample_intervals = 0 }
+
+(* A sampled point: materialize (or hit) the interval store under
+   [sample_store], simulate every interval sequentially in this worker,
+   recombine.  Whole-run cycles are the extrapolated estimate; the CPI
+   stack is the recombined per-instruction stack scaled back to cycles.
+   Branch-mispredict counts are not collected per interval, so sampled
+   records report 0 there. *)
+let run_sampled ~sample_store (sp : Sample.Spec.t) (pt : Grid.point) : record =
+  let t0 = Unix.gettimeofday () in
+  let spec =
+    Snapshot.Sim.spec ~model:pt.Grid.params ~target:pt.Grid.target
+      pt.Grid.workload
+  in
+  let plan, _cached = Sample.Interval.materialize ~dir:sample_store spec sp in
+  let results =
+    List.map
+      (fun (e : Sample.Interval.entry) ->
+         Sample.Interval.run_file e.Sample.Interval.path)
+      plan.Sample.Interval.entries
+  in
+  let total_insns = plan.Sample.Interval.total_retired in
+  let est = Sample.Recombine.recombine ~total_insns results in
+  let scale v = int_of_float (Float.round (v *. float_of_int total_insns)) in
+  let cpi =
+    match est.Sample.Recombine.stack with
+    | [ ("base", b); ("frontend", f); ("branch_squash", bs); ("memory", m);
+        ("structural", s) ] ->
+      { Stats.base = scale b; frontend = scale f; branch_squash = scale bs;
+        memory = scale m; structural = scale s }
+    | _ -> cpi_zero
+  in
+  { (base_record pt) with
+    cycles = scale est.Sample.Recombine.cpi;
+    committed = total_insns;
+    ipc = 1.0 /. est.Sample.Recombine.cpi;
+    cpi;
+    host_seconds = Unix.gettimeofday () -. t0;
+    sample = Some sp;
+    sample_ci95 = est.Sample.Recombine.ci95;
+    sample_intervals = est.Sample.Recombine.intervals }
+
+let run ?checkpoint ?(checkpoint_every = 20_000) ?(sample_store = "_sweep")
+    (pt : Grid.point) : record =
+  match pt.Grid.sample with
+  | Some sp -> run_sampled ~sample_store sp pt
+  | None ->
   let p = pt.Grid.params in
   let t0 = Unix.gettimeofday () in
   let r =
@@ -82,11 +157,14 @@ let run ?checkpoint ?(checkpoint_every = 20_000) (pt : Grid.point) : record =
     branch_mispredicts = r.Exp.stats.Engine.branch_mispredicts;
     cpi = r.Exp.stats.Engine.cpi_stack;
     host_seconds;
-    cached = false }
+    cached = false;
+    sample = None;
+    sample_ci95 = 0.;
+    sample_intervals = 0 }
 
 let to_json (r : record) : J.t =
   J.Obj
-    [ ("model", J.Str r.model);
+    ([ ("model", J.Str r.model);
       ("target", J.Str r.target);
       ("workload", J.Str r.workload);
       ("iterations", J.Int r.iterations);
@@ -104,6 +182,13 @@ let to_json (r : record) : J.t =
       ("cpi_stack", Stats.cpi_to_json r.cpi);
       ("host_seconds", J.Float r.host_seconds);
       ("cached", J.Bool r.cached) ]
+     @
+     (match r.sample with
+      | None -> []
+      | Some sp ->
+        [ ("sample", Sample.Spec.to_json sp);
+          ("sample_ci95", J.Float r.sample_ci95);
+          ("sample_intervals", J.Int r.sample_intervals) ]))
 
 let jfail fmt = Printf.ksprintf (fun m -> raise (Params.Json_error m)) fmt
 
@@ -155,9 +240,29 @@ let of_json (j : J.t) : record =
     branch_mispredicts = jint "branch_mispredicts" j;
     cpi;
     host_seconds = jfloat "host_seconds" j;
-    cached = jbool "cached" j }
+    cached = jbool "cached" j;
+    sample =
+      (match J.member "sample" j with
+       | None -> None
+       | Some sj ->
+         (try Some (Sample.Spec.of_json sj)
+          with Sample.Spec.Parse_error m ->
+            jfail "sweep record: bad sample spec: %s" m));
+    sample_ci95 =
+      (match J.get_float (J.member "sample_ci95" j) with
+       | Some f -> f
+       | None -> 0.);
+    sample_intervals =
+      (match J.get_int (J.member "sample_intervals" j) with
+       | Some n -> n
+       | None -> 0) }
+
+let sample_label (r : record) =
+  match r.sample with None -> "" | Some sp -> Sample.Spec.to_string sp
 
 let compare_order (a : record) (b : record) =
   compare
-    (a.workload, a.machine, a.width, a.predictor, a.ideal, a.rob, a.sched)
-    (b.workload, b.machine, b.width, b.predictor, b.ideal, b.rob, b.sched)
+    (a.workload, a.machine, a.width, a.predictor, a.ideal, a.rob, a.sched,
+     sample_label a)
+    (b.workload, b.machine, b.width, b.predictor, b.ideal, b.rob, b.sched,
+     sample_label b)

@@ -11,12 +11,15 @@ let key (pt : Grid.point) : string =
   let w = pt.Grid.workload in
   let manifest =
     String.concat "\n"
-      [ "straight-sweep-key/1";
+      [ "straight-sweep-key/2";
         Params.digest pt.Grid.params;
         Straight_core.Experiment.target_label pt.Grid.target;
         w.Workloads.name;
         string_of_int w.Workloads.iterations;
         Digest.to_hex (Digest.string w.Workloads.source);
+        (match pt.Grid.sample with
+         | None -> "exact"
+         | Some sp -> Sample.Spec.to_string sp);
         code_digest () ]
   in
   Digest.to_hex (Digest.string manifest)

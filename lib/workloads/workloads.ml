@@ -417,6 +417,43 @@ int main() {
 |}
     n_nodes n_nodes n_hops
 
+(* STREAM-like phased loop kernel, sized by its outer iteration count.
+   Each outer iteration runs four phases with different bottlenecks —
+   copy, scale, reduce, triad (plus a strided pass that defeats the
+   prefetcher) — so the CPI varies phase to phase, which is what makes
+   it the interval-sampling showcase: one outer iteration retires
+   ~100k instructions, so iterations=100 reaches the ~10M-instruction
+   scale that only completes under -sample. *)
+let stream_source n_iters =
+  Printf.sprintf
+    {|
+int a[4096];
+int b[4096];
+int c[4096];
+int main() {
+  int n = 4096;
+  for (int i = 0; i < n; i++) { a[i] = i; b[i] = 2 * i + 1; c[i] = 0; }
+  int checksum = 0;
+  for (int it = 0; it < %d; it++) {
+    // phase 1: copy
+    for (int i = 0; i < n; i++) c[i] = a[i];
+    // phase 2: scale
+    for (int i = 0; i < n; i++) b[i] = 3 * c[i] + it;
+    // phase 3: reduce (loop-carried dependence)
+    int s = 0;
+    for (int i = 0; i < n; i++) s += a[i] + b[i];
+    // phase 4: triad
+    for (int i = 0; i < n; i++) a[i] = b[i] + 2 * c[i];
+    // phase 5: strided gather (defeats the stream prefetcher)
+    int p = it & 1023;
+    for (int i = 0; i < n; i += 4) { p = (p + 1667) & 4095; s += a[p]; }
+    checksum += s & 0xFFFF;
+  }
+  putint(checksum);
+}
+|}
+    n_iters
+
 let dhrystone ?(iterations = 300) () =
   { name = "dhrystone"; source = dhrystone_source iterations; iterations }
 
@@ -434,5 +471,8 @@ let pointer_chase ?(nodes = 8192) ?(hops = 20000) () =
   { name = "pointer_chase";
     source = pointer_chase_source nodes hops;
     iterations = 1 }
+
+let stream ?(iterations = 100) () =
+  { name = "stream"; source = stream_source iterations; iterations }
 
 let all_benchmarks () = [ dhrystone (); coremark () ]

@@ -37,5 +37,12 @@ val pointer_chase : ?nodes:int -> ?hops:int -> unit -> t
 (** Large-stride pointer chasing: defeats the stream prefetcher and
     exercises the cache hierarchy. *)
 
+val stream : ?iterations:int -> unit -> t
+(** STREAM-like phased loop kernel (copy / scale / reduce / triad /
+    strided gather) whose CPI varies phase to phase — the long-workload
+    showcase for interval sampling.  One outer iteration retires
+    ~100k instructions; the default 100 iterations reach the
+    ~10M-instruction scale that only completes under [-sample]. *)
+
 val all_benchmarks : unit -> t list
 (** The two paper benchmarks. *)

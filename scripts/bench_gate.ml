@@ -58,6 +58,34 @@ let khz e =
   | Some f -> f
   | None -> need_float "khz_median" e
 
+(* On GitHub Actions, mirror the comparison table onto the run's summary
+   page ($GITHUB_STEP_SUMMARY is a file path; appending markdown to it
+   renders on the workflow run).  A no-op everywhere else. *)
+let write_step_summary ~rows ~failures =
+  match Sys.getenv_opt "GITHUB_STEP_SUMMARY" with
+  | None | Some "" -> ()
+  | Some path ->
+    (* Entry keys are "model|target|workload"; a raw '|' splits a
+       markdown table cell even inside a code span, so escape it. *)
+    let escape_pipes s =
+      String.concat "\\|" (String.split_on_char '|' s)
+    in
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    output_string oc "### Perf gate\n\n";
+    output_string oc
+      "| entry | base kc/s | fresh kc/s | speed | IPC drift |\n\
+       |---|---:|---:|---:|---:|\n";
+    List.iter
+      (fun (key, b_khz, f_khz, speed, drift) ->
+         Printf.fprintf oc "| `%s` | %.1f | %.1f | %.2fx | %+.3f%% |\n"
+           (escape_pipes key) b_khz f_khz speed (100.0 *. drift))
+      (List.rev rows);
+    if failures > 0 then
+      Printf.fprintf oc "\n**FAIL** — %d regression(s); see the job log.\n"
+        failures
+    else output_string oc "\nOK — no regressions.\n";
+    close_out oc
+
 let () =
   let baseline_path = ref "BENCH_baseline.json" in
   let fresh_path = ref "bench.json" in
@@ -72,6 +100,7 @@ let () =
   let fresh_tbl = Hashtbl.create 16 in
   List.iter (fun e -> Hashtbl.replace fresh_tbl (entry_key e) e) fresh_entries;
   let failures = ref 0 in
+  let rows = ref [] in
   let fail fmt =
     Printf.ksprintf (fun m -> incr failures; Printf.printf "FAIL  %s\n" m) fmt
   in
@@ -93,6 +122,7 @@ let () =
          let drift = (f_ipc -. b_ipc) /. b_ipc in
          Printf.printf "%-42s %10.1f %10.1f %7.2fx %8.3f%%\n" key b_khz f_khz
            speed (100.0 *. drift);
+         rows := (key, b_khz, f_khz, speed, drift) :: !rows;
          if speed < 1.0 -. thr_tolerance then
            fail "%s: host throughput regressed %.1f%% (%.1f -> %.1f kc/s)"
              key (100.0 *. (1.0 -. speed)) b_khz f_khz;
@@ -106,6 +136,7 @@ let () =
        if not (List.exists (fun be -> entry_key be = key) base_entries) then
          Printf.printf "NOTE  %s: new entry (not in baseline)\n" key)
     fresh_entries;
+  write_step_summary ~rows:!rows ~failures:!failures;
   if !failures > 0 then begin
     Printf.printf "bench_gate: %d failure(s)\n" !failures;
     exit 1

@@ -271,7 +271,8 @@ let sweep_point () =
     target = Exp.Straight_re;
     workload = Workloads.iota ~n:40 ();
     machine = Sweep.Grid.Straight_re;
-    width = 2 }
+    width = 2;
+    sample = None }
 
 let scrub (r : Sweep.Runner.record) = { r with Sweep.Runner.host_seconds = 0. }
 

@@ -126,7 +126,8 @@ let sample_record () : Sweep.Runner.record =
     committed = 456; ipc = 3.7; branch_mispredicts = 8;
     cpi = { Stats.base = 100; frontend = 10; branch_squash = 5; memory = 6;
             structural = 2 };
-    host_seconds = 0.25; cached = false }
+    host_seconds = 0.25; cached = false; sample = None; sample_ci95 = 0.;
+    sample_intervals = 0 }
 
 let test_store () =
   let dir = tmpdir "straight-store" in
