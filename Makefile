@@ -1,5 +1,6 @@
 .PHONY: check build test bench bench-json bench-gate fuzz-smoke lint fmt \
-	sweep-quick sweep-smoke snapshot-smoke sample-smoke coverage clean
+	sweep-quick sweep-smoke snapshot-smoke sample-smoke daemon-smoke \
+	coverage clean
 
 check: build test
 
@@ -111,6 +112,14 @@ sample-smoke:
 	  -store $(SAMPLE_DIR) -sample-json $(SAMPLE_DIR)/sample-riscv.json \
 	  -sample-check
 	@echo "sample-smoke: sampled CPI within error bars on both pipelines"
+
+# Resident-daemon smoke (see EXPERIMENTS.md, "The resident daemon"):
+# start straightd on a scratch socket, drive the load generator twice
+# with an identical request mix, and require the warm run to be served
+# >= 90% from the memo cache plus a clean shutdown.  The
+# straightd-bench/1 reports land in _daemon_smoke/ for CI to archive.
+daemon-smoke:
+	sh scripts/daemon_smoke.sh
 
 # Line coverage for the test suite via bisect_ppx (not vendored: the
 # target is a no-op with a hint when the tooling is absent).  The HTML

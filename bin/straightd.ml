@@ -1,0 +1,69 @@
+(* straightd: the resident simulation service.
+
+     dune exec bin/straightd.exe -- [options]
+
+   Listens on a Unix-domain socket and speaks straightd-proto/1 (one
+   JSON object per line, see EXPERIMENTS.md): compile / simulate /
+   sample / sweep / status / shutdown.  Simulation points run on a
+   -j-bounded fork pool, results are memoized in the content-addressed
+   _sweep/ store, identical in-flight requests coalesce onto one job,
+   and progress streams back as event lines.  Runs in the foreground;
+   SIGINT/SIGTERM shut it down cleanly (workers dismissed, socket
+   unlinked).
+
+   Exit codes: 0 clean shutdown; 2 usage error; 10 service failure
+   (socket bind, daemon already running). *)
+
+let usage () =
+  prerr_endline
+    "usage: straightd [options]\n\
+     \  -socket PATH    listen path (default straightd.sock)\n\
+     \  -j N            concurrent simulation jobs (default: host cores)\n\
+     \  -cache-dir DIR  content-addressed result store (default _sweep)\n\
+     \  -timeout SEC    per-job budget before the worker is killed\n\
+     \                  (default 600)\n\
+     \  -quiet          no progress lines on stderr";
+  exit 2
+
+let () =
+  let socket = ref "straightd.sock" in
+  let procs = ref (Domain.recommended_domain_count ()) in
+  let cache_dir = ref "_sweep" in
+  let timeout = ref 600.0 in
+  let quiet = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "-socket" :: v :: rest ->
+      socket := v;
+      parse rest
+    | "-j" :: v :: rest ->
+      (match int_of_string_opt v with
+       | Some n when n >= 1 -> procs := n
+       | _ -> usage ());
+      parse rest
+    | "-cache-dir" :: v :: rest ->
+      cache_dir := v;
+      parse rest
+    | "-timeout" :: v :: rest ->
+      (match float_of_string_opt v with
+       | Some t when t > 0.0 -> timeout := t
+       | _ -> usage ());
+      parse rest
+    | "-quiet" :: rest ->
+      quiet := true;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let log =
+    if !quiet then fun _ -> ()
+    else fun m -> Printf.eprintf "straightd: %s\n%!" m
+  in
+  match
+    Service.Server.run ~socket_path:!socket ~procs:!procs
+      ~cache_dir:!cache_dir ~timeout_job:!timeout ~log ()
+  with
+  | () -> ()
+  | exception Diag.Error d ->
+    Printf.eprintf "straightd: %s\n%!" (Diag.to_string d);
+    exit (Diag.exit_code d.Diag.code)

@@ -20,6 +20,8 @@ type code =
   | Lint_finding
   | Config_error
   | Snapshot_error
+  | Proto_error
+  | Service_error
 
 let code_name = function
   | Lex_error -> "LEX_ERROR"
@@ -39,6 +41,8 @@ let code_name = function
   | Lint_finding -> "LINT_FINDING"
   | Config_error -> "CONFIG_ERROR"
   | Snapshot_error -> "SNAPSHOT_ERROR"
+  | Proto_error -> "PROTO_ERROR"
+  | Service_error -> "SERVICE_ERROR"
 
 (* Exit codes are grouped by failure class so scripts can branch on the
    kind of failure without parsing stderr; 1 is left to uncaught
@@ -53,6 +57,7 @@ let exit_code = function
   | Checker_divergence -> 7
   | Lint_finding -> 8
   | Snapshot_error -> 9
+  | Proto_error | Service_error -> 10
 
 type t = {
   code : code;

@@ -34,6 +34,10 @@ type code =
   | Config_error        (** invalid simulation configuration *)
   | Snapshot_error      (** checkpoint file corrupt / truncated /
                             version- or workload-mismatched *)
+  | Proto_error         (** malformed [straightd] daemon request /
+                            protocol violation on the wire *)
+  | Service_error       (** [straightd] daemon-level failure (socket
+                            bind, job scheduler, worker loss) *)
 
 val code_name : code -> string
 (** Stable upper-case identifier, e.g. ["SIM_DEADLOCK"]. *)
@@ -42,7 +46,8 @@ val exit_code : code -> int
 (** Process exit code for command-line drivers.  Distinct per failure
     class: 2 usage/config, 3 compile-family, 4 execution/memory faults,
     5 fuel exhaustion, 6 simulator deadlock, 7 checker divergence,
-    8 static-lint finding, 9 snapshot rejected. *)
+    8 static-lint finding, 9 snapshot rejected, 10 daemon
+    protocol/service failure. *)
 
 type t = {
   code : code;

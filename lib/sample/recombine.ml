@@ -16,6 +16,35 @@ type estimate = {
   host_seconds : float;
 }
 
+(* Per-bucket integer cycle sums recombined exactly like the total.
+   Bucket names are the union across every interval, in first-seen
+   order — taking them from the first interval alone dropped buckets
+   the first interval happened to lack, and a bare [List.assoc] raised
+   [Not_found] when a later interval lacked one; a missing bucket
+   simply contributes zero cycles. *)
+let merge_stacks ~measured_insns (stacks : (string * int) list list) :
+  (string * float) list =
+  let names =
+    List.fold_left
+      (fun acc stack ->
+         List.fold_left
+           (fun acc (name, _) ->
+              if List.mem name acc then acc else name :: acc)
+           acc stack)
+      [] stacks
+    |> List.rev
+  in
+  List.map
+    (fun name ->
+       let sum =
+         List.fold_left
+           (fun acc stack ->
+              acc + Option.value ~default:0 (List.assoc_opt name stack))
+           0 stacks
+       in
+       (name, float_of_int sum /. float_of_int measured_insns))
+    names
+
 let recombine ~total_insns (results : Interval.result list) : estimate =
   if results = [] then
     Diag.error Diag.Config_error "recombine: no interval results";
@@ -51,19 +80,8 @@ let recombine ~total_insns (results : Interval.result list) : estimate =
     end
   in
   let stack =
-    (* bucket names from any result; per-bucket integer cycle sums
-       recombined exactly like the total *)
-    let names = List.map fst (Stats.cpi_to_assoc (List.hd rs).Interval.r_cpi) in
-    List.map
-      (fun name ->
-         let sum =
-           List.fold_left
-             (fun acc r ->
-                acc + List.assoc name (Stats.cpi_to_assoc r.Interval.r_cpi))
-             0 rs
-         in
-         (name, float_of_int sum /. float_of_int measured_insns))
-      names
+    merge_stacks ~measured_insns
+      (List.map (fun r -> Stats.cpi_to_assoc r.Interval.r_cpi) rs)
   in
   { intervals = k;
     measured_insns;

@@ -24,6 +24,13 @@ type estimate = {
   host_seconds : float;       (** summed per-interval simulation time *)
 }
 
+val merge_stacks :
+  measured_insns:int -> (string * int) list list -> (string * float) list
+(** Recombine per-interval CPI-stack buckets into per-instruction
+    contributions.  Bucket names are the union across every interval in
+    first-seen order; an interval lacking a bucket contributes zero
+    cycles to it (it never raises, whatever the shape). *)
+
 val recombine : total_insns:int -> Interval.result list -> estimate
 (** Order-insensitive (results are sorted by interval index before any
     float accumulates).  @raise Diag.Error code [Config_error] on an

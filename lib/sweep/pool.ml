@@ -158,6 +158,19 @@ let run ~jobs ~(worker : int -> string) ~procs ?(timeout = 600.) ?(retries = 1)
     restore_signals ();
     raise (Interrupted signal)
   in
+  (* Every exit path — normal completion, Interrupted, or an exception
+     escaping a callback ([on_result]/[on_event] raising, a malformed
+     result line) — must dismiss the workers and restore the handlers:
+     a long-lived caller otherwise leaks child processes and keeps its
+     SIGINT/SIGTERM/SIGPIPE handlers hijacked.  The happy paths empty
+     [workers] themselves, so the [finally] is their no-op; on the
+     escape paths it SIGKILLs whatever is left. *)
+  Fun.protect
+    ~finally:(fun () ->
+        List.iter (fun w -> dismiss w ~kill:true) !workers;
+        workers := [];
+        restore_signals ())
+  @@ fun () ->
   for _ = 1 to procs do
     workers := spawn ~siblings:(sibling_fds !workers) worker :: !workers
   done;
@@ -230,13 +243,20 @@ let run ~jobs ~(worker : int -> string) ~procs ?(timeout = 600.) ?(retries = 1)
              | exception End_of_file ->
                ignore (replace w ~kill:true ~msg:"worker died")
              | line ->
-               w.current <- None;
+               (* [w.current] stays set until the line parses: a
+                  malformed reply (bad tag, non-numeric index) recycles
+                  both the worker and its in-flight job instead of
+                  losing the job or raising out of the loop *)
                (match String.split_on_char ' ' line with
-                | "ok" :: idx :: rest ->
+                | "ok" :: idx :: rest
+                  when int_of_string_opt idx <> None ->
+                  w.current <- None;
                   incr done_count;
                   on_result (int_of_string idx)
                     (Ok (String.concat " " rest))
-                | "err" :: idx :: rest ->
+                | "err" :: idx :: rest
+                  when int_of_string_opt idx <> None ->
+                  w.current <- None;
                   let msg = String.concat " " rest in
                   fail_or_retry (int_of_string idx)
                     (try Scanf.unescaped msg with _ -> msg)
@@ -265,4 +285,233 @@ let run ~jobs ~(worker : int -> string) ~procs ?(timeout = 600.) ?(retries = 1)
     (fun w -> try close_out w.job_w with Sys_error _ -> ())
     !workers;
   List.iter (fun w -> dismiss w ~kill:false) !workers;
+  workers := [];
   restore_signals ()
+
+(* ---------- persistent sessions (straightd) ---------- *)
+
+(* Same fork/pipe machinery as the batch [run], but jobs arrive over
+   time and carry their own payload (the batch protocol only ships an
+   index because the job list is fixed at fork time):
+
+     parent -> worker:  "<id> <payload>\n"
+     worker -> parent:  "ok <id> <payload>\n"  |  "err <id> <msg>\n"
+
+   No signal handling and no retries here: the resident daemon owns its
+   signals and decides retry policy per request. *)
+module Persistent = struct
+  type job = { id : int; payload : string }
+
+  type pworker = {
+    p_pid : int;
+    p_job_fd : Unix.file_descr;
+    p_job_w : out_channel;
+    p_res_fd : Unix.file_descr;
+    p_res_ic : in_channel;
+    mutable p_current : job option;
+    mutable p_started : float;
+  }
+
+  type t = {
+    n_procs : int;
+    work : string -> string;
+    at_fork : unit -> unit;
+    mutable pool : pworker list;
+    queue : job Queue.t;
+    mutable alive : bool;
+  }
+
+  let p_sibling_fds pool =
+    List.concat_map (fun w -> [ w.p_job_fd; w.p_res_fd ]) pool
+
+  let p_spawn t ~siblings : pworker =
+    let jr, jw = Unix.pipe ~cloexec:false () in
+    let rr, rw = Unix.pipe ~cloexec:false () in
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      Unix.close jw;
+      Unix.close rr;
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        siblings;
+      (* the daemon's graceful-shutdown choreography runs in the parent
+         only; workers die on the default disposition *)
+      (try Sys.set_signal Sys.sigint Sys.Signal_default
+       with Invalid_argument _ -> ());
+      (try Sys.set_signal Sys.sigterm Sys.Signal_default
+       with Invalid_argument _ -> ());
+      (try Sys.set_signal Sys.sigpipe Sys.Signal_default
+       with Invalid_argument _ -> ());
+      (* the caller's chance to drop inherited fds (listen socket,
+         client connections) so a worker never pins them open *)
+      (try t.at_fork () with _ -> ());
+      let ic = Unix.in_channel_of_descr jr in
+      let oc = Unix.out_channel_of_descr rw in
+      let rec loop () =
+        match input_line ic with
+        | exception End_of_file -> ()
+        | line ->
+          let reply =
+            match String.index_opt line ' ' with
+            | None -> Printf.sprintf "err 0 %s" (String.escaped "bad job line")
+            | Some sp ->
+              let id = String.sub line 0 sp in
+              let payload =
+                String.sub line (sp + 1) (String.length line - sp - 1)
+              in
+              (match t.work payload with
+               | result -> Printf.sprintf "ok %s %s" id (oneline result)
+               | exception e ->
+                 Printf.sprintf "err %s %s" id
+                   (String.escaped (Printexc.to_string e)))
+          in
+          output_string oc (reply ^ "\n");
+          flush oc;
+          loop ()
+      in
+      (try loop () with _ -> ());
+      Unix._exit 0
+    | pid ->
+      Unix.close jr;
+      Unix.close rw;
+      { p_pid = pid;
+        p_job_fd = jw;
+        p_job_w = Unix.out_channel_of_descr jw;
+        p_res_fd = rr;
+        p_res_ic = Unix.in_channel_of_descr rr;
+        p_current = None;
+        p_started = 0. }
+
+  let p_dismiss (w : pworker) ~kill =
+    if kill then
+      (try Unix.kill w.p_pid Sys.sigkill with Unix.Unix_error _ -> ());
+    (try close_out w.p_job_w with Sys_error _ -> ());
+    (try ignore (Unix.waitpid [] w.p_pid) with Unix.Unix_error _ -> ());
+    try close_in w.p_res_ic with Sys_error _ -> ()
+
+  let create ~procs ?(at_fork = fun () -> ()) ~(worker : string -> string) ()
+    : t =
+    let t =
+      { n_procs = max 1 procs;
+        work = worker;
+        at_fork;
+        pool = [];
+        queue = Queue.create ();
+        alive = true }
+    in
+    for _ = 1 to t.n_procs do
+      t.pool <- p_spawn t ~siblings:(p_sibling_fds t.pool) :: t.pool
+    done;
+    t
+
+  let procs t = t.n_procs
+  let running t = List.length (List.filter (fun w -> w.p_current <> None) t.pool)
+  let queued t = Queue.length t.queue
+
+  let result_fds t =
+    List.filter_map
+      (fun w -> if w.p_current <> None then Some w.p_res_fd else None)
+      t.pool
+
+  let p_replace t w : pworker =
+    p_dismiss w ~kill:true;
+    let rest = List.filter (fun x -> x.p_pid <> w.p_pid) t.pool in
+    let w' = p_spawn t ~siblings:(p_sibling_fds rest) in
+    t.pool <- w' :: rest;
+    w'
+
+  (* hand [j] to [w]; a dead worker is replaced and the job re-queued *)
+  let p_send t w (j : job) =
+    w.p_current <- Some j;
+    w.p_started <- Unix.gettimeofday ();
+    try
+      output_string w.p_job_w
+        (Printf.sprintf "%d %s\n" j.id (oneline j.payload));
+      flush w.p_job_w
+    with Sys_error _ ->
+      w.p_current <- None;
+      Queue.add j t.queue;
+      ignore (p_replace t w)
+
+  let dispatch t =
+    List.iter
+      (fun w ->
+         if w.p_current = None && not (Queue.is_empty t.queue) then
+           p_send t w (Queue.take t.queue))
+      t.pool
+
+  let submit t ~id payload =
+    if not t.alive then invalid_arg "Pool.Persistent.submit: pool is shut down";
+    Queue.add { id; payload } t.queue;
+    dispatch t
+
+  let poll ?(timeout_job = 0.) t : (int * (string, string) result) list =
+    let out = ref [] in
+    let busy = List.filter (fun w -> w.p_current <> None) t.pool in
+    if busy <> [] then begin
+      let readable = select_read (List.map (fun w -> w.p_res_fd) busy) 0. in
+      List.iter
+        (fun w ->
+           if List.mem w.p_res_fd readable then
+             match input_line w.p_res_ic with
+             | exception End_of_file ->
+               let j = w.p_current in
+               ignore (p_replace t w);
+               (match j with
+                | Some j -> out := (j.id, Error "worker died") :: !out
+                | None -> ())
+             | line ->
+               (match String.split_on_char ' ' line with
+                | "ok" :: id :: rest when int_of_string_opt id <> None ->
+                  w.p_current <- None;
+                  out :=
+                    (int_of_string id, Ok (String.concat " " rest)) :: !out
+                | "err" :: id :: rest when int_of_string_opt id <> None ->
+                  w.p_current <- None;
+                  let msg = String.concat " " rest in
+                  out :=
+                    (int_of_string id,
+                     Error (try Scanf.unescaped msg with _ -> msg))
+                    :: !out
+                | _ ->
+                  let j = w.p_current in
+                  ignore (p_replace t w);
+                  (match j with
+                   | Some j ->
+                     out :=
+                       (j.id, Error ("pool protocol violation: " ^ line))
+                       :: !out
+                   | None -> ())))
+        busy;
+      if timeout_job > 0. then begin
+        let now = Unix.gettimeofday () in
+        List.iter
+          (fun w ->
+             match w.p_current with
+             | Some j when now -. w.p_started > timeout_job ->
+               ignore (p_replace t w);
+               out :=
+                 (j.id,
+                  Error (Printf.sprintf "timeout after %.0fs" timeout_job))
+                 :: !out
+             | _ -> ())
+          t.pool
+      end
+    end;
+    dispatch t;
+    List.rev !out
+
+  let shutdown t =
+    if t.alive then begin
+      t.alive <- false;
+      (* idle workers get EOF and exit on their own; busy ones are
+         mid-simulation and get the axe *)
+      List.iter
+        (fun w -> p_dismiss w ~kill:(w.p_current <> None))
+        t.pool;
+      t.pool <- [];
+      Queue.clear t.queue
+    end
+end

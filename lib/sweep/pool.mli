@@ -29,7 +29,12 @@
     orphan processes), runs [on_interrupt] (the caller's chance to
     sweep temp files), restores the previous handlers, and raises
     {!Interrupted} with the signal number — partial results already
-    delivered through [on_result] remain valid. *)
+    delivered through [on_result] remain valid.
+
+    Cleanup is unconditional: whatever ends [run] — normal completion,
+    {!Interrupted}, or an exception escaping [on_result]/[on_event] —
+    every worker is dismissed and reaped and the previous signal
+    handlers are restored before the exception propagates. *)
 
 exception Interrupted of int
 (** Raised out of {!run} after a SIGINT/SIGTERM shutdown; carries the
@@ -63,3 +68,54 @@ val run :
     lines; the worker's return value is truncated at the first
     newline.
     @raise Interrupted on SIGINT/SIGTERM. *)
+
+(** Persistent worker sessions for long-running callers ([straightd]).
+
+    Unlike {!run}, jobs arrive over time and carry a string payload
+    (the batch protocol ships only an index because the job list is
+    fixed at fork time).  The pool installs no signal handlers and
+    never retries — a resident daemon owns its signals and decides
+    retry policy per request.  The caller should ignore SIGPIPE for
+    the session's lifetime (a worker dying between [submit] and the
+    pipe write would otherwise kill the parent); worker loss is
+    reported as an [Error] result and the worker respawned. *)
+module Persistent : sig
+  type t
+
+  val create :
+    procs:int ->
+    ?at_fork:(unit -> unit) ->
+    worker:(string -> string) ->
+    unit ->
+    t
+  (** Fork [max 1 procs] resident workers running [worker] per job.
+      [at_fork] runs in each child right after the fork (including
+      respawns) — the daemon's chance to close inherited fds (listen
+      socket, client connections) so a worker never pins them open. *)
+
+  val procs : t -> int
+
+  val running : t -> int
+  (** Workers with a job in flight. *)
+
+  val queued : t -> int
+  (** Submitted jobs not yet dispatched. *)
+
+  val result_fds : t -> Unix.file_descr list
+  (** Result-pipe fds of busy workers, for the caller's [select]. *)
+
+  val submit : t -> id:int -> string -> unit
+  (** Queue a job (payload truncated at the first newline) and dispatch
+      it if a worker is idle.  [id] tags the result in {!poll}.
+      @raise Invalid_argument after {!shutdown}. *)
+
+  val poll : ?timeout_job:float -> t -> (int * (string, string) result) list
+  (** Non-blocking: collect every finished job, respawn dead or
+      protocol-violating workers (their in-flight jobs come back as
+      [Error]), kill workers whose job ran past [timeout_job] seconds
+      (0 = no limit), then dispatch queued jobs onto idle workers. *)
+
+  val shutdown : t -> unit
+  (** Dismiss and reap every worker (idle ones exit on EOF, busy ones
+      are killed).  Idempotent. *)
+end

@@ -1,0 +1,84 @@
+#!/bin/sh
+# Daemon smoke: start straightd on a scratch socket + cache, drive the
+# load generator twice with the same request mix, and require
+#   - the cold run to complete with zero request errors,
+#   - the warm (identical) run to be served >= 90% from the memo cache,
+#   - a clean shutdown (daemon exit 0, socket unlinked).
+# The straightd-bench/1 reports land in _daemon_smoke/ for CI to
+# archive.  Run via `make daemon-smoke`.
+set -eu
+
+DIR=_daemon_smoke
+SOCK=$DIR/straightd.sock
+CACHE=$DIR/cache
+MIX="simulate:fib,simulate:iota,simulate:sort:straight-re,compile:dhrystone:straight-re,status"
+CLIENTS=8
+REQUESTS=10
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+# build once up front: the daemon runs in the background, so later dune
+# invocations would contend for the build lock
+dune build bin/straightd.exe bin/straightd_client.exe
+STRAIGHTD=_build/default/bin/straightd.exe
+CLIENT=_build/default/bin/straightd_client.exe
+
+"$STRAIGHTD" -socket "$SOCK" -j 4 -cache-dir "$CACHE" \
+  >"$DIR/daemon.log" 2>&1 &
+DPID=$!
+trap 'kill "$DPID" 2>/dev/null || true' EXIT
+
+# wait for the socket to come up
+i=0
+until [ -S "$SOCK" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "daemon-smoke: daemon never came up"; exit 1; }
+  kill -0 "$DPID" 2>/dev/null || {
+    echo "daemon-smoke: daemon died at startup"
+    cat "$DIR/daemon.log"
+    exit 1
+  }
+  sleep 0.1
+done
+
+echo "daemon-smoke: cold run ($CLIENTS clients x $REQUESTS requests)"
+"$CLIENT" -socket "$SOCK" -bench -clients "$CLIENTS" -requests "$REQUESTS" \
+  -mix "$MIX" -out "$DIR/bench-cold.json"
+
+echo "daemon-smoke: warm run (identical mix)"
+"$CLIENT" -socket "$SOCK" -bench -clients "$CLIENTS" -requests "$REQUESTS" \
+  -mix "$MIX" -out "$DIR/bench-warm.json"
+
+# the warm run must be served (almost) entirely from the memo cache
+awk -F': ' '/"cache_hit_rate"/ {
+  gsub(/[,"]/, "", $2)
+  rate = $2 + 0
+  printf "daemon-smoke: warm cache hit rate %.3f\n", rate
+  exit !(rate >= 0.90)
+}' "$DIR/bench-warm.json" || {
+  echo "daemon-smoke: warm hit rate below 0.90"
+  exit 1
+}
+
+"$CLIENT" -socket "$SOCK" -op status -quiet >"$DIR/status.json"
+
+echo "daemon-smoke: shutting down"
+"$CLIENT" -socket "$SOCK" -op shutdown -quiet >/dev/null
+
+i=0
+while kill -0 "$DPID" 2>/dev/null; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "daemon-smoke: daemon ignored shutdown"; exit 1; }
+  sleep 0.1
+done
+wait "$DPID" 2>/dev/null || {
+  echo "daemon-smoke: daemon exited non-zero"
+  cat "$DIR/daemon.log"
+  exit 1
+}
+trap - EXIT
+
+[ ! -e "$SOCK" ] || { echo "daemon-smoke: socket not unlinked"; exit 1; }
+
+echo "daemon-smoke: clean shutdown, warm mix served from cache"

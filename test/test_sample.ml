@@ -124,6 +124,35 @@ let test_recombine_exact_tiling () =
       [ mk_result 0 ~len:100 ~cycles:300 ] in
   Alcotest.(check (float 0.)) "k=1 has zero SE" 0. one.Recombine.se
 
+let test_merge_stacks_heterogeneous () =
+  (* bucket names are unioned across intervals; an interval lacking a
+     bucket contributes zero cycles instead of raising [Not_found] (the
+     old code took the names from the first interval alone and then
+     [List.assoc]-ed into the rest) *)
+  let stacks = [ [ ("a", 2); ("b", 4) ]; [ ("b", 6); ("c", 10) ] ] in
+  let merged = Recombine.merge_stacks ~measured_insns:2 stacks in
+  Alcotest.(check (list string)) "union of names, first-seen order"
+    [ "a"; "b"; "c" ]
+    (List.map fst merged);
+  let v name = List.assoc name merged in
+  Alcotest.(check (float 1e-9)) "a: 2/2" 1.0 (v "a");
+  Alcotest.(check (float 1e-9)) "b: (4+6)/2" 5.0 (v "b");
+  Alcotest.(check (float 1e-9)) "c: 10/2" 5.0 (v "c");
+  (* the merged stack still accounts for every measured cycle *)
+  let total =
+    List.fold_left
+      (fun acc stack -> List.fold_left (fun acc (_, n) -> acc + n) acc stack)
+      0 stacks
+  in
+  Alcotest.(check (float 1e-9)) "stack sums to total cycles / insns"
+    (float_of_int total /. 2.0)
+    (List.fold_left (fun acc (_, x) -> acc +. x) 0.0 merged);
+  (* degenerate shapes stay total *)
+  Alcotest.(check (list (pair string (float 0.)))) "no intervals" []
+    (Recombine.merge_stacks ~measured_insns:1 []);
+  Alcotest.(check (list (pair string (float 0.)))) "empty stacks" []
+    (Recombine.merge_stacks ~measured_insns:1 [ []; [] ])
+
 (* both pipelines share the sampling machinery end to end; the matrix
    below exercises each *)
 let targets =
@@ -345,6 +374,8 @@ let suite =
       test_recombine_permutation_invariant;
     Alcotest.test_case "recombine: exact tiling" `Quick
       test_recombine_exact_tiling;
+    Alcotest.test_case "recombine: heterogeneous bucket union" `Quick
+      test_merge_stacks_heterogeneous;
     Alcotest.test_case "warm: save/load round-trip" `Quick
       test_warm_save_load_roundtrip;
     Alcotest.test_case "warm: handoff no worse than cold" `Slow

@@ -221,6 +221,130 @@ let test_pool_timeout () =
        | _ -> Alcotest.failf "job %d should have succeeded" i)
     [ 0; 2 ]
 
+let test_pool_callback_exception () =
+  (* an exception escaping [on_result] must not leak workers or leave
+     our signal handlers hijacked (the pool swaps in its own for the
+     duration of [run]) *)
+  let dir = tmpdir "straight-pool-cb" in
+  let mark = ref 0 in
+  let f _ = incr mark in
+  let h = Sys.Signal_handle f in
+  let prev_int = Sys.signal Sys.sigint h in
+  let prev_term = Sys.signal Sys.sigterm h in
+  let escaped =
+    match
+      Sweep.Pool.run ~jobs:3
+        ~worker:(fun i ->
+            let oc =
+              open_out (Filename.concat dir (Printf.sprintf "w%d.pid" i))
+            in
+            output_string oc (string_of_int (Unix.getpid ()));
+            close_out oc;
+            if i = 0 then begin
+              (* give the other worker time to start and write its pid *)
+              ignore (Unix.select [] [] [] 0.3);
+              "fast"
+            end
+            else begin
+              while true do
+                ignore (Unix.select [] [] [] 0.05)
+              done;
+              assert false
+            end)
+        ~procs:2 ~timeout:30. ~retries:0
+        ~on_result:(fun _ _ -> failwith "callback boom")
+        ()
+    with
+    | () -> false
+    | exception Failure m -> m = "callback boom"
+  in
+  Alcotest.(check bool) "the callback's exception escapes as-is" true escaped;
+  (* every worker the pool forked must be dead and reaped *)
+  let pids =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".pid")
+    |> List.filter_map (fun f ->
+        let ic = open_in (Filename.concat dir f) in
+        let pid = int_of_string_opt (input_line ic) in
+        close_in ic;
+        pid)
+  in
+  Alcotest.(check bool) "some worker pids were recorded" true (pids <> []);
+  List.iter
+    (fun pid ->
+       let rec dead tries =
+         match Unix.kill pid 0 with
+         | () -> tries > 0 && (ignore (Unix.select [] [] [] 0.05); dead (tries - 1))
+         | exception Unix.Unix_error (Unix.ESRCH, _, _) -> true
+         | exception Unix.Unix_error _ -> false
+       in
+       Alcotest.(check bool)
+         (Printf.sprintf "worker %d no longer exists" pid)
+         true (dead 40))
+    pids;
+  (match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+   | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+   | _ -> Alcotest.fail "an unreaped child survived the pool");
+  (* the handlers we installed before [run] must be back in force *)
+  let cur_int = Sys.signal Sys.sigint prev_int in
+  let cur_term = Sys.signal Sys.sigterm prev_term in
+  let is_ours = function Sys.Signal_handle g -> g == f | _ -> false in
+  Alcotest.(check bool) "SIGINT handler restored" true (is_ours cur_int);
+  Alcotest.(check bool) "SIGTERM handler restored" true (is_ours cur_term)
+
+(* ---------- stale temp hygiene ---------- *)
+
+let test_store_stale_tmp_sweep () =
+  let dir = tmpdir "straight-store-stale" in
+  (* populate the store first: [save] marks the directory swept for
+     this process, so only the explicit [sweep_stale] below may clean *)
+  Sweep.Store.save ~dir "cafe" (sample_record ());
+  let cache = Filename.concat dir "cache" in
+  (* a provably dead pid: a child that already exited and was reaped *)
+  let dead_pid =
+    match Unix.fork () with
+    | 0 -> Unix._exit 0
+    | pid ->
+      ignore (Unix.waitpid [] pid);
+      pid
+  in
+  let plant name =
+    let f = Filename.concat cache name in
+    let oc = open_out f in
+    output_string oc "{\"torn\": true}";
+    close_out oc;
+    f
+  in
+  let stale = plant (Printf.sprintf "dead.json.tmp.%d" dead_pid) in
+  let live = plant (Printf.sprintf "live.json.tmp.%d" (Unix.getpid ())) in
+  Alcotest.(check int) "exactly the dead writer's file is swept" 1
+    (Sweep.Store.sweep_stale ~dir);
+  Alcotest.(check bool) "stale temp removed" false (Sys.file_exists stale);
+  Alcotest.(check bool) "live writer's temp kept" true (Sys.file_exists live);
+  Alcotest.(check bool) "real entries survive the sweep" true
+    (Sweep.Store.lookup ~dir "cafe" <> None)
+
+let test_store_rename_failure_unlinks_tmp () =
+  let dir = tmpdir "straight-store-rename" in
+  Sweep.Store.save ~dir "aaaa" (sample_record ());
+  let cache = Filename.concat dir "cache" in
+  (* an existing directory at the destination makes the rename fail *)
+  Unix.mkdir (Filename.concat cache "blocked.json") 0o755;
+  (match Sweep.Store.save ~dir "blocked" (sample_record ()) with
+   | () -> Alcotest.fail "rename onto a directory should raise"
+   | exception (Unix.Unix_error _ | Sys_error _) -> ());
+  let has_tmp_marker f =
+    let marker = ".tmp." in
+    let n = String.length f and m = String.length marker in
+    let rec has i = i + m <= n && (String.sub f i m = marker || has (i + 1)) in
+    has 0
+  in
+  let leftovers =
+    Sys.readdir cache |> Array.to_list |> List.filter has_tmp_marker
+  in
+  Alcotest.(check (list string)) "no temp file stranded by the failed rename"
+    [] leftovers
+
 (* ---------- driver cache contract ---------- *)
 
 let test_driver_cache_hits () =
@@ -326,6 +450,12 @@ let props_suite =
     Alcotest.test_case "pool: worker exception" `Quick
       test_pool_worker_exception;
     Alcotest.test_case "pool: timeout kill" `Quick test_pool_timeout;
+    Alcotest.test_case "pool: callback exception leaks nothing" `Quick
+      test_pool_callback_exception;
+    Alcotest.test_case "store: stale temp sweep" `Quick
+      test_store_stale_tmp_sweep;
+    Alcotest.test_case "store: failed rename unlinks temp" `Quick
+      test_store_rename_failure_unlinks_tmp;
     Alcotest.test_case "driver: cache hits on re-run" `Slow
       test_driver_cache_hits;
     Alcotest.test_case "golden corpus (12-point grid)" `Slow
