@@ -1,4 +1,5 @@
-.PHONY: check build test bench bench-json bench-gate fuzz-smoke lint fmt \
+.PHONY: check build test bench bench-json bench-gate fuzz-smoke lint \
+	lint-workloads tv fmt \
 	sweep-quick sweep-smoke snapshot-smoke sample-smoke daemon-smoke \
 	coverage clean
 
@@ -33,17 +34,30 @@ bench-gate: bench-json
 	       $(MAKE) bench-json; \
 	       dune exec scripts/bench_gate.exe -- BENCH_baseline.json bench.json; }
 
-# Static verification: both binary verifiers (STRAIGHT distance/SPADD
-# invariants, RV32IM dataflow/ABI/stack invariants) over every
-# benchmark image at O0/O1/O2, plus a JSON report for archiving.
-lint:
+# Static verification umbrella: the binary verifiers plus the
+# translation validator.
+lint: lint-workloads tv
+
+# Both binary verifiers (STRAIGHT distance/SPADD invariants, RV32IM
+# dataflow/ABI/stack invariants) over every benchmark image at O0/O1/O2,
+# plus a JSON report for archiving.
+lint-workloads:
 	dune exec bin/fuzz.exe -- -lint-workloads -json lint-report.json
 
+# Translation validation (straight-tv/1): symbolically re-execute every
+# benchmark's IR and linked machine code in lockstep at O0/O1/O2 through
+# both back ends, requiring every observable to agree; then inject
+# seeded codegen bugs and require each to be rejected.
+tv:
+	dune exec bin/fuzz.exe -- -tv-workloads -json tv-report.json
+	dune exec bin/fuzz.exe -- -tv-mutations 12
+
 # Differential-fuzz smoke run: a fixed-seed batch (deterministic, so a
-# failure is reproducible by seed number) plus the binary verifiers over
-# every benchmark image.
+# failure is reproducible by seed number) with the translation validator
+# armed on every seed, plus the static verifiers over every benchmark
+# image.
 fuzz-smoke: lint
-	dune exec bin/fuzz.exe -- -seed 1 -count 200
+	dune exec bin/fuzz.exe -- -seed 1 -count 200 -tv
 
 # Design-space sweep (see EXPERIMENTS.md, "Design-space sweeps").
 # The default 32-point grid at quick iteration counts; results land in

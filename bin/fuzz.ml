@@ -20,7 +20,7 @@
    campaign with the same -seed/-count resumes where it was killed
    instead of re-fuzzing from the start. *)
 
-let usage = "usage: fuzz [-seed N] [-count N] [-shrink] [-lint-only] [-lint-workloads] [-json FILE] [-corpus DIR] [-v]"
+let usage = "usage: fuzz [-seed N] [-count N] [-shrink] [-lint-only] [-lint-workloads] [-tv] [-tv-workloads] [-tv-mutations N] [-json FILE] [-corpus DIR] [-v]"
 
 type failure = {
   f_seed : int;
@@ -173,6 +173,194 @@ let opt_levels =
   [ (Ssa_ir.Passes.O0, "O0"); (Ssa_ir.Passes.O1, "O1");
     (Ssa_ir.Passes.O2, "O2") ]
 
+(* ---- translation validation (lib/tv) ---- *)
+
+let tv_config level =
+  { Straight_cc.Codegen.max_dist = Straight_isa.Isa.max_dist; level }
+
+(* Validate one source through every back-end configuration.  Only
+   [Error] findings are failures; [tv-abstain] Infos are the validator
+   explicitly giving up on a function and are reported separately. *)
+let tv_runs ?(opt = Ssa_ir.Passes.O2) (src : string) :
+  (string * (unit -> Lint_report.finding list)) list =
+  let prog () = Straight_core.Compile.frontend ~opt src in
+  [ ("straight-re+",
+     fun () ->
+       Tv.Validate.validate_straight
+         ~config:(tv_config Straight_cc.Codegen.Re_plus) (prog ()));
+    ("straight-raw",
+     fun () ->
+       Tv.Validate.validate_straight
+         ~config:(tv_config Straight_cc.Codegen.Raw) (prog ()));
+    ("riscv", fun () -> Tv.Validate.validate_riscv (prog ())) ]
+
+let tv_source ?(opt = Ssa_ir.Passes.O2) ~(report_crash : bool)
+    (src : string) : string list =
+  List.concat_map
+    (fun (tname, run) ->
+       match run () with
+       | findings ->
+         List.map
+           (fun f ->
+              Printf.sprintf "%s: %s" tname (Lint_report.finding_to_string f))
+           (Lint_report.errors findings)
+       | exception e when report_crash ->
+         [ Printf.sprintf "%s: tv crashed: %s" tname (Printexc.to_string e) ]
+       | exception _ -> [])
+    (tv_runs ~opt src)
+
+(* [-tv-workloads]: every benchmark x middle-end level x back-end
+   configuration.  Returns the labeled finding groups (for the
+   [straight-tv/1] JSON report) alongside the failures. *)
+let tv_workloads () :
+  (string * Lint_report.finding list) list * failure list =
+  let workloads =
+    [ Workloads.dhrystone (); Workloads.coremark (); Workloads.fib ();
+      Workloads.iota (); Workloads.sort (); Workloads.quicksort ();
+      Workloads.pointer_chase () ]
+  in
+  let groups = ref [] and failures = ref [] in
+  List.iter
+    (fun (w : Workloads.t) ->
+       List.iter
+         (fun (opt, oname) ->
+            List.iter
+              (fun (tname, run) ->
+                 let label =
+                   Printf.sprintf "%s:%s:%s" w.Workloads.name tname oname
+                 in
+                 match run () with
+                 | findings ->
+                   groups := (label, findings) :: !groups;
+                   let errs = Lint_report.errors findings in
+                   let abstained =
+                     List.length
+                       (List.filter
+                          (fun f -> f.Lint_report.check = "tv-abstain")
+                          findings)
+                   in
+                   if errs = [] then
+                     Printf.printf "tv %-32s validated%s\n%!" label
+                       (if abstained = 0 then ""
+                        else Printf.sprintf " (%d abstained)" abstained)
+                   else begin
+                     Printf.printf "tv %-32s %d error%s\n%!" label
+                       (List.length errs)
+                       (if List.length errs = 1 then "" else "s");
+                     failures :=
+                       { f_seed = -1; f_kind = "tv";
+                         f_detail =
+                           List.map
+                             (fun f ->
+                                label ^ ": " ^ Lint_report.finding_to_string f)
+                             errs;
+                         f_source = ""; f_minimized = None }
+                       :: !failures
+                   end
+                 | exception e ->
+                   failures :=
+                     { f_seed = -1; f_kind = "tv";
+                       f_detail =
+                         [ Printf.sprintf "%s: tv crashed: %s" label
+                             (Printexc.to_string e) ];
+                       f_source = ""; f_minimized = None }
+                     :: !failures)
+              (tv_runs ~opt w.Workloads.source))
+         opt_levels)
+    workloads;
+  (List.rev !groups, List.rev !failures)
+
+(* Behavioral fingerprint of an image on the functional simulator:
+   console output plus main's return value, or the failure class.  Used
+   to separate genuine validator misses from semantically invisible
+   mutations (e.g. dropping a copy of a value nothing deeper reads). *)
+let iss_fingerprint (image : Assembler.Image.t) : string =
+  let config =
+    { Iss.Straight_iss.default_config with
+      Iss.Straight_iss.max_insns = 2_000_000 }
+  in
+  match Iss.Straight_iss.start ~config image with
+  | session ->
+    (match Iss.Straight_iss.run_session session with
+     | () ->
+       let r = Iss.Straight_iss.finish session in
+       Printf.sprintf "ok:%ld:%s"
+         (Iss.Straight_iss.exit_value session) r.Iss.Trace.output
+     | exception e -> "fault:" ^ Printexc.to_string e)
+  | exception e -> "fault:" ^ Printexc.to_string e
+
+(* [-tv-mutations N]: seeded single-instruction breakage of freshly
+   generated STRAIGHT code; the validator must reject each one with an
+   [Error] finding naming the mutated function.  Seeds walk upward from
+   [base] until [n] mutations were caught; an uncaught mutation whose
+   ISS behavior actually changed is an immediate failure (a validator
+   blind spot), an uncaught behavior-preserving one is skipped, and
+   running out of the seed budget without [n] catches fails too. *)
+let tv_mutations ~(base : int) (n : int) : failure list =
+  let caught = ref 0 and tried = ref 0 and fails = ref [] in
+  let seed = ref base in
+  let budget = base + (40 * n) in
+  while !caught < n && !fails = [] && !seed < budget do
+    let s = !seed in
+    incr seed;
+    let fresh () =
+      Straight_core.Compile.frontend ~opt:Ssa_ir.Passes.O1
+        (Fuzz.Gen.render (Fuzz.Gen.generate s))
+    in
+    match Tv.Validate.mutation_trial ~config:(tv_config Straight_cc.Codegen.Re_plus) ~fresh ~seed:s () with
+    | None -> ()
+    | Some m ->
+      incr tried;
+      if m.Tv.Validate.m_caught then begin
+        incr caught;
+        Printf.printf "tv-mutation seed %-4d caught     %s\n%!" s
+          m.Tv.Validate.m_desc
+      end
+      else begin
+        let equivalent =
+          match m.Tv.Validate.m_images with
+          | Some (orig, mutated) ->
+            iss_fingerprint orig = iss_fingerprint mutated
+          | None -> false
+        in
+        if equivalent then begin
+          decr tried;
+          Printf.printf "tv-mutation seed %-4d equivalent %s (skipped)\n%!"
+            s m.Tv.Validate.m_desc
+        end
+        else begin
+          Printf.printf "tv-mutation seed %-4d MISSED     %s\n%!" s
+            m.Tv.Validate.m_desc;
+          fails :=
+            [ { f_seed = s; f_kind = "tv-mutation";
+                f_detail =
+                  (Printf.sprintf "validator missed: %s" m.Tv.Validate.m_desc)
+                  :: List.map Lint_report.finding_to_string
+                       m.Tv.Validate.m_findings;
+                f_source = ""; f_minimized = None } ]
+        end
+      end
+    | exception e ->
+      fails :=
+        [ { f_seed = s; f_kind = "tv-mutation";
+            f_detail =
+              [ Printf.sprintf "mutation trial crashed: %s"
+                  (Printexc.to_string e) ];
+            f_source = ""; f_minimized = None } ]
+  done;
+  if !caught < n && !fails = [] then
+    fails :=
+      [ { f_seed = -1; f_kind = "tv-mutation";
+          f_detail =
+            [ Printf.sprintf
+                "only %d/%d mutations caught within the seed budget (%d \
+                 trials)" !caught n !tried ];
+          f_source = ""; f_minimized = None } ];
+  if !fails = [] then
+    Printf.printf "tv-mutations: %d/%d injected bugs rejected (%d trials)\n%!"
+      !caught n !tried;
+  !fails
+
 (* [-lint-workloads]: every benchmark, every middle-end level, both
    ISAs.  Also writes a JSON report when [-json] is given (handled by
    the caller through the returned failures). *)
@@ -207,6 +395,9 @@ let () =
   let do_shrink = ref false in
   let lint_only = ref false in
   let workloads_only = ref false in
+  let do_tv = ref false in
+  let tv_workloads_only = ref false in
+  let tv_mutations_n = ref 0 in
   let json_file = ref "" in
   let corpus = ref "" in
   let verbose = ref false in
@@ -218,6 +409,13 @@ let () =
        "  only lint the generated images, skip differential execution");
       ("-lint-workloads", Arg.Set workloads_only,
        "  lint every benchmark image from both back ends, then exit");
+      ("-tv", Arg.Set do_tv,
+       "  also run the translation validator over every generated seed");
+      ("-tv-workloads", Arg.Set tv_workloads_only,
+       "  validate every benchmark translation from both back ends, then \
+        exit (-json writes a straight-tv/1 report)");
+      ("-tv-mutations", Arg.Set_int tv_mutations_n,
+       "N  inject N seeded codegen bugs; each must be rejected");
       ("-json", Arg.Set_string json_file, "FILE  write a JSON failure report");
       ("-corpus", Arg.Set_string corpus,
        "DIR  persist each failure as it is found; resume a killed campaign");
@@ -230,7 +428,10 @@ let () =
      status even though this invocation skips their seeds *)
   let prior_failures = ref 0 in
   let first = ref !seed in
-  if !corpus <> "" && not !workloads_only then begin
+  let batch_mode =
+    !workloads_only || !tv_workloads_only || !tv_mutations_n > 0
+  in
+  if !corpus <> "" && not batch_mode then begin
     ensure_dir !corpus;
     (match corpus_last_done !corpus with
      | Some last when last >= !seed ->
@@ -249,7 +450,15 @@ let () =
            (if !prior_failures = 1 then "" else "s") !first
      | _ -> ())
   end;
+  let tv_groups = ref [] in
   if !workloads_only then failures := lint_workloads ()
+  else if !tv_workloads_only then begin
+    let groups, fs = tv_workloads () in
+    tv_groups := groups;
+    failures := List.rev fs
+  end
+  else if !tv_mutations_n > 0 then
+    failures := List.rev (tv_mutations ~base:!seed !tv_mutations_n)
   else begin
     for s = !first to !seed + !count - 1 do
       let prog = Fuzz.Gen.generate s in
@@ -265,6 +474,13 @@ let () =
         add_failure
           { f_seed = s; f_kind = "lint"; f_detail = lint_findings;
             f_source = src; f_minimized = None };
+      if !do_tv then begin
+        let tv_findings = tv_source ~report_crash:!lint_only src in
+        if tv_findings <> [] then
+          add_failure
+            { f_seed = s; f_kind = "tv"; f_detail = tv_findings;
+              f_source = src; f_minimized = None }
+      end;
       (* differential execution *)
       if not !lint_only then begin
         match Fuzz.Diff.check src with
@@ -297,7 +513,15 @@ let () =
     done
   end;
   let failures = List.rev !failures in
-  if !json_file <> "" then write_json !json_file failures;
+  if !json_file <> "" then begin
+    if !tv_workloads_only then
+      (* the machine-readable TV report keeps every finding, including
+         abstentions, under the straight-tv/1 schema *)
+      Out_channel.with_open_text !json_file (fun oc ->
+          output_string oc
+            (Lint_report.report_to_json ~schema:"straight-tv/1" !tv_groups))
+    else write_json !json_file failures
+  end;
   match failures with
   | [] when !prior_failures > 0 ->
     Printf.eprintf
@@ -306,7 +530,7 @@ let () =
       (if !prior_failures = 1 then "" else "s");
     exit (Diag.exit_code Diag.Checker_divergence)
   | [] ->
-    if not !workloads_only then
+    if not batch_mode then
       Printf.printf "fuzz: %d seeds from %d: all executions agree, images lint clean\n"
         !count !seed;
     exit 0

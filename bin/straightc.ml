@@ -12,7 +12,7 @@ module Diagnostics = Straight_core.Diagnostics
 let main () =
   let usage =
     "straightc [-target straight|riscv] [-O0|-O1|-O2] [-raw] [-maxdist N] \
-     [-run] [-asm] [-lint] [-lint-json FILE] FILE"
+     [-run] [-asm] [-lint] [-lint-json FILE] [-tv] [-tv-json FILE] FILE"
   in
   let target = ref "straight" in
   let opt = ref Ssa_ir.Passes.O2 in
@@ -23,6 +23,8 @@ let main () =
   let dump = ref false in
   let lint = ref false in
   let lint_json = ref "" in
+  let tv = ref false in
+  let tv_json = ref "" in
   let file = ref "" in
   let spec =
     [ ("-target", Arg.Set_string target, "straight|riscv");
@@ -40,11 +42,16 @@ let main () =
       ("-lint", Arg.Set lint,
        " run the static binary verifier on the linked image");
       ("-lint-json", Arg.Set_string lint_json,
-       "FILE  write the lint report as JSON (implies -lint)") ]
+       "FILE  write the lint report as JSON (implies -lint)");
+      ("-tv", Arg.Set tv,
+       " validate the translation: IR vs linked image, per function");
+      ("-tv-json", Arg.Set_string tv_json,
+       "FILE  write the TV report as JSON (implies -tv)") ]
   in
   Arg.parse spec (fun f -> file := f) usage;
   if !file = "" then begin prerr_endline usage; exit 2 end;
   if !lint_json <> "" then lint := true;
+  if !tv_json <> "" then tv := true;
   let src = In_channel.with_open_text !file In_channel.input_all in
   let prog = Minic.Lower.compile src in
   (* the driver always takes the checked pipeline: a middle-end bug is
@@ -66,6 +73,36 @@ let main () =
         (if List.length errs = 1 then "" else "s");
       exit (Diagnostics.exit_code Diagnostics.Lint_finding)
   in
+  (* [finish_tv] mirrors [finish_lint] for the translation validator:
+     abstentions are Info findings and stay visible, only Errors fail. *)
+  let finish_tv (label : string) (findings : Lint_report.finding list) =
+    List.iter
+      (fun f -> Printf.printf "%s\n" (Lint_report.finding_to_string f))
+      findings;
+    if !tv_json <> "" then
+      Out_channel.with_open_text !tv_json (fun oc ->
+          output_string oc
+            (Lint_report.report_to_json ~schema:"straight-tv/1"
+               [ (label, findings) ]));
+    match Lint_report.errors findings with
+    | [] ->
+      let abstained =
+        List.length
+          (List.filter
+             (fun f -> f.Lint_report.check = "tv-abstain")
+             findings)
+      in
+      Printf.printf "%s: translation validated%s\n" label
+        (if abstained = 0 then ""
+         else
+           Printf.sprintf " (%d function%s abstained)" abstained
+             (if abstained = 1 then "" else "s"))
+    | errs ->
+      Printf.eprintf "%s: %d translation-validation error%s\n" label
+        (List.length errs)
+        (if List.length errs = 1 then "" else "s");
+      exit (Diagnostics.exit_code Diagnostics.Lint_finding)
+  in
   let olabel =
     match !opt with
     | Ssa_ir.Passes.O0 -> "O0"
@@ -76,6 +113,12 @@ let main () =
   | "straight" ->
     let level = if !raw then Straight_cc.Codegen.Raw else Straight_cc.Codegen.Re_plus in
     let config = { Straight_cc.Codegen.max_dist = !maxdist; level } in
+    (* TV first: the back end mutates the IR in place, and the validator
+       wants to clone-and-compile the pristine program itself. *)
+    if !tv then
+      finish_tv
+        (Printf.sprintf "%s:straight:%s" !file olabel)
+        (Tv.Validate.validate_straight ~config prog);
     let items = Straight_cc.Codegen.compile ~config prog in
     if !show_asm then
       print_string (Assembler.Asm.Straight.program_to_string items);
@@ -96,6 +139,10 @@ let main () =
         (Straight_lint.Lint.lint ~max_dist:!maxdist image)
     end
   | "riscv" ->
+    if !tv then
+      finish_tv
+        (Printf.sprintf "%s:riscv:%s" !file olabel)
+        (Tv.Validate.validate_riscv prog);
     let items = Riscv_cc.Codegen.compile prog in
     if !show_asm then
       print_string (Assembler.Asm.Riscv.program_to_string items);

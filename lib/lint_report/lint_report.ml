@@ -14,6 +14,7 @@ type finding = {
   check : string;      (* short machine-stable name of the check *)
   severity : severity;
   message : string;
+  func : string option;  (* enclosing function, when the check knows it *)
 }
 
 let severity_name = function
@@ -21,11 +22,12 @@ let severity_name = function
   | Warning -> "warning"
   | Info -> "info"
 
-let finding ?(severity = Error) ~pc ~check message =
-  { pc; check; severity; message }
+let finding ?(severity = Error) ?func ~pc ~check message =
+  { pc; check; severity; message; func }
 
 let pp_finding fmt (f : finding) =
-  Format.fprintf fmt "0x%x: [%s] %s%s" f.pc f.check
+  Format.fprintf fmt "0x%x: [%s]%s %s%s" f.pc f.check
+    (match f.func with None -> "" | Some fn -> " (" ^ fn ^ ")")
     (match f.severity with Error -> "" | s -> severity_name s ^ ": ")
     f.message
 
@@ -53,24 +55,48 @@ let json_escape (s : string) : string =
   Buffer.contents buf
 
 let finding_to_json (f : finding) : string =
+  let func_field =
+    match f.func with
+    | None -> ""
+    | Some fn -> Printf.sprintf ", \"func\": \"%s\"" (json_escape fn)
+  in
   Printf.sprintf
-    "{\"pc\": %d, \"check\": \"%s\", \"severity\": \"%s\", \"message\": \"%s\"}"
+    "{\"pc\": %d, \"check\": \"%s\", \"severity\": \"%s\", \"message\": \
+     \"%s\"%s}"
     f.pc (json_escape f.check)
     (severity_name f.severity)
-    (json_escape f.message)
+    (json_escape f.message) func_field
 
-(* [report_to_json groups] renders a whole lint run: one entry per
-   linted image, labeled by target/configuration.  The shape is stable:
+(* [report_to_json ?schema groups] renders a whole lint run: one entry
+   per linted image, labeled by target/configuration.  The shape is
+   stable, and only ever extended additively (old readers keep working):
 
-     { "findings_total": N,
+     { "schema": "...",            -- only when [?schema] is given
+       "findings_total": N,
+       "errors": N, "warnings": N, "infos": N,
        "images": [ { "label": "...", "findings": [ {...}, ... ] } ] } *)
-let report_to_json (groups : (string * finding list) list) : string =
+let report_to_json ?schema (groups : (string * finding list) list) : string =
   let buf = Buffer.create 1024 in
   let total =
     List.fold_left (fun acc (_, fs) -> acc + List.length fs) 0 groups
   in
+  let count sev =
+    List.fold_left
+      (fun acc (_, fs) ->
+         acc + List.length (List.filter (fun f -> f.severity = sev) fs))
+      0 groups
+  in
+  Buffer.add_string buf "{\n";
+  (match schema with
+   | None -> ()
+   | Some s ->
+     Buffer.add_string buf
+       (Printf.sprintf "  \"schema\": \"%s\",\n" (json_escape s)));
   Buffer.add_string buf
-    (Printf.sprintf "{\n  \"findings_total\": %d,\n  \"images\": [" total);
+    (Printf.sprintf
+       "  \"findings_total\": %d,\n  \"errors\": %d,\n  \"warnings\": %d,\n\
+       \  \"infos\": %d,\n  \"images\": [" total (count Error) (count Warning)
+       (count Info));
   List.iteri
     (fun i (label, fs) ->
        if i > 0 then Buffer.add_char buf ',';

@@ -10,13 +10,18 @@ type finding = {
   check : string;      (** short machine-stable name of the check *)
   severity : severity;
   message : string;
+  func : string option;
+      (** enclosing function, when the check knows it (the translation
+          validator always does; the binary linters do not) *)
 }
 
 val severity_name : severity -> string
 (** ["error"] / ["warning"] / ["info"]. *)
 
-val finding : ?severity:severity -> pc:int -> check:string -> string -> finding
-(** Build a finding; [severity] defaults to [Error]. *)
+val finding :
+  ?severity:severity -> ?func:string -> pc:int -> check:string -> string ->
+  finding
+(** Build a finding; [severity] defaults to [Error], [func] to [None]. *)
 
 val pp_finding : Format.formatter -> finding -> unit
 (** One-line rendering: ["0x<pc>: [<check>] <message>"]. *)
@@ -31,6 +36,9 @@ val json_escape : string -> string
 val finding_to_json : finding -> string
 (** One finding as a JSON object. *)
 
-val report_to_json : (string * finding list) list -> string
+val report_to_json : ?schema:string -> (string * finding list) list -> string
 (** A whole lint run as JSON, one labeled entry per linted image:
-    [{ "findings_total": N, "images": [{ "label", "findings" }] }]. *)
+    [{ "findings_total": N, "errors": N, "warnings": N, "infos": N,
+       "images": [{ "label", "findings" }] }], prefixed with a
+    ["schema"] key when [?schema] is given.  Extensions over the
+    original shape are additive, so old readers keep working. *)

@@ -225,6 +225,8 @@ let fused_branch op (ra : int) (rb : int) ~(invert : bool) :
 (* ---------- instruction selection over a function ---------- *)
 
 let block_label fname bid = Printf.sprintf ".L%s_%d" fname bid
+let func_label name = "f_" ^ name
+let ret_label fname = Printf.sprintf ".L%s_ret" fname
 
 (* IR values with exactly one use whose defining Cmp sits in the same block
    as the Cond_br consuming it can fuse into a compare-and-branch. *)
@@ -345,7 +347,7 @@ let sel_inst ctx fusable (v : Ir.value) (inst : Ir.inst) =
          | Ir.Const c -> emit_li ctx ai c
          | Ir.Val w -> emitv ctx (Isa.Alui (Isa.Addi, ai, vreg_of ctx w, 0)))
       args;
-    emitv ctx (Isa.Jal (1, "f_" ^ fname));
+    emitv ctx (Isa.Jal (1, func_label fname));
     emitv ctx (Isa.Alui (Isa.Addi, vreg_of ctx v, 10, 0))
   | Ir.Frame_addr off ->
     emitv ctx (Isa.Alui (Isa.Addi, vreg_of ctx v, 2, off))
@@ -361,7 +363,7 @@ let select_function ~globals (f : Ir.func) : vfunc =
       vblocks = [];
       next_vreg = first_vreg + f.Ir.nvalues;
       frame_bytes = f.Ir.frame_bytes;
-      ret_label = Printf.sprintf ".L%s_ret" f.Ir.name }
+      ret_label = ret_label f.Ir.name }
   in
   let fusable = fusable_cmps f in
   let blocks_by_label = Hashtbl.create 16 in
@@ -728,7 +730,7 @@ let emit_function ~globals (f : Ir.func) : item list =
     | Some s -> outi (Isa.Sw (scratch1, 2, slot_off s))
     | None -> ()
   in
-  out (Assembler.Asm.Label ("f_" ^ vf.fname));
+  out (Assembler.Asm.Label (func_label vf.fname));
   (* prologue *)
   if frame > 0 then outi (Isa.Alui (Isa.Addi, 2, 2, -frame));
   List.iteri

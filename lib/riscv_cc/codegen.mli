@@ -13,6 +13,18 @@ exception Codegen_error of string
 
 type item = string Riscv_isa.Isa.t Assembler.Asm.item
 
+val func_label : string -> string
+(** Assembly label of a function's entry (["f_<name>"]). *)
+
+val block_label : string -> int -> string
+(** Assembly label of basic block [bid] of function [name]
+    ([".L<name>_<bid>"]); kept in [Image.symbols] as the per-block
+    IR<->image mapping the translation validator consumes. *)
+
+val ret_label : string -> string
+(** Label of the shared epilogue ([".L<name>_ret"]); execution falls
+    through it, so it is {e not} a block boundary. *)
+
 val emit_function :
   globals:(string, int) Hashtbl.t -> Ssa_ir.Ir.func -> item list
 (** Compile one function (mutates it: edge splitting, RPO layout).

@@ -41,6 +41,7 @@ type finding = Lint_report.finding = {
   check : string;
   severity : Lint_report.severity;
   message : string;
+  func : string option;
 }
 
 let pp_finding = Lint_report.pp_finding
@@ -491,3 +492,4 @@ let lint (image : Image.t) : finding list =
       (function_entries image insns)
   in
   decode_findings @ control_findings @ per_function
+  |> List.stable_sort (fun a b -> compare (a.pc, a.check) (b.pc, b.check))

@@ -14,6 +14,7 @@ type finding = Lint_report.finding = {
   check : string;
   severity : Lint_report.severity;
   message : string;
+  func : string option;
 }
 
 val pp_finding : Format.formatter -> finding -> unit

@@ -102,7 +102,8 @@ let st_short_form (off : int) : bool =
   && off >= Straight_isa.Encoding.st_min_offset
   && off <= Straight_isa.Encoding.st_max_offset
 
-let label_of st bid = Printf.sprintf ".L%s_%d" st.func.Ir.name bid
+let block_label fname bid = Printf.sprintf ".L%s_%d" fname bid
+let label_of st bid = block_label st.func.Ir.name bid
 let func_label name = "f_" ^ name
 
 let push st it = st.items <- it :: st.items

@@ -37,6 +37,16 @@ val default_config : config
 
 type item = string Straight_isa.Isa.t Assembler.Asm.item
 
+val func_label : string -> string
+(** Assembly label of a function's entry (["f_<name>"]); lands in the
+    linked image's symbol table — the function side of the IR<->image
+    mapping the translation validator walks. *)
+
+val block_label : string -> int -> string
+(** Assembly label of basic block [bid] of function [name]
+    ([".L<name>_<bid>"]); every (post-layout) IR block keeps its label
+    in [Image.symbols], giving the per-block IR<->image mapping. *)
+
 val emit_function :
   config:config -> globals:(string, int) Hashtbl.t -> Ssa_ir.Ir.func ->
   item list

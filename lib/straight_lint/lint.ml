@@ -37,6 +37,7 @@ type finding = Lint_report.finding = {
   check : string;    (* short machine-stable name of the check *)
   severity : Lint_report.severity;
   message : string;
+  func : string option;
 }
 
 let pp_finding = Lint_report.pp_finding
@@ -275,7 +276,8 @@ let check_spadd (image : Image.t) (insns : Isa.resolved option array) :
 (* ---------- entry points ---------- *)
 
 (* [lint ?max_dist image] runs every check over a linked STRAIGHT image
-   and returns the findings, in text order per check. *)
+   and returns the findings, sorted by [pc] then [check] (stably, so
+   same-pc same-check findings keep their emission order). *)
 let lint ?(max_dist = Isa.max_dist) (image : Image.t) : finding list =
   let insns, decode_findings = decode_text image in
   decode_findings
@@ -283,3 +285,4 @@ let lint ?(max_dist = Isa.max_dist) (image : Image.t) : finding list =
   @ check_targets image insns
   @ check_live_window ~max_dist image insns
   @ check_spadd image insns
+  |> List.stable_sort (fun a b -> compare (a.pc, a.check) (b.pc, b.check))

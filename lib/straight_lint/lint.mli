@@ -1,0 +1,27 @@
+(** Static verifier for linked STRAIGHT images — the counterpart of
+    {!Riscv_lint}.  Re-derives the STRAIGHT contract directly from the
+    encoded words, independent of the compiler that produced them: every
+    text word decodes and re-encodes identically, every source distance
+    is in range, no instruction reads past the minimum number of
+    instructions retired before it on any path (the live window), SPADD
+    displacements balance on all paths and are zero at every JR, and
+    control targets stay inside the text section.  The analysis is
+    conservative over an over-approximated CFG (JAL flows into the
+    callee; every JR may resume at any JAL's return point). *)
+
+type finding = Lint_report.finding = {
+  pc : int;
+  check : string;
+  severity : Lint_report.severity;
+  message : string;
+  func : string option;
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+
+val lint : ?max_dist:int -> Assembler.Image.t -> finding list
+(** Run every check over a linked STRAIGHT image; findings come back
+    sorted by [pc] then [check].  [max_dist] defaults to
+    {!Straight_isa.Isa.max_dist}.  Check names: ["illegal-opcode"],
+    ["encode-roundtrip"], ["distance-range"], ["target-bounds"],
+    ["fall-through"], ["live-window"], ["spadd-imbalance"]. *)

@@ -1,0 +1,292 @@
+(* The shared term algebra of the translation validator (lib/tv).
+
+   Both the SSA IR and the decoded machine code evaluate into this one
+   language: 32-bit constants, opaque leaves for the values a function
+   receives from its environment (parameters, the return address, the
+   incoming registers, the stack pointer), uninterpreted loads keyed by
+   a memory-version counter, and the i32 ALU operators.  Two symbolic
+   executions agree exactly when their observables normalize to equal
+   terms, so [normalize] carries the proof burden: it must never change
+   a term's value (QCheck pins this: [eval t env = eval (normalize t)
+   env] over random environments) while being strong enough to cancel
+   the syntactic noise codegen introduces (materialized constants,
+   re-associated address arithmetic, SP displacement chains, xor/sltiu
+   compare idioms).
+
+   Equality after normalization is sound but incomplete: unequal terms
+   only ever downgrade a real equivalence into a reported mismatch,
+   never the reverse. *)
+
+module Ir = Ssa_ir.Ir
+
+type t =
+  | Const of int32
+  | Param of int          (* the n-th IR parameter at function entry *)
+  | Ra                    (* the incoming return address *)
+  | Reg0 of int           (* riscv: register r's value at entry *)
+  | Sp of int             (* SP at function entry, plus a byte offset *)
+  | Join of int * int     (* merge havoc correlated to IR value (bid, v) *)
+  | JoinM of int * int    (* merge havoc of a frame slot (bid, offset) *)
+  | Uninit of int         (* frame slot never stored, at byte offset *)
+  | Dead of int * int     (* uncorrelated havoc: (source id, lane) *)
+  | Bin of Ir.binop * t * t
+  | Mulh of t * t         (* high word of the signed 64-bit product *)
+  | Cmp of Ir.cmpop * t * t  (* 1l when the comparison holds, else 0l *)
+  | Load of int * t       (* uninterpreted load: (memory version, addr) *)
+  | Retcall of int        (* return value of the call at memory version *)
+
+(* ---------- evaluation (the QCheck oracle) ---------- *)
+
+(* A concrete environment: [leaf] values every opaque leaf (including
+   [Sp 0], the SP base all [Sp k] offsets displace), [load] values every
+   (version, address) pair.  Both must be pure functions. *)
+type env = {
+  leaf : t -> int32;
+  load : int -> int32 -> int32;
+}
+
+let rec eval (env : env) (t : t) : int32 =
+  match t with
+  | Const c -> c
+  | Sp k -> Int32.add (env.leaf (Sp 0)) (Int32.of_int k)
+  | Param _ | Ra | Reg0 _ | Join _ | JoinM _ | Uninit _ | Dead _
+  | Retcall _ -> env.leaf t
+  | Bin (op, a, b) -> Ir.eval_binop op (eval env a) (eval env b)
+  | Mulh (a, b) -> Straight_isa.Isa.eval_alu Straight_isa.Isa.Mulh
+                     (eval env a) (eval env b)
+  | Cmp (op, a, b) ->
+    if Ir.eval_cmpop op (eval env a) (eval env b) then 1l else 0l
+  | Load (v, a) -> env.load v (eval env a)
+
+(* ---------- normalization ---------- *)
+
+let commutative : Ir.binop -> bool = function
+  | Ir.Add | Ir.Mul | Ir.And | Ir.Or | Ir.Xor -> true
+  | _ -> false
+
+let neg_cmp : Ir.cmpop -> Ir.cmpop = function
+  | Ir.Eq -> Ir.Ne | Ir.Ne -> Ir.Eq
+  | Ir.Lt -> Ir.Ge | Ir.Ge -> Ir.Lt
+  | Ir.Le -> Ir.Gt | Ir.Gt -> Ir.Le
+  | Ir.Ltu -> Ir.Geu | Ir.Geu -> Ir.Ltu
+
+(* Add-chain flattening: decompose a tree of Add/Sub (children already
+   simplified) into signed addend multisets plus a constant, counting
+   [Sp _] leaves separately so SP-relative arithmetic folds to a single
+   displaced [Sp] leaf.  Sound in two's complement: addition is
+   associative/commutative and x - x = 0 under wraparound. *)
+let rec addends (sign : int) (t : t) (pos, neg, c, spn) =
+  match t with
+  | Bin (Ir.Add, a, b) -> addends sign a (addends sign b (pos, neg, c, spn))
+  | Bin (Ir.Sub, a, b) -> addends sign a (addends (-sign) b (pos, neg, c, spn))
+  | Const k ->
+    let c = if sign > 0 then Int32.add c k else Int32.sub c k in
+    (pos, neg, c, spn)
+  | Sp k ->
+    let c =
+      if sign > 0 then Int32.add c (Int32.of_int k)
+      else Int32.sub c (Int32.of_int k)
+    in
+    (pos, neg, c, spn + sign)
+  | t ->
+    if sign > 0 then (t :: pos, neg, c, spn) else (pos, t :: neg, c, spn)
+
+(* Multiset difference: cancel terms that appear on both sides. *)
+let cancel (pos : t list) (neg : t list) : t list * t list =
+  List.fold_left
+    (fun (pos, neg) n ->
+       let rec drop = function
+         | [] -> None
+         | p :: ps when p = n -> Some ps
+         | p :: ps -> (match drop ps with
+             | None -> None
+             | Some ps' -> Some (p :: ps'))
+       in
+       match drop pos with
+       | Some pos' -> (pos', neg)
+       | None -> (pos, n :: neg))
+    (pos, [])
+    neg
+
+let rebuild (pos, neg, c, spn) : t =
+  (* A single net SP occurrence absorbs the constant into its
+     displacement; other counts (0, or degenerate multiples) keep the
+     base as explicit [Sp 0] addends. *)
+  let pos, neg, c =
+    if spn = 1 then (Sp (Int32.to_int c) :: pos, neg, 0l)
+    else if spn = 0 then (pos, neg, c)
+    else if spn > 1 then
+      (List.init spn (fun _ -> Sp 0) @ pos, neg, c)
+    else (pos, List.init (-spn) (fun _ -> Sp 0) @ neg, c)
+  in
+  let pos = List.sort compare pos in
+  let neg = List.sort compare neg in
+  match pos, neg with
+  | [], [] -> Const c
+  | _ ->
+    let base, c =
+      match pos with
+      | [] -> (Const c, 0l)
+      | p :: ps -> (List.fold_left (fun acc q -> Bin (Ir.Add, acc, q)) p ps, c)
+    in
+    let base = List.fold_left (fun acc n -> Bin (Ir.Sub, acc, n)) base neg in
+    if c = 0l then base else Bin (Ir.Add, base, Const c)
+
+let sort2 a b = if compare a b <= 0 then (a, b) else (b, a)
+
+(* One simplification of [Bin (op, a, b)] with [a]/[b] already in normal
+   form.  Every rule is value-preserving over all 32-bit inputs. *)
+let simp_bin (op : Ir.binop) (a : t) (b : t) : t =
+  match op, a, b with
+  | _, Const x, Const y -> Const (Ir.eval_binop op x y)
+  | (Ir.Add | Ir.Sub), _, _ ->
+    let pos, neg, c, spn = addends 1 (Bin (op, a, b)) ([], [], 0l, 0) in
+    let pos, neg = cancel pos neg in
+    rebuild (pos, neg, c, spn)
+  | (Ir.Shl | Ir.Lshr | Ir.Ashr), _, Const s
+    when Int32.logand s 31l <> s ->
+    Bin (op, a, Const (Int32.logand s 31l))
+  | (Ir.Shl | Ir.Lshr | Ir.Ashr), _, Const 0l -> a
+  | Ir.Mul, _, Const 0l | Ir.Mul, Const 0l, _ -> Const 0l
+  | Ir.Mul, x, Const 1l | Ir.Mul, Const 1l, x -> x
+  | Ir.And, _, Const 0l | Ir.And, Const 0l, _ -> Const 0l
+  | Ir.And, x, Const (-1l) | Ir.And, Const (-1l), x -> x
+  | Ir.And, x, y when x = y -> x
+  | Ir.Or, x, Const 0l | Ir.Or, Const 0l, x -> x
+  | Ir.Or, _, Const (-1l) | Ir.Or, Const (-1l), _ -> Const (-1l)
+  | Ir.Or, x, y when x = y -> x
+  | Ir.Xor, x, Const 0l | Ir.Xor, Const 0l, x -> x
+  | Ir.Xor, x, y when x = y -> Const 0l
+  (* xori cmp, 1 is how both back-ends negate a materialized compare *)
+  | Ir.Xor, Cmp (c, x, y), Const 1l | Ir.Xor, Const 1l, Cmp (c, x, y) ->
+    Cmp (neg_cmp c, x, y)
+  | _ when commutative op ->
+    let a, b = sort2 a b in
+    Bin (op, a, b)
+  | _ -> Bin (op, a, b)
+
+let rec simp_cmp (op : Ir.cmpop) (a : t) (b : t) : t =
+  match op, a, b with
+  (* canonical direction: strict -> Lt, non-strict -> Ge *)
+  | Ir.Gt, a, b -> simp_cmp Ir.Lt b a
+  | Ir.Le, a, b -> simp_cmp Ir.Ge b a
+  | _, Const x, Const y ->
+    Const (if Ir.eval_cmpop op x y then 1l else 0l)
+  (* comparing a (deterministic) term against itself is decided *)
+  | _, a, b when a = b ->
+    Const
+      (match op with
+       | Ir.Eq | Ir.Ge | Ir.Geu | Ir.Le -> 1l
+       | Ir.Ne | Ir.Lt | Ir.Ltu | Ir.Gt -> 0l)
+  (* sltiu rd, x, 1 is the "x == 0" idiom; sltu rd, x0, x is "x != 0" *)
+  | Ir.Ltu, x, Const 1l -> simp_cmp Ir.Eq x (Const 0l)
+  | Ir.Ltu, Const 0l, x -> simp_cmp Ir.Ne x (Const 0l)
+  (* a compare is already 0/1, so testing it against zero collapses *)
+  | Ir.Ne, Cmp _, Const 0l | Ir.Ne, Const 0l, Cmp _ ->
+    (match a with Cmp _ -> a | _ -> b)
+  | Ir.Eq, Cmp (c, x, y), Const 0l | Ir.Eq, Const 0l, Cmp (c, x, y) ->
+    Cmp (neg_cmp c, x, y)
+  (* ... and testing it against one *)
+  | Ir.Eq, (Cmp _ as c), Const 1l | Ir.Eq, Const 1l, (Cmp _ as c) -> c
+  | Ir.Ne, Cmp (c, x, y), Const 1l | Ir.Ne, Const 1l, Cmp (c, x, y) ->
+    Cmp (neg_cmp c, x, y)
+  (* xor feeds equality tests on both back-ends *)
+  | Ir.Eq, Bin (Ir.Xor, x, y), Const 0l
+  | Ir.Eq, Const 0l, Bin (Ir.Xor, x, y) -> simp_cmp Ir.Eq x y
+  | Ir.Ne, Bin (Ir.Xor, x, y), Const 0l
+  | Ir.Ne, Const 0l, Bin (Ir.Xor, x, y) -> simp_cmp Ir.Ne x y
+  | (Ir.Eq | Ir.Ne), _, _ ->
+    let a, b = sort2 a b in
+    Cmp (op, a, b)
+  | _ -> Cmp (op, a, b)
+
+(* One full bottom-up pass. *)
+let rec norm1 (t : t) : t =
+  match t with
+  | Const _ | Param _ | Ra | Reg0 _ | Sp _ | Join _ | JoinM _ | Uninit _
+  | Dead _ | Retcall _ -> t
+  | Bin (op, a, b) -> simp_bin op (norm1 a) (norm1 b)
+  | Mulh (a, b) ->
+    let a, b = sort2 (norm1 a) (norm1 b) in
+    (match a, b with
+     | Const x, Const y ->
+       Const (Straight_isa.Isa.eval_alu Straight_isa.Isa.Mulh x y)
+     | _ -> Mulh (a, b))
+  | Cmp (op, a, b) -> simp_cmp op (norm1 a) (norm1 b)
+  | Load (v, a) -> Load (v, norm1 a)
+
+(* Rules can cascade (a fold exposing an identity exposing a flatten),
+   so iterate to a fixpoint; the cap is belt-and-braces against a
+   rewrite cycle none of the rules should form, and idempotence is
+   QCheck-pinned. *)
+let normalize (t : t) : t =
+  let rec fix n t =
+    if n = 0 then t
+    else
+      let t' = norm1 t in
+      if t' = t then t else fix (n - 1) t'
+  in
+  fix 8 t
+
+(* ---------- rendering (for findings) ---------- *)
+
+let binop_name : Ir.binop -> string = function
+  | Ir.Add -> "add" | Ir.Sub -> "sub" | Ir.Mul -> "mul"
+  | Ir.Div -> "div" | Ir.Divu -> "divu" | Ir.Rem -> "rem"
+  | Ir.Remu -> "remu" | Ir.And -> "and" | Ir.Or -> "or"
+  | Ir.Xor -> "xor" | Ir.Shl -> "shl" | Ir.Lshr -> "lshr"
+  | Ir.Ashr -> "ashr"
+
+let cmpop_name : Ir.cmpop -> string = function
+  | Ir.Eq -> "eq" | Ir.Ne -> "ne" | Ir.Lt -> "lt" | Ir.Le -> "le"
+  | Ir.Gt -> "gt" | Ir.Ge -> "ge" | Ir.Ltu -> "ltu" | Ir.Geu -> "geu"
+
+(* Compact bounded rendering: deep subterms elide to "..", keeping
+   finding messages readable on pathological terms. *)
+let to_string ?(depth = 6) (t : t) : string =
+  let buf = Buffer.create 64 in
+  let rec go d t =
+    if d = 0 then Buffer.add_string buf ".."
+    else
+      match t with
+      | Const c -> Buffer.add_string buf (Int32.to_string c)
+      | Param n -> Buffer.add_string buf (Printf.sprintf "arg%d" n)
+      | Ra -> Buffer.add_string buf "ra0"
+      | Reg0 r -> Buffer.add_string buf (Printf.sprintf "x%d@entry" r)
+      | Sp 0 -> Buffer.add_string buf "sp0"
+      | Sp k -> Buffer.add_string buf (Printf.sprintf "sp0%+d" k)
+      | Join (bid, v) ->
+        Buffer.add_string buf (Printf.sprintf "phi(bb%d,v%d)" bid v)
+      | JoinM (bid, off) ->
+        Buffer.add_string buf (Printf.sprintf "phimem(bb%d,%d)" bid off)
+      | Uninit off -> Buffer.add_string buf (Printf.sprintf "uninit[%d]" off)
+      | Dead (src, lane) ->
+        Buffer.add_string buf (Printf.sprintf "dead(%d,%d)" src lane)
+      | Retcall v -> Buffer.add_string buf (Printf.sprintf "ret#%d" v)
+      | Bin (op, a, b) ->
+        Buffer.add_string buf (binop_name op);
+        Buffer.add_char buf '(';
+        go (d - 1) a;
+        Buffer.add_char buf ',';
+        go (d - 1) b;
+        Buffer.add_char buf ')'
+      | Mulh (a, b) ->
+        Buffer.add_string buf "mulh(";
+        go (d - 1) a;
+        Buffer.add_char buf ',';
+        go (d - 1) b;
+        Buffer.add_char buf ')'
+      | Cmp (op, a, b) ->
+        Buffer.add_string buf (cmpop_name op);
+        Buffer.add_char buf '(';
+        go (d - 1) a;
+        Buffer.add_char buf ',';
+        go (d - 1) b;
+        Buffer.add_char buf ')'
+      | Load (v, a) ->
+        Buffer.add_string buf (Printf.sprintf "mem%d[" v);
+        go (d - 1) a;
+        Buffer.add_char buf ']'
+  in
+  go depth t;
+  Buffer.contents buf

@@ -1,0 +1,52 @@
+(** The shared term algebra of the translation validator: both the SSA
+    IR and the decoded machine code symbolically evaluate into this one
+    language, and two executions agree exactly when their observables
+    {!normalize} to equal terms.  Normalization is value-preserving
+    ([eval t env = eval (normalize t) env] for every environment —
+    QCheck-pinned) and incomplete in the safe direction only: it can
+    fail to identify equal values, never conflate different ones. *)
+
+module Ir = Ssa_ir.Ir
+
+type t =
+  | Const of int32
+  | Param of int          (** the n-th IR parameter at function entry *)
+  | Ra                    (** the incoming return address *)
+  | Reg0 of int           (** riscv: register r's value at entry *)
+  | Sp of int             (** SP at function entry, plus a byte offset *)
+  | Join of int * int
+      (** merge havoc correlated to IR value: [(bid, v)] names "the
+          value phi-web [v] carries into merge block [bid]" on both the
+          IR and machine side, so correlated unknowns stay equal *)
+  | JoinM of int * int    (** merge havoc of frame slot [(bid, offset)] *)
+  | Uninit of int         (** frame slot never stored, at byte offset *)
+  | Dead of int * int     (** uncorrelated havoc: [(source id, lane)] *)
+  | Bin of Ir.binop * t * t
+  | Mulh of t * t         (** high word of the signed 64-bit product *)
+  | Cmp of Ir.cmpop * t * t  (** [1l] when the comparison holds *)
+  | Load of int * t       (** uninterpreted load: (memory version, addr) *)
+  | Retcall of int        (** return value of the call at memory version *)
+
+type env = {
+  leaf : t -> int32;
+      (** concrete value of an opaque leaf; [Sp 0] is the SP base *)
+  load : int -> int32 -> int32;
+      (** concrete value of an uninterpreted load, by (version, addr) *)
+}
+
+val eval : env -> t -> int32
+(** Concrete evaluation under an environment (the QCheck oracle). *)
+
+val normalize : t -> t
+(** Canonicalize: constant folding, commutative argument ordering,
+    add-chain flattening with SP-displacement and [x - x] cancellation,
+    shift/mask and and/or/xor identities, compare canonicalization
+    (strict -> [Lt], non-strict -> [Ge], the [sltiu x,1] / [xori cmp,1]
+    / [xor]-equality idioms).  Idempotent and value-preserving. *)
+
+val neg_cmp : Ir.cmpop -> Ir.cmpop
+(** The complementary comparison ([Eq] <-> [Ne], [Lt] <-> [Ge], ...). *)
+
+val to_string : ?depth:int -> t -> string
+(** Compact rendering for findings; subterms deeper than [depth]
+    (default 6) elide to [".."]. *)
