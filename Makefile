@@ -1,5 +1,5 @@
-.PHONY: check build test bench bench-json bench-gate fuzz-smoke lint \
-	lint-workloads tv fmt \
+.PHONY: check build test bench bench-json bench-gate fuzz-smoke \
+	wasm-smoke lint lint-workloads tv fmt \
 	sweep-quick sweep-smoke snapshot-smoke sample-smoke daemon-smoke \
 	coverage clean
 
@@ -58,6 +58,16 @@ tv:
 # image.
 fuzz-smoke: lint
 	dune exec bin/fuzz.exe -- -seed 1 -count 200 -tv
+	dune exec bin/fuzz.exe -- -target wasm -seed 1 -count 200 -tv
+
+# WASM front-end smoke (see DESIGN.md, "The WASM front end"): the
+# conformance fixture battery plus the generator properties and the
+# TV/lint sweep over the WASM workloads (test/test_wasm.ml), then a
+# deterministic 200-seed WASM differential batch with the translation
+# validator armed on every seed.
+wasm-smoke:
+	dune exec test/test_wasm.exe
+	dune exec bin/fuzz.exe -- -target wasm -seed 1 -count 200 -tv
 
 # Design-space sweep (see EXPERIMENTS.md, "Design-space sweeps").
 # The default 32-point grid at quick iteration counts; results land in

@@ -20,7 +20,7 @@
    campaign with the same -seed/-count resumes where it was killed
    instead of re-fuzzing from the start. *)
 
-let usage = "usage: fuzz [-seed N] [-count N] [-shrink] [-lint-only] [-lint-workloads] [-tv] [-tv-workloads] [-tv-mutations N] [-json FILE] [-corpus DIR] [-v]"
+let usage = "usage: fuzz [-seed N] [-count N] [-target minic|wasm] [-shrink] [-lint-only] [-lint-workloads] [-tv] [-tv-workloads] [-tv-mutations N] [-json FILE] [-corpus DIR] [-v]"
 
 type failure = {
   f_seed : int;
@@ -88,12 +88,12 @@ let ensure_dir path =
     try Unix.mkdir path 0o755
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
 
-let corpus_save (dir : string) (f : failure) : unit =
+let corpus_save (dir : string) ~(ext : string) (f : failure) : unit =
   let stem = Filename.concat dir (Printf.sprintf "seed-%05d" f.f_seed) in
   write_atomic (stem ^ ".json") (failure_json_string ~indent:"" f ^ "\n");
-  if f.f_source <> "" then write_atomic (stem ^ ".minic") f.f_source;
+  if f.f_source <> "" then write_atomic (stem ^ ext) f.f_source;
   match f.f_minimized with
-  | Some m -> write_atomic (stem ^ ".min.minic") m
+  | Some m -> write_atomic (stem ^ ".min" ^ ext) m
   | None -> ()
 
 (* progress marker: last fully processed seed, updated after each seed
@@ -218,6 +218,7 @@ let tv_workloads () :
     [ Workloads.dhrystone (); Workloads.coremark (); Workloads.fib ();
       Workloads.iota (); Workloads.sort (); Workloads.quicksort ();
       Workloads.pointer_chase () ]
+    @ Workloads.all_wasm ()
   in
   let groups = ref [] and failures = ref [] in
   List.iter
@@ -369,6 +370,7 @@ let lint_workloads () : failure list =
     [ Workloads.dhrystone (); Workloads.coremark (); Workloads.fib ();
       Workloads.iota (); Workloads.sort (); Workloads.quicksort ();
       Workloads.pointer_chase () ]
+    @ Workloads.all_wasm ()
   in
   List.concat_map
     (fun (w : Workloads.t) ->
@@ -401,9 +403,12 @@ let () =
   let json_file = ref "" in
   let corpus = ref "" in
   let verbose = ref false in
+  let gen_target = ref "minic" in
   Arg.parse
     [ ("-seed", Arg.Set_int seed, "N  first seed (default 1)");
       ("-count", Arg.Set_int count, "N  number of seeds (default 100)");
+      ("-target", Arg.Set_string gen_target,
+       "minic|wasm  program generator for the campaign (default minic)");
       ("-shrink", Arg.Set do_shrink, "  minimize each failing program");
       ("-lint-only", Arg.Set lint_only,
        "  only lint the generated images, skip differential execution");
@@ -422,6 +427,11 @@ let () =
       ("-v", Arg.Set verbose, "  print every seed as it runs") ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     usage;
+  if !gen_target <> "minic" && !gen_target <> "wasm" then begin
+    Printf.eprintf "fuzz: unknown -target %s (minic|wasm)\n" !gen_target;
+    exit 2
+  end;
+  let src_ext = if !gen_target = "wasm" then ".wat" else ".minic" in
   let failures = ref [] in
   (* prior failures already persisted in the corpus for this seed range
      (from the killed run we are resuming) still count toward the exit
@@ -461,13 +471,34 @@ let () =
     failures := List.rev (tv_mutations ~base:!seed !tv_mutations_n)
   else begin
     for s = !first to !seed + !count - 1 do
-      let prog = Fuzz.Gen.generate s in
-      let src = Fuzz.Gen.render prog in
+      (* [shrink_min keep] re-renders the minimized program; the keep
+         predicate sees rendered source, so one shrink loop serves both
+         generators *)
+      let src, shrink_min =
+        if !gen_target = "wasm" then begin
+          let prog = Fuzz.Gen_wasm.generate s in
+          ( Fuzz.Gen_wasm.render prog,
+            fun (keep : string -> bool) ->
+              Fuzz.Gen_wasm.render
+                (Fuzz.Gen_wasm.shrink
+                   ~still_fails:(fun p -> keep (Fuzz.Gen_wasm.render p))
+                   prog) )
+        end
+        else begin
+          let prog = Fuzz.Gen.generate s in
+          ( Fuzz.Gen.render prog,
+            fun (keep : string -> bool) ->
+              Fuzz.Gen.render
+                (Fuzz.Shrink.shrink
+                   ~still_fails:(fun p -> keep (Fuzz.Gen.render p))
+                   prog) )
+        end
+      in
       if !verbose then Printf.printf "seed %d (%d bytes)\n%!" s (String.length src);
       (* static verification of the images this seed produces *)
       let add_failure f =
         failures := f :: !failures;
-        if !corpus <> "" then corpus_save !corpus f
+        if !corpus <> "" then corpus_save !corpus ~ext:src_ext f
       in
       let lint_findings = lint_source ~report_crash:!lint_only src in
       if lint_findings <> [] then
@@ -489,14 +520,12 @@ let () =
           let sig_ = signature outcome in
           let minimized =
             if !do_shrink then begin
-              let still_fails p =
-                let src' = Fuzz.Gen.render p in
+              let keep src' =
                 match signature (Fuzz.Diff.check src') with
                 | s' -> s' = sig_
                 | exception _ -> false
               in
-              let small = Fuzz.Shrink.shrink ~still_fails prog in
-              Some (Fuzz.Gen.render small)
+              Some (shrink_min keep)
             end
             else None
           in

@@ -1,6 +1,7 @@
-(* Command-line compiler driver: MiniC -> STRAIGHT or RV32IM assembly /
-   execution / static verification.  See also examples/ for API-level
-   usage.
+(* Command-line compiler driver: MiniC or WAT -> STRAIGHT or RV32IM
+   assembly / execution / static verification.  See also examples/ for
+   API-level usage.  The WASM front-end is selected by -wasm, a .wat
+   file extension, or content sniffing (WAT starts with '(').
 
    Failures are reported as structured diagnostics with a distinct exit
    code per failure class (see Diag.exit_code): 2 usage, 3 compile
@@ -12,7 +13,8 @@ module Diagnostics = Straight_core.Diagnostics
 let main () =
   let usage =
     "straightc [-target straight|riscv] [-O0|-O1|-O2] [-raw] [-maxdist N] \
-     [-run] [-asm] [-lint] [-lint-json FILE] [-tv] [-tv-json FILE] FILE"
+     [-wasm] [-run] [-asm] [-lint] [-lint-json FILE] [-tv] [-tv-json FILE] \
+     FILE"
   in
   let target = ref "straight" in
   let opt = ref Ssa_ir.Passes.O2 in
@@ -25,6 +27,7 @@ let main () =
   let lint_json = ref "" in
   let tv = ref false in
   let tv_json = ref "" in
+  let wasm = ref false in
   let file = ref "" in
   let spec =
     [ ("-target", Arg.Set_string target, "straight|riscv");
@@ -36,6 +39,8 @@ let main () =
        " additionally CSE and LICM (default)");
       ("-raw", Arg.Set raw, "disable RE+ redundancy elimination");
       ("-maxdist", Arg.Set_int maxdist, "maximum source distance");
+      ("-wasm", Arg.Set wasm,
+       " treat the input as WASM text format (implied by a .wat file)");
       ("-run", Arg.Set run, "execute on the functional simulator");
       ("-asm", Arg.Set show_asm, "print generated assembly");
       ("-dump", Arg.Set dump, "disassemble the linked image");
@@ -53,7 +58,10 @@ let main () =
   if !lint_json <> "" then lint := true;
   if !tv_json <> "" then tv := true;
   let src = In_channel.with_open_text !file In_channel.input_all in
-  let prog = Minic.Lower.compile src in
+  let prog =
+    if !wasm || Wasm.Front.is_wat_filename !file then Wasm.Front.compile src
+    else Wasm.Front.compile_any src
+  in
   (* the driver always takes the checked pipeline: a middle-end bug is
      reported as "pass X broke the IR", not as corrupt output *)
   List.iter (Ssa_ir.Passes.checked_at !opt) prog.Ssa_ir.Ir.funcs;

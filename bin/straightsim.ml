@@ -63,7 +63,10 @@ let workloads : (string * (unit -> Workloads.t)) list =
     ("quicksort", fun () -> Workloads.quicksort ());
     ("pointer-chase", fun () -> Workloads.pointer_chase ());
     ("stream", fun () -> Workloads.stream ());
-    ("stream-short", fun () -> Workloads.stream ~iterations:1 ()) ]
+    ("stream-short", fun () -> Workloads.stream ~iterations:1 ());
+    ("wasm-sieve", fun () -> Workloads.wasm_sieve ());
+    ("wasm-crc32", fun () -> Workloads.wasm_crc32 ());
+    ("wasm-expr", fun () -> Workloads.wasm_expr ()) ]
 
 let parse_inject_kinds (s : string) : Inject.kind list =
   if s = "all" then

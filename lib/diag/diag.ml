@@ -6,6 +6,7 @@ type code =
   | Lex_error
   | Parse_error
   | Lower_error
+  | Wasm_error
   | Invalid_ir
   | Interp_error
   | Codegen_error
@@ -27,6 +28,7 @@ let code_name = function
   | Lex_error -> "LEX_ERROR"
   | Parse_error -> "PARSE_ERROR"
   | Lower_error -> "LOWER_ERROR"
+  | Wasm_error -> "WASM_ERROR"
   | Invalid_ir -> "INVALID_IR"
   | Interp_error -> "INTERP_ERROR"
   | Codegen_error -> "CODEGEN_ERROR"
@@ -49,7 +51,7 @@ let code_name = function
    exceptions and 2 to usage errors, per Unix convention. *)
 let exit_code = function
   | Config_error -> 2
-  | Lex_error | Parse_error | Lower_error | Invalid_ir
+  | Lex_error | Parse_error | Lower_error | Wasm_error | Invalid_ir
   | Codegen_error | Encode_error | Asm_error -> 3
   | Exec_error | Interp_error | Mem_unaligned | Mem_mmio -> 4
   | Fuel_exhausted -> 5

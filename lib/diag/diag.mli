@@ -19,6 +19,7 @@ type code =
   | Lex_error           (** MiniC lexer *)
   | Parse_error         (** MiniC / assembly parsers *)
   | Lower_error         (** MiniC -> SSA lowering *)
+  | Wasm_error          (** WASM-subset validation / lowering *)
   | Invalid_ir          (** SSA validation *)
   | Interp_error        (** SSA interpreter *)
   | Codegen_error       (** STRAIGHT / RISC-V back ends *)

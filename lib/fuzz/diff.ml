@@ -70,7 +70,7 @@ let global_layout (p : Ir.program) : (string * int * int) list =
    surfaces as "pass X broke the IR" at the seed that triggers it instead
    of as a downstream divergence to triage. *)
 let frontend ?(optimize = true) (src : string) : Ir.program =
-  let p = Minic.Lower.compile src in
+  let p = Wasm.Front.compile_any src in
   if optimize then List.iter Ssa_ir.Passes.checked p.Ir.funcs;
   p
 

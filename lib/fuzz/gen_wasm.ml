@@ -1,0 +1,463 @@
+(* Seeded random WASM-subset module generator (the WAT twin of Gen).
+
+   Modules are generated into a small structured form so the shrinker
+   can delete statements and simplify expressions; [render] turns it
+   into WAT for the toolchain.
+
+   Termination is guaranteed by construction, mirroring Gen:
+   - the only loop form counts a dedicated counter local from 0 to a
+     constant bound; the counter is reset by the loop construct itself
+     and no generated statement ever assigns it;
+   - helper functions only call helpers with strictly smaller ids, so
+     the call graph is acyclic;
+   - division/remainder are total (the shared RV32M semantics define
+     x/0 and the INT_MIN/-1 overflow case, so the WASM trap cases are
+     ordinary values here);
+   - memory indices are masked to a 256-word window, well inside the
+     one linear-memory page.
+
+   WASM-specific stress beyond what Gen produces: deep operand stacks
+   (a [Deep] statement pushes up to 12 values before reducing them),
+   `local.tee`, `select`, `i32.eqz`, and unsigned compare/shift
+   operators — shapes the MiniC front-end never emits. *)
+
+type expr =
+  | Const of int32
+  | Local of int                       (* data-local index *)
+  | Global of int
+  | Bin of string * expr * expr        (* WAT mnemonic *)
+  | Eqz of expr
+  | Load of expr                       (* word index, masked in render *)
+  | Call of int * expr list            (* helper id, args *)
+  | Select of expr * expr * expr
+
+type stmt =
+  | Set_local of int * expr
+  | Tee of int * expr                  (* (drop (local.tee $x e)) *)
+  | Set_global of int * expr
+  | Store of expr * expr               (* word index, value *)
+  | Print of expr
+  | If_br of expr * stmt list          (* block guarded by br_if *)
+  | Loop of { counter : int; bound : int; body : stmt list }
+  | Deep of int * expr list            (* target local <- fold of >=2 pushes *)
+
+(* Helper [h<id>]: [nparams] params then [nlocals] data locals then
+   [ncounters] loop counters; returns i32. *)
+type helper = {
+  hid : int;
+  hnparams : int;
+  hnlocals : int;
+  hncounters : int;
+  hbody : stmt list;
+  hret : expr;
+}
+
+type prog = {
+  ginit : int32 list;                  (* mutable globals *)
+  helpers : helper list;
+  mnlocals : int;
+  mncounters : int;
+  mbody : stmt list;
+  mret : expr;
+}
+
+let mem_mask = 255                     (* word-index window: 1 KiB *)
+
+(* ---------- generation ---------- *)
+
+type scope = {
+  rng : Rng.t;
+  nvars : int;                         (* readable/assignable data locals *)
+  nglobals : int;
+  helpers : helper list;               (* callable (strictly earlier) *)
+  mutable counters : int;              (* loop counters allocated so far *)
+}
+
+let binops =
+  [ "i32.add"; "i32.sub"; "i32.mul"; "i32.div_s"; "i32.div_u"; "i32.rem_s";
+    "i32.rem_u"; "i32.and"; "i32.or"; "i32.xor"; "i32.shl"; "i32.shr_s";
+    "i32.shr_u"; "i32.eq"; "i32.ne"; "i32.lt_s"; "i32.lt_u"; "i32.gt_s";
+    "i32.gt_u"; "i32.le_s"; "i32.le_u"; "i32.ge_s"; "i32.ge_u" ]
+
+let rec gen_expr (s : scope) (depth : int) : expr =
+  let leaf () =
+    if s.nvars > 0 && Rng.chance s.rng 45 then Local (Rng.int s.rng s.nvars)
+    else if s.nglobals > 0 && Rng.chance s.rng 25 then
+      Global (Rng.int s.rng s.nglobals)
+    else Const (Rng.int32 s.rng)
+  in
+  if depth <= 0 || Rng.chance s.rng 25 then leaf ()
+  else
+    match Rng.int s.rng 10 with
+    | 0 | 1 | 2 | 3 ->
+      Bin (Rng.choose s.rng binops, gen_expr s (depth - 1),
+           gen_expr s (depth - 1))
+    | 4 -> Eqz (gen_expr s (depth - 1))
+    | 5 -> Load (gen_expr s (depth - 1))
+    | 6 when s.helpers <> [] ->
+      let h = Rng.choose s.rng s.helpers in
+      Call (h.hid, List.init h.hnparams (fun _ -> gen_expr s (depth - 1)))
+    | 7 ->
+      Select (gen_expr s (depth - 1), gen_expr s (depth - 1),
+              gen_expr s (depth - 1))
+    | _ ->
+      Bin (Rng.choose s.rng binops, gen_expr s (depth - 1),
+           gen_expr s (depth - 1))
+
+let rec gen_stmts (s : scope) ~(loop_depth : int) ~(budget : int) : stmt list =
+  if budget <= 0 then []
+  else
+    let st, cost =
+      match Rng.int s.rng 12 with
+      | 0 | 1 when s.nvars > 0 ->
+        (Set_local (Rng.int s.rng s.nvars, gen_expr s 3), 1)
+      | 2 when s.nvars > 0 ->
+        (Tee (Rng.int s.rng s.nvars, gen_expr s 2), 1)
+      | 3 when s.nglobals > 0 ->
+        (Set_global (Rng.int s.rng s.nglobals, gen_expr s 3), 1)
+      | 4 -> (Store (gen_expr s 2, gen_expr s 3), 1)
+      | 5 -> (Print (gen_expr s 3), 1)
+      | 6 | 7 when loop_depth < 2 ->
+        let counter = s.counters in
+        s.counters <- counter + 1;
+        let body =
+          gen_stmts s ~loop_depth:(loop_depth + 1) ~budget:(budget / 2)
+        in
+        (Loop { counter; bound = Rng.range s.rng 1 8; body }, 2 + List.length body)
+      | 8 ->
+        let body =
+          gen_stmts s ~loop_depth ~budget:(Stdlib.min 3 (budget - 1))
+        in
+        (If_br (gen_expr s 2, body), 1 + List.length body)
+      | 9 when s.nvars > 0 ->
+        (* depth capped so straight-raw at max_dist=31 (the tightest
+           oracle target, with no RE+ distance fixing) can still encode
+           every source distance: 8 shallow pushes stay under ~24
+           instructions of span *)
+        let n = Rng.range s.rng 2 8 in
+        (Deep
+           (Rng.int s.rng s.nvars,
+            List.init n (fun _ ->
+                gen_expr s (if Rng.chance s.rng 30 then 1 else 0))),
+         2)
+      | _ -> (Print (gen_expr s 2), 1)
+    in
+    st :: gen_stmts s ~loop_depth ~budget:(budget - cost)
+
+let gen_helper (rng : Rng.t) (hid : int) ~(nglobals : int)
+    (earlier : helper list) : helper =
+  let hnparams = Rng.range rng 0 3 in
+  let hnlocals = Rng.range rng 1 3 in
+  let s =
+    { rng; nvars = hnparams + hnlocals; nglobals; helpers = earlier;
+      counters = 0 }
+  in
+  let hbody = gen_stmts s ~loop_depth:0 ~budget:(Rng.range rng 2 6) in
+  let hret = gen_expr s 3 in
+  { hid; hnparams; hnlocals; hncounters = s.counters; hbody; hret }
+
+let generate (seed : int) : prog =
+  let rng = Rng.make seed in
+  let nglobals = Rng.range rng 1 3 in
+  let ginit = List.init nglobals (fun _ -> Rng.int32 rng) in
+  let nhelpers = Rng.range rng 0 3 in
+  let helpers = ref [] in
+  for hid = 1 to nhelpers do
+    helpers := !helpers @ [ gen_helper rng hid ~nglobals !helpers ]
+  done;
+  let mnlocals = Rng.range rng 2 4 in
+  let s =
+    { rng; nvars = mnlocals; nglobals; helpers = !helpers; counters = 0 }
+  in
+  let mbody = gen_stmts s ~loop_depth:0 ~budget:(Rng.range rng 4 10) in
+  let mret = gen_expr s 3 in
+  { ginit; helpers = !helpers; mnlocals; mncounters = s.counters; mbody; mret }
+
+(* ---------- rendering ---------- *)
+
+let render_const (c : int32) : string =
+  (* negative literals render with the sign WAT expects *)
+  Int32.to_string c
+
+(* Data local [i] is local index [i]; counter [k] lives after the data
+   locals at index [nvars + k]. *)
+let rec render_expr ~nvars (e : expr) : string =
+  let r = render_expr ~nvars in
+  match e with
+  | Const c -> Printf.sprintf "(i32.const %s)" (render_const c)
+  | Local i -> Printf.sprintf "(local.get %d)" i
+  | Global g -> Printf.sprintf "(global.get $g%d)" g
+  | Bin (op, a, b) -> Printf.sprintf "(%s %s %s)" op (r a) (r b)
+  | Eqz a -> Printf.sprintf "(i32.eqz %s)" (r a)
+  | Load idx ->
+    Printf.sprintf
+      "(i32.load (i32.shl (i32.and %s (i32.const %d)) (i32.const 2)))"
+      (r idx) mem_mask
+  | Call (h, args) ->
+    Printf.sprintf "(call $h%d%s)" h
+      (String.concat "" (List.map (fun a -> " " ^ r a) args))
+  | Select (a, b, c) -> Printf.sprintf "(select %s %s %s)" (r a) (r b) (r c)
+
+let rec render_stmt (buf : Buffer.t) ~nvars (indent : string) (st : stmt) :
+  unit =
+  let r = render_expr ~nvars in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (indent ^ s ^ "\n")) fmt in
+  match st with
+  | Set_local (i, e) -> line "(local.set %d %s)" i (r e)
+  | Tee (i, e) -> line "(drop (local.tee %d %s))" i (r e)
+  | Set_global (g, e) -> line "(global.set $g%d %s)" g (r e)
+  | Store (idx, v) ->
+    line "(i32.store (i32.shl (i32.and %s (i32.const %d)) (i32.const 2)) %s)"
+      (r idx) mem_mask (r v)
+  | Print e -> line "(call $putint %s)" (r e)
+  | If_br (c, body) ->
+    line "(block";
+    (* br_if out when the guard is false: executes body iff c <> 0 *)
+    Buffer.add_string buf
+      (Printf.sprintf "%s  (br_if 0 (i32.eqz %s))\n" indent (r c));
+    List.iter (render_stmt buf ~nvars (indent ^ "  ")) body;
+    line ")"
+  | Loop { counter; bound; body } ->
+    let c = nvars + counter in
+    line "(local.set %d (i32.const 0))" c;
+    line "(block";
+    line "  (loop";
+    Buffer.add_string buf
+      (Printf.sprintf "%s    (br_if 1 (i32.ge_s (local.get %d) (i32.const %d)))\n"
+         indent c bound);
+    List.iter (render_stmt buf ~nvars (indent ^ "    ")) body;
+    Buffer.add_string buf
+      (Printf.sprintf
+         "%s    (local.set %d (i32.add (local.get %d) (i32.const 1)))\n"
+         indent c c);
+    line "    (br 0)";
+    line "  )";
+    line ")"
+  | Deep (target, pushes) ->
+    (* flat form: push every term, then reduce with alternating ops —
+       the operand stack genuinely reaches depth [length pushes] *)
+    List.iter (fun e -> line "%s" (r e)) pushes;
+    List.iteri
+      (fun i _ -> line "%s" (if i land 1 = 0 then "i32.xor" else "i32.add"))
+      (List.tl pushes);
+    line "(local.set %d)" target
+
+let render_func (buf : Buffer.t) ~name ~export ~nparams ~nlocals ~ncounters
+    ~(body : stmt list) ~(ret : expr) () : unit =
+  let nvars = nparams + nlocals in
+  Buffer.add_string buf (Printf.sprintf "  (func %s" name);
+  (match export with
+   | Some e -> Buffer.add_string buf (Printf.sprintf " (export %S)" e)
+   | None -> ());
+  for _ = 1 to nparams do Buffer.add_string buf " (param i32)" done;
+  Buffer.add_string buf " (result i32)";
+  for _ = 1 to nlocals + ncounters do
+    Buffer.add_string buf " (local i32)"
+  done;
+  Buffer.add_string buf "\n";
+  List.iter (render_stmt buf ~nvars "    ") body;
+  Buffer.add_string buf
+    (Printf.sprintf "    %s)\n" (render_expr ~nvars ret))
+
+let render (p : prog) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "(module\n";
+  Buffer.add_string buf
+    "  (import \"env\" \"putint\" (func $putint (param i32)))\n";
+  Buffer.add_string buf "  (memory 1)\n";
+  List.iteri
+    (fun i init ->
+       Buffer.add_string buf
+         (Printf.sprintf "  (global $g%d (mut i32) (i32.const %s))\n" i
+            (render_const init)))
+    p.ginit;
+  List.iter
+    (fun h ->
+       render_func buf ~name:(Printf.sprintf "$h%d" h.hid) ~export:None
+         ~nparams:h.hnparams ~nlocals:h.hnlocals ~ncounters:h.hncounters
+         ~body:h.hbody ~ret:h.hret ())
+    p.helpers;
+  (* main observes every global and the low memory words before
+     returning, so state differences become output differences *)
+  let observers =
+    List.mapi (fun i _ -> Print (Global i)) p.ginit
+    @ List.init 4 (fun i -> Print (Load (Const (Int32.of_int i))))
+  in
+  render_func buf ~name:"$main" ~export:(Some "main") ~nparams:0
+    ~nlocals:p.mnlocals ~ncounters:p.mncounters
+    ~body:(p.mbody @ observers) ~ret:p.mret ();
+  Buffer.add_string buf ")\n";
+  Buffer.contents buf
+
+(* ---------- shrinking ---------- *)
+
+(* Greedy structural shrinker, the Gen_wasm analogue of Shrink: try
+   whole-statement deletion, expression-to-subtree/constant reduction,
+   and helper elimination (calls replaced by a constant), keeping any
+   candidate for which [still_fails] holds. *)
+
+let rec subexprs (e : expr) : expr list =
+  match e with
+  | Const _ | Local _ | Global _ -> []
+  | Bin (_, a, b) -> [ a; b ]
+  | Eqz a | Load a -> [ a ]
+  | Call (_, args) -> args
+  | Select (a, b, c) -> [ a; b; c ]
+
+and expr_reductions (e : expr) : expr list =
+  let subs = subexprs e in
+  let const = match e with Const _ -> [] | _ -> [ Const 1l ] in
+  const @ subs
+  @ (match e with
+     | Bin (op, a, b) ->
+       List.map (fun a' -> Bin (op, a', b)) (expr_reductions a)
+       @ List.map (fun b' -> Bin (op, a, b')) (expr_reductions b)
+     | Eqz a -> List.map (fun a' -> Eqz a') (expr_reductions a)
+     | Load a -> List.map (fun a' -> Load a') (expr_reductions a)
+     | Select (a, b, c) ->
+       List.map (fun a' -> Select (a', b, c)) (expr_reductions a)
+       @ List.map (fun b' -> Select (a, b', c)) (expr_reductions b)
+     | Call (h, args) ->
+       List.concat
+         (List.mapi
+            (fun i a ->
+               List.map
+                 (fun a' ->
+                    Call (h, List.mapi (fun j x -> if j = i then a' else x) args))
+                 (expr_reductions a))
+            args)
+     | _ -> [])
+
+let stmt_exprs_map (f : expr -> expr) (st : stmt) : stmt =
+  match st with
+  | Set_local (i, e) -> Set_local (i, f e)
+  | Tee (i, e) -> Tee (i, f e)
+  | Set_global (g, e) -> Set_global (g, f e)
+  | Store (a, b) -> Store (f a, f b)
+  | Print e -> Print (f e)
+  | If_br (c, body) -> If_br (f c, body)
+  | Loop l -> Loop l
+  | Deep (t, es) -> Deep (t, List.map f es)
+
+(* One-step reductions of a statement list: drop a statement, flatten a
+   control statement into its body, or reduce one expression. *)
+let rec stmts_reductions (sts : stmt list) : stmt list list =
+  match sts with
+  | [] -> []
+  | st :: rest ->
+    let drop = [ rest ] in
+    let flatten =
+      match st with
+      | If_br (_, body) -> [ body @ rest ]
+      | Loop { body; _ } -> [ body @ rest ]
+      | Deep (t, e :: _) -> [ Set_local (t, e) :: rest ]
+      | _ -> []
+    in
+    let inner =
+      match st with
+      | If_br (c, body) ->
+        List.map (fun b -> If_br (c, b) :: rest) (stmts_reductions body)
+      | Loop ({ body; _ } as l) ->
+        List.map (fun b -> Loop { l with body = b } :: rest)
+          (stmts_reductions body)
+      | Deep (t, es) when List.length es > 2 ->
+        List.mapi (fun i _ ->
+            Deep (t, List.filteri (fun j _ -> j <> i) es) :: rest)
+          es
+      | _ -> []
+    in
+    let exprs =
+      (* reduce the first reducible expression inside [st] *)
+      let reduced = ref [] in
+      let probe e =
+        (match expr_reductions e with
+         | r :: _ when !reduced = [] -> reduced := [ r ]
+         | _ -> ());
+        e
+      in
+      ignore (stmt_exprs_map probe st);
+      match !reduced with
+      | [ r ] ->
+        let used = ref false in
+        let replace e =
+          if !used then e
+          else begin used := true; r end
+        in
+        [ stmt_exprs_map replace st :: rest ]
+      | _ -> []
+    in
+    drop @ flatten @ inner @ exprs
+    @ List.map (fun r -> st :: r) (stmts_reductions rest)
+
+let rec drop_call_expr (h : int) (e : expr) : expr =
+  match e with
+  | Call (h', _) when h' = h -> Const 1l
+  | Bin (op, a, b) -> Bin (op, drop_call_expr h a, drop_call_expr h b)
+  | Eqz a -> Eqz (drop_call_expr h a)
+  | Load a -> Load (drop_call_expr h a)
+  | Call (h', args) -> Call (h', List.map (drop_call_expr h) args)
+  | Select (a, b, c) ->
+    Select (drop_call_expr h a, drop_call_expr h b, drop_call_expr h c)
+  | Const _ | Local _ | Global _ -> e
+
+let rec drop_call_stmt (h : int) (st : stmt) : stmt =
+  match st with
+  | If_br (c, body) ->
+    If_br (drop_call_expr h c, List.map (drop_call_stmt h) body)
+  | Loop l -> Loop { l with body = List.map (drop_call_stmt h) l.body }
+  | _ -> stmt_exprs_map (drop_call_expr h) st
+
+let prog_reductions (p : prog) : prog list =
+  let drop_helper =
+    List.map
+      (fun (h : helper) ->
+         let strip_b = List.map (drop_call_stmt h.hid) in
+         { p with
+           helpers =
+             List.filter_map
+               (fun (h' : helper) ->
+                  if h'.hid = h.hid then None
+                  else
+                    Some { h' with hbody = strip_b h'.hbody;
+                                   hret = drop_call_expr h.hid h'.hret })
+               p.helpers;
+           mbody = strip_b p.mbody;
+           mret = drop_call_expr h.hid p.mret })
+      p.helpers
+  in
+  let main_bodies =
+    List.map (fun b -> { p with mbody = b }) (stmts_reductions p.mbody)
+  in
+  let main_ret =
+    List.map (fun r -> { p with mret = r }) (expr_reductions p.mret)
+  in
+  let helper_bodies =
+    List.concat_map
+      (fun (h : helper) ->
+         List.map
+           (fun b ->
+              { p with
+                helpers =
+                  List.map
+                    (fun h' -> if h'.hid = h.hid then { h with hbody = b } else h')
+                    p.helpers })
+           (stmts_reductions h.hbody))
+      p.helpers
+  in
+  drop_helper @ main_bodies @ main_ret @ helper_bodies
+
+let shrink ?(budget = 400) ~(still_fails : prog -> bool) (p : prog) : prog =
+  let tries = ref 0 in
+  let rec go p =
+    if !tries >= budget then p
+    else
+      let next =
+        List.find_opt
+          (fun cand ->
+             incr tries;
+             !tries < budget && still_fails cand)
+          (prog_reductions p)
+      in
+      match next with Some cand -> go cand | None -> p
+  in
+  go p

@@ -82,6 +82,12 @@ type fstate = {
   mutable next_slot : int;                (* next free frame byte offset *)
   mutable has_frame : bool;               (* prologue SPADD emitted *)
   mutable spilling : bool;                (* re-entrancy guard *)
+  mutable held : int list;                (* values pinned across headroom
+                                             checks inside one lowering
+                                             sequence: refresh batches must
+                                             re-position them even though
+                                             the use-count bookkeeping does
+                                             not know them (pseudo temps) *)
   def_of : (int, Ir.inst) Hashtbl.t;      (* IR value -> defining inst *)
   in_slot : (int, int list) Hashtbl.t;    (* value -> RPO indices of blocks
                                              whose spill stores wrote it; the
@@ -155,7 +161,26 @@ let live_values st : int list =
      between its (re-)materialization and its uses. *)
   let base = if Hashtbl.mem st.pos vk_retaddr then vk_retaddr :: base else base in
   let base = if Hashtbl.mem st.pos vk_frame_base then vk_frame_base :: base else base in
-  base
+  (* held values: mid-sequence temporaries (and operands resolved to
+     temporaries) that must survive any refresh batch fired between their
+     definition and their use *)
+  List.fold_left
+    (fun acc v ->
+       if Hashtbl.mem st.pos v && not (List.mem v acc) then v :: acc else acc)
+    base st.held
+
+(* Pin [v] across the headroom checks of the current lowering sequence:
+   refresh batches re-position it, and spill_pressure counts it.  Always
+   balanced with [unhold] inside a single instruction's lowering; the held
+   list is empty at block boundaries. *)
+let hold st v = st.held <- v :: st.held
+
+let unhold st v =
+  let rec drop_one = function
+    | [] -> []
+    | x :: tl -> if x = v then tl else x :: drop_one tl
+  in
+  st.held <- drop_one st.held
 
 (* The spill slot of [v] holds its value at the current point iff the
    store site dominates the current block (slots are written once per value
@@ -243,18 +268,27 @@ let spill_pressure st ~(live : int list) ~(headroom : int) =
           exceeds max distance %d"
       st.func.Ir.name !n_live st.cfgc.max_dist
 
-(* Refresh every live value with an RMOV, farthest first.  Distances are
-   pairwise distinct, so refreshing in descending order never reads beyond
-   the current maximum distance. *)
+(* Refresh every live value with an RMOV, farthest first.  Producer
+   positions are refreshed once each in descending distance order, so no
+   read ever reaches beyond the current maximum distance; values aliasing
+   one position (a pseudo temp pinned to an IR value's producer) move
+   together, keeping the refreshed distances pairwise distinct. *)
 let refresh_all st =
   let live = live_values st in
-  let with_d = List.map (fun v -> (v, st.idx - Hashtbl.find st.pos v)) live in
-  let sorted = List.sort (fun (_, d1) (_, d2) -> compare d2 d1) with_d in
+  let by_pos = Hashtbl.create 16 in
   List.iter
-    (fun (v, _) ->
-       let d = dist_exn st v in
+    (fun v ->
+       let p = Hashtbl.find st.pos v in
+       let prev = Option.value ~default:[] (Hashtbl.find_opt by_pos p) in
+       Hashtbl.replace by_pos p (v :: prev))
+    live;
+  let groups = Hashtbl.fold (fun p vs acc -> (p, vs) :: acc) by_pos [] in
+  let sorted = List.sort (fun (p1, _) (p2, _) -> compare p1 p2) groups in
+  List.iter
+    (fun (_, vs) ->
+       let d = dist_exn st (List.hd vs) in
        let i = emit_raw st (Isa.Rmov d) in
-       define st v i)
+       List.iter (fun v -> define st v i) vs)
     sorted
 
 (* Ensure that [headroom] more instructions can be emitted before any live
@@ -271,8 +305,14 @@ let ensure_headroom st headroom =
   if (not st.spilling) && maxd + headroom > st.cfgc.max_dist then begin
     (* after a refresh the live values sit at distances 1..n_live; the
        batch only helps if the worst-case read — the farthest value
-       consumed by the last of the [headroom] instructions — still fits *)
-    let n_live = List.length live in
+       consumed by the last of the [headroom] instructions — still fits.
+       Values aliasing one producer position share one refresh slot, so
+       count distinct positions, not values. *)
+    let n_live =
+      List.length
+        (List.sort_uniq compare
+           (List.map (fun v -> Hashtbl.find st.pos v) live))
+    in
     if n_live + headroom - 1 > st.cfgc.max_dist then
       spill_pressure st ~live ~headroom;
     refresh_all st
@@ -311,10 +351,12 @@ let materialize_const st (c : int32) : int =
     let i = emit st (Isa.Lui hi) in
     define st t i;
     if lo <> 0l then begin
+      hold st t;
       ensure_headroom st 1;
       let d = dist_exn st t in
       let i2 = emit_raw st (Isa.Alui (Isa.Addi, d, lo)) in
-      define st t i2
+      define st t i2;
+      unhold st t
     end
   end;
   t
@@ -380,27 +422,38 @@ let emit_binop st op (a : Ir.operand) (b : Ir.operand) : int =
        end
        else begin
          let t = materialize_const st c in
+         hold st t;
          ensure_headroom st 1;
-         emit_raw st
-           (Isa.Alu (alu_of_binop op, dist_exn st v, dist_exn st t))
+         let i =
+           emit_raw st
+             (Isa.Alu (alu_of_binop op, dist_exn st v, dist_exn st t))
+         in
+         unhold st t; i
        end)
   | _, Ir.Const c, Ir.Val v when commutative op ->
     (match imm_form v c with
      | Some i -> i
      | None ->
        let t = materialize_const st c in
+       hold st t;
        ensure_headroom st 1;
-       emit_raw st (Isa.Alu (alu_of_binop op, dist_exn st t, dist_exn st v)))
+       let i = emit_raw st (Isa.Alu (alu_of_binop op, dist_exn st t, dist_exn st v)) in
+       unhold st t; i)
   | _, Ir.Const ca, Ir.Const cb ->
     (* the optimizer folds these, but stay correct regardless *)
     let ta = materialize_const st ca in
+    hold st ta;
     let tb = materialize_const st cb in
+    hold st tb;
     ensure_headroom st 1;
-    emit_raw st (Isa.Alu (alu_of_binop op, dist_exn st ta, dist_exn st tb))
+    let i = emit_raw st (Isa.Alu (alu_of_binop op, dist_exn st ta, dist_exn st tb)) in
+    unhold st tb; unhold st ta; i
   | _, Ir.Const c, Ir.Val v ->
     let t = materialize_const st c in
+    hold st t;
     ensure_headroom st 1;
-    emit_raw st (Isa.Alu (alu_of_binop op, dist_exn st t, dist_exn st v))
+    let i = emit_raw st (Isa.Alu (alu_of_binop op, dist_exn st t, dist_exn st v)) in
+    unhold st t; i
   | _, Ir.Val va, Ir.Val vb ->
     ensure_headroom st 1;
     emit_raw st (Isa.Alu (alu_of_binop op, dist_exn st va, dist_exn st vb))
@@ -408,54 +461,65 @@ let emit_binop st op (a : Ir.operand) (b : Ir.operand) : int =
 (* Emit a comparison producing 0/1.  Returns the defining index. *)
 let emit_cmp st op (a : Ir.operand) (b : Ir.operand) : int =
   let val_of = operand_value st in
+  (* resolve both operands; the first (possibly a constant temp) must
+     survive the materialization of the second *)
+  let val2 a b =
+    let x = val_of a in
+    hold st x;
+    let y = val_of b in
+    unhold st x;
+    (x, y)
+  in
   let negate i =
     (* invert a 0/1 value *)
     let t = fresh_tmp st in
     define st t i;
+    hold st t;
     ensure_headroom st 1;
-    emit_raw st (Isa.Alui (Isa.Xori, dist_exn st t, 1l))
+    let r = emit_raw st (Isa.Alui (Isa.Xori, dist_exn st t, 1l)) in
+    unhold st t; r
   in
   let slt signed x y =
     let op = if signed then Isa.Slt else Isa.Sltu in
+    hold st x; hold st y;
     ensure_headroom st 1;
-    emit_raw st (Isa.Alu (op, dist_exn st x, dist_exn st y))
+    let r = emit_raw st (Isa.Alu (op, dist_exn st x, dist_exn st y)) in
+    unhold st y; unhold st x; r
   in
   match op with
   | Ir.Lt ->
     (match b with
      | Ir.Const c when fits_imm16 c ->
        let x = val_of a in
+       hold st x;
        ensure_headroom st 1;
-       emit_raw st (Isa.Alui (Isa.Slti, dist_exn st x, c))
+       let r = emit_raw st (Isa.Alui (Isa.Slti, dist_exn st x, c)) in
+       unhold st x; r
      | _ ->
-       let x = val_of a in
-       let y = val_of b in
+       let x, y = val2 a b in
        slt true x y)
   | Ir.Ltu ->
     (match b with
      | Ir.Const c when fits_imm16 c ->
        let x = val_of a in
+       hold st x;
        ensure_headroom st 1;
-       emit_raw st (Isa.Alui (Isa.Sltui, dist_exn st x, c))
+       let r = emit_raw st (Isa.Alui (Isa.Sltui, dist_exn st x, c)) in
+       unhold st x; r
      | _ ->
-       let x = val_of a in
-       let y = val_of b in
+       let x, y = val2 a b in
        slt false x y)
   | Ir.Ge ->
-    let x = val_of a in
-    let y = val_of b in
+    let x, y = val2 a b in
     negate (slt true x y)
   | Ir.Geu ->
-    let x = val_of a in
-    let y = val_of b in
+    let x, y = val2 a b in
     negate (slt false x y)
   | Ir.Gt ->
-    let x = val_of a in
-    let y = val_of b in
+    let x, y = val2 a b in
     slt true y x
   | Ir.Le ->
-    let x = val_of a in
-    let y = val_of b in
+    let x, y = val2 a b in
     negate (slt true y x)
   | Ir.Eq | Ir.Ne ->
     (* xor, then compare against zero *)
@@ -465,22 +529,27 @@ let emit_cmp st op (a : Ir.operand) (b : Ir.operand) : int =
         let v = val_of x in
         Hashtbl.find st.pos v
       | _ ->
-        let x = val_of a in
-        let y = val_of b in
+        let x, y = val2 a b in
+        hold st x; hold st y;
         ensure_headroom st 1;
-        emit_raw st (Isa.Alu (Isa.Xor, dist_exn st x, dist_exn st y))
+        let r = emit_raw st (Isa.Alu (Isa.Xor, dist_exn st x, dist_exn st y)) in
+        unhold st y; unhold st x; r
     in
     let t = fresh_tmp st in
     define st t diff_idx;
-    if op = Ir.Eq then begin
-      ensure_headroom st 1;
-      emit_raw st (Isa.Alui (Isa.Sltui, dist_exn st t, 1l))
-    end
-    else begin
-      ensure_headroom st 1;
-      (* 0 <u x  <=>  x <> 0 *)
-      emit_raw st (Isa.Alu (Isa.Sltu, 0, dist_exn st t))
-    end
+    hold st t;
+    let r =
+      if op = Ir.Eq then begin
+        ensure_headroom st 1;
+        emit_raw st (Isa.Alui (Isa.Sltui, dist_exn st t, 1l))
+      end
+      else begin
+        ensure_headroom st 1;
+        (* 0 <u x  <=>  x <> 0 *)
+        emit_raw st (Isa.Alu (Isa.Sltu, 0, dist_exn st t))
+      end
+    in
+    unhold st t; r
 
 (* ---------- frame base handling ---------- *)
 
@@ -507,8 +576,10 @@ let emit_store_to_frame st ~value_key ~offset =
     ensure_headroom st 1;
     let i = emit_raw st (Isa.Alui (Isa.Addi, dist_exn st fb, Int32.of_int offset)) in
     define st t i;
+    hold st t;
     ensure_headroom st 1;
-    ignore (emit_raw st (Isa.St (dist_exn st value_key, dist_exn st t, 0)))
+    ignore (emit_raw st (Isa.St (dist_exn st value_key, dist_exn st t, 0)));
+    unhold st t
   end
 
 let emit_load_from_frame st ~offset : int =
@@ -737,8 +808,10 @@ let emit_ir_inst st (v : Ir.value) (inst : Ir.inst)
       match addr with
       | Ir.Const c ->
         let t = materialize_const st (Int32.add c (Int32.of_int off)) in
+        hold st t;
         ensure_headroom st 1;
-        emit_raw st (Isa.Ld (dist_exn st t, 0))
+        let r = emit_raw st (Isa.Ld (dist_exn st t, 0)) in
+        unhold st t; r
       | Ir.Val a ->
         ensure_headroom st 1;
         emit_raw st (Isa.Ld (dist_exn st a, off))
@@ -747,12 +820,15 @@ let emit_ir_inst st (v : Ir.value) (inst : Ir.inst)
     define st v i
   | Ir.Store (x, addr, off) ->
     let xv = operand_value st x in
+    hold st xv;
     let i =
       match addr with
       | Ir.Const c ->
         let t = materialize_const st (Int32.add c (Int32.of_int off)) in
+        hold st t;
         ensure_headroom st 1;
-        emit_raw st (Isa.St (dist_exn st xv, dist_exn st t, 0))
+        let r = emit_raw st (Isa.St (dist_exn st xv, dist_exn st t, 0)) in
+        unhold st t; r
       | Ir.Val a ->
         if st_short_form off then begin
           ensure_headroom st 1;
@@ -763,10 +839,13 @@ let emit_ir_inst st (v : Ir.value) (inst : Ir.inst)
           ensure_headroom st 1;
           let ai = emit_raw st (Isa.Alui (Isa.Addi, dist_exn st a, Int32.of_int off)) in
           define st t ai;
+          hold st t;
           ensure_headroom st 1;
-          emit_raw st (Isa.St (dist_exn st xv, dist_exn st t, 0))
+          let r = emit_raw st (Isa.St (dist_exn st xv, dist_exn st t, 0)) in
+          unhold st t; r
         end
     in
+    unhold st xv;
     List.iter (consume st) (Ir.inst_uses inst);
     define st v i  (* ST returns the stored value *)
   | Ir.Frame_addr off ->
@@ -824,7 +903,13 @@ let emit_call st (v : Ir.value) fname (args : Ir.operand list)
     List.map
       (fun a ->
          match a with
-         | Ir.Const c when not (fits_imm16 c) -> Ir.Val (materialize_const st c)
+         | Ir.Const c when not (fits_imm16 c) ->
+           let t = materialize_const st c in
+           (* pinned until the argument RMOVs are out: later argument
+              materializations and the pre-JAL headroom batch must keep
+              repositioning it *)
+           hold st t;
+           Ir.Val t
          | _ -> a)
       args
   in
@@ -859,7 +944,11 @@ let emit_call st (v : Ir.value) fname (args : Ir.operand list)
       args;
   let jal_idx = emit_raw st (Isa.Jal (func_label fname)) in
   List.iter
-    (fun a -> match a with Ir.Val w -> consume st w | Ir.Const _ -> ())
+    (fun a ->
+       match a with
+       | Ir.Val w when w < 0 -> unhold st w
+       | Ir.Val w -> consume st w
+       | Ir.Const _ -> ())
     args;
   (* 4. environment wipe: every pre-call position is now meaningless *)
   Hashtbl.reset st.pos;
@@ -1094,7 +1183,12 @@ let emit_tail st (plan : block_plan) ~(succ_label : string)
     List.map
       (fun (fv, slot) ->
          match slot with
-         | Slot_bigconst c -> (fv, Slot_rmov (materialize_const st c))
+         | Slot_bigconst c ->
+           let t = materialize_const st c in
+           (* pinned until its RMOV slot is out: later slot preparations
+              and the pre-tail headroom batch must keep it in range *)
+           hold st t;
+           (fv, Slot_rmov t)
          | Slot_sunk (_, inst) ->
            prep_uses st inst;
            (match inst with
@@ -1162,6 +1256,10 @@ let emit_tail st (plan : block_plan) ~(succ_label : string)
     prepared;
   if fallthrough then ignore (emit_raw st Isa.Nop)
   else ignore (emit_raw st (Isa.J succ_label));
+  List.iter
+    (fun (_, slot) ->
+       match slot with Slot_rmov v when v < 0 -> unhold st v | _ -> ())
+    prepared;
   List.iter (fun (fv, i) -> define st fv i) !deferred
 
 (* Distances of the merge frame at block entry: slot j of an m-slot frame
@@ -1192,7 +1290,10 @@ let emit_ret st (retval : Ir.operand) =
   in
   let retval =
     match retval with
-    | Ir.Const c when not (fits_imm16 c) -> Ir.Val (materialize_const st c)
+    | Ir.Const c when not (fits_imm16 c) ->
+      let t = materialize_const st c in
+      hold st t;
+      Ir.Val t
     | _ -> retval
   in
   ensure_headroom st 3;
@@ -1206,7 +1307,9 @@ let emit_ret st (retval : Ir.operand) =
      (* retval producer immediately before JR: distance 2 after returning *)
      (match retval with
       | Ir.Const c -> ignore (emit_raw st (Isa.Alui (Isa.Addi, 0, c)))
-      | Ir.Val v -> ignore (emit_raw st (Isa.Rmov (dist_exn st v)))));
+      | Ir.Val v ->
+        ignore (emit_raw st (Isa.Rmov (dist_exn st v)));
+        if v < 0 then unhold st v));
   ignore (emit_raw st (Isa.Jr (dist_exn st vk_retaddr)))
 
 let emit_block st (plans : block_plan array) (edge_env : (int, env_snapshot) Hashtbl.t)
@@ -1279,7 +1382,10 @@ let emit_block st (plans : block_plan array) (edge_env : (int, env_snapshot) Has
     (match c with Ir.Val w -> ensure_positioned st w | Ir.Const _ -> ());
     let cv = operand_value st c in
     (* NOT consumed yet: the headroom refresh below must still count the
-       condition as live, or its RMOV batch strands it out of range *)
+       condition as live, or its RMOV batch strands it out of range.  A
+       constant condition resolves to a pseudo temp, which only the held
+       list keeps visible to that refresh. *)
+    hold st cv;
     let i1 = Analysis.block_index st.cfg t1 in
     let i2 = Analysis.block_index st.cfg t2 in
     if Hashtbl.mem st.merge_frames i1 || Hashtbl.mem st.merge_frames i2 then
@@ -1298,6 +1404,7 @@ let emit_block st (plans : block_plan array) (edge_env : (int, env_snapshot) Has
        if not (is_next i2) then ignore (emit_raw st (Isa.J (lbl i2)));
        Hashtbl.replace edge_env i2 (snapshot st)
      end);
+    unhold st cv;
     consume st cv
 
 (* ---------- function emission ---------- *)
@@ -1362,6 +1469,7 @@ let emit_function ~(config : config) ~globals (f : Ir.func) : item list =
       next_slot = 0;       (* set below once static slots are assigned *)
       has_frame = false;
       spilling = false;
+      held = [];
       def_of;
       in_slot = Hashtbl.create 16;
       idom = idom_arr;

@@ -60,14 +60,17 @@ module Compile = struct
     | Straight of Straight_cc.Codegen.opt_level   (* RAW or RE+ *)
     | Riscv
 
-  (* [frontend ?opt ?checked src] parses + lowers + optimizes MiniC
-     source into SSA IR (each call returns a fresh program: back ends
-     mutate the IR).  [opt] selects the middle-end level (default O2,
-     matching the paper's clang -O2); [checked] validates the SSA after
-     every pass, blaming the culprit pass on violation. *)
+  (* [frontend ?opt ?checked src] parses + lowers + optimizes source
+     into SSA IR (each call returns a fresh program: back ends mutate
+     the IR).  The front-end is sniffed from the content — WAT modules
+     start with '(' (lib/wasm), anything else is MiniC — so WASM
+     workloads flow through every consumer of this entry point.  [opt]
+     selects the middle-end level (default O2, matching the paper's
+     clang -O2); [checked] validates the SSA after every pass, blaming
+     the culprit pass on violation. *)
   let frontend ?(opt = Ssa_ir.Passes.O2) ?(checked = false) (src : string) :
     Ssa_ir.Ir.program =
-    let p = Minic.Lower.compile src in
+    let p = Wasm.Front.compile_any src in
     let run =
       if checked then Ssa_ir.Passes.checked_at else Ssa_ir.Passes.optimize_at
     in

@@ -48,7 +48,7 @@ type point = {
 
 let workload_names =
   [ "dhrystone"; "coremark"; "fib"; "iota"; "sort"; "quicksort";
-    "pointer_chase" ]
+    "pointer_chase"; "wasm_sieve"; "wasm_crc32"; "wasm_expr" ]
 
 let workload ~quick = function
   | "dhrystone" -> Workloads.dhrystone ~iterations:(if quick then 30 else 200) ()
@@ -60,6 +60,11 @@ let workload ~quick = function
   | "pointer_chase" ->
     if quick then Workloads.pointer_chase ~nodes:256 ~hops:200 ()
     else Workloads.pointer_chase ()
+  | "wasm_sieve" ->
+    Workloads.wasm_sieve ~limit:(if quick then 400 else 2000) ()
+  | "wasm_crc32" ->
+    Workloads.wasm_crc32 ~nbytes:(if quick then 64 else 256) ()
+  | "wasm_expr" -> Workloads.wasm_expr ~iters:(if quick then 100 else 600) ()
   | name ->
     invalid_arg
       (Printf.sprintf "unknown workload %S (known: %s)" name

@@ -181,6 +181,13 @@ let rec simp_cmp (op : Ir.cmpop) (a : t) (b : t) : t =
   (* sltiu rd, x, 1 is the "x == 0" idiom; sltu rd, x0, x is "x != 0" *)
   | Ir.Ltu, x, Const 1l -> simp_cmp Ir.Eq x (Const 0l)
   | Ir.Ltu, Const 0l, x -> simp_cmp Ir.Ne x (Const 0l)
+  (* the Geu duals reach the IR through the wasm compares (le_u/ge_u
+     lower to swapped Geu): x >=u 1 is "x != 0", 0 >=u x is "x == 0",
+     and nothing is unsigned-below zero *)
+  | Ir.Geu, x, Const 1l -> simp_cmp Ir.Ne x (Const 0l)
+  | Ir.Geu, Const 0l, x -> simp_cmp Ir.Eq x (Const 0l)
+  | Ir.Geu, _, Const 0l -> Const 1l
+  | Ir.Ltu, _, Const 0l -> Const 0l
   (* a compare is already 0/1, so testing it against zero collapses *)
   | Ir.Ne, Cmp _, Const 0l | Ir.Ne, Const 0l, Cmp _ ->
     (match a with Cmp _ -> a | _ -> b)

@@ -1,0 +1,99 @@
+(* Abstract syntax for the WASM text-format subset (see DESIGN.md §15).
+
+   The subset is the i32 fragment a stack machine needs to stress the
+   distance-fixing algorithm: i32 arithmetic/compare/bitwise operators,
+   locals and mutable globals, structured control (block/loop/br/br_if/
+   return), direct calls, and loads/stores over one linear memory.
+   Every value is an i32; other value types are rejected by the parser.
+
+   Names ($ids) are resolved to dense indices at parse time, so the
+   validator and the lowering work on indices only.  The function index
+   space lists imports first, then module-defined functions, as in the
+   WASM spec. *)
+
+type binop =
+  | Add | Sub | Mul | Div_s | Div_u | Rem_s | Rem_u
+  | And | Or | Xor | Shl | Shr_s | Shr_u
+
+type cmpop = Eq | Ne | Lt_s | Lt_u | Gt_s | Gt_u | Le_s | Le_u | Ge_s | Ge_u
+
+type instr =
+  | Const of int32
+  | Bin of binop
+  | Cmp of cmpop
+  | Eqz
+  | Local_get of int
+  | Local_set of int
+  | Local_tee of int
+  | Global_get of int
+  | Global_set of int
+  | Load of int                      (* static byte offset *)
+  | Store of int
+  | Call of int                      (* function-space index *)
+  | Block of { result : bool; body : instr list }
+  | Loop of { result : bool; body : instr list }
+  | Br of int                        (* relative label depth *)
+  | Br_if of int
+  | Return
+  | Drop
+  | Select
+  | Nop
+
+(* An imported host function; the subset only links ["env"]'s console
+   primitives (putint/putchar), both [(param i32)] with no result. *)
+type import = {
+  imp_module : string;
+  imp_name : string;
+  imp_fname : string option;         (* $id, if any *)
+  imp_params : int;
+  imp_result : bool;
+}
+
+type func = {
+  fn_name : string option;           (* $id, if any *)
+  params : int;
+  result : bool;
+  locals : int;                      (* declared locals beyond the params *)
+  body : instr list;
+  export : string option;            (* inline or module-level export name *)
+}
+
+type global = {
+  gl_name : string option;
+  gl_mut : bool;
+  gl_init : int32;
+}
+
+type module_ = {
+  imports : import list;
+  funcs : func list;
+  globals : global list;
+  mem_pages : int option;            (* linear memory size, 64 KiB pages *)
+}
+
+(* Function space: imports first, then defined functions. *)
+let n_funcspace (m : module_) = List.length m.imports + List.length m.funcs
+
+(* [func_sig m idx] is [(params, result)] of function-space index [idx]. *)
+let func_sig (m : module_) (idx : int) : int * bool =
+  let ni = List.length m.imports in
+  if idx < ni then
+    let i = List.nth m.imports idx in
+    (i.imp_params, i.imp_result)
+  else
+    let f = List.nth m.funcs (idx - ni) in
+    (f.params, f.result)
+
+let binop_mnemonic = function
+  | Add -> "i32.add" | Sub -> "i32.sub" | Mul -> "i32.mul"
+  | Div_s -> "i32.div_s" | Div_u -> "i32.div_u"
+  | Rem_s -> "i32.rem_s" | Rem_u -> "i32.rem_u"
+  | And -> "i32.and" | Or -> "i32.or" | Xor -> "i32.xor"
+  | Shl -> "i32.shl" | Shr_s -> "i32.shr_s" | Shr_u -> "i32.shr_u"
+
+let cmpop_mnemonic = function
+  | Eq -> "i32.eq" | Ne -> "i32.ne"
+  | Lt_s -> "i32.lt_s" | Lt_u -> "i32.lt_u"
+  | Gt_s -> "i32.gt_s" | Gt_u -> "i32.gt_u"
+  | Le_s -> "i32.le_s" | Le_u -> "i32.le_u"
+  | Ge_s -> "i32.ge_s" | Ge_u -> "i32.ge_u"

@@ -1,0 +1,30 @@
+(* Front-end dispatch: one entry point that accepts either MiniC or WAT
+   source, so every consumer (drivers, workloads, fuzzer, sweep,
+   snapshot, daemon) gains WASM support without per-caller changes.
+
+   The sniff is unambiguous: a WAT module's first significant character
+   is '(' (possibly after whitespace or `;;` comments), and no MiniC
+   program can start with '('. *)
+
+let looks_like_wat (src : string) : bool =
+  let n = String.length src in
+  let rec eol i = if i >= n || src.[i] = '\n' then i else eol (i + 1) in
+  let rec go i =
+    if i >= n then false
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | ';' when i + 1 < n && src.[i + 1] = ';' -> go (eol (i + 2))
+      | '(' -> true
+      | _ -> false
+  in
+  go 0
+
+let is_wat_filename (path : string) : bool =
+  Filename.check_suffix path ".wat"
+
+let compile (src : string) : Ssa_ir.Ir.program = Lower.compile src
+
+(* [compile_any src] front-ends [src] as WAT or MiniC, by content. *)
+let compile_any (src : string) : Ssa_ir.Ir.program =
+  if looks_like_wat src then Lower.compile src else Minic.Lower.compile src

@@ -1,0 +1,16 @@
+(** Front-end dispatch for the WASM-subset front-end (DESIGN.md §15). *)
+
+val looks_like_wat : string -> bool
+(** True when the source's first significant character is '(' — a WAT
+    module; no MiniC program starts with '('. *)
+
+val is_wat_filename : string -> bool
+(** True for paths ending in [.wat]. *)
+
+val compile : string -> Ssa_ir.Ir.program
+(** Parse, validate, and lower WAT source to SSA IR.
+    @raise Diag.Error (code [Wasm_error]) on any lex/parse/validation
+    failure. *)
+
+val compile_any : string -> Ssa_ir.Ir.program
+(** Front-end [src] as WAT or MiniC, sniffed by content. *)

@@ -1,0 +1,112 @@
+(* Tokenizer for the WASM text format: parentheses, atoms (keywords,
+   integers, $ids, key=value immediates), quoted strings, and the two
+   comment forms (`;;` to end of line, nestable `(; ... ;)`).
+
+   Errors are structured [Diag] diagnostics (code [Wasm_error], check
+   "lex") so drivers and tests report them uniformly. *)
+
+type token =
+  | Lparen of int              (* payload: 1-based source line *)
+  | Rparen of int
+  | Atom of string * int
+  | Str of string * int
+
+let fail ~line fmt =
+  Format.kasprintf
+    (fun s ->
+       raise
+         (Diag.Error
+            (Diag.make
+               ~context:
+                 [ ("frontend", "wasm"); ("check", "lex");
+                   ("line", string_of_int line) ]
+               Diag.Wasm_error s)))
+    fmt
+
+let token_line = function
+  | Lparen l | Rparen l | Atom (_, l) | Str (_, l) -> l
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+let is_atom_char c = not (is_space c) && c <> '(' && c <> ')' && c <> '"' && c <> ';'
+
+(* [tokenize src] produces the token list with comments stripped. *)
+let tokenize (src : string) : token list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let bump c = if c = '\n' then incr line in
+  while !i < n do
+    let c = src.[!i] in
+    if is_space c then begin bump c; incr i end
+    else if c = ';' then begin
+      if !i + 1 < n && src.[!i + 1] = ';' then begin
+        while !i < n && src.[!i] <> '\n' do incr i done
+      end
+      else fail ~line:!line "stray ';' (use ';;' or '(;' comments)"
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = ';' then begin
+      (* nestable block comment *)
+      let depth = ref 1 in
+      let start = !line in
+      i := !i + 2;
+      while !depth > 0 && !i < n do
+        (if !i + 1 < n && src.[!i] = '(' && src.[!i + 1] = ';' then begin
+           incr depth; incr i
+         end
+         else if !i + 1 < n && src.[!i] = ';' && src.[!i + 1] = ')' then begin
+           decr depth; incr i
+         end
+         else bump src.[!i]);
+        incr i
+      done;
+      if !depth > 0 then fail ~line:start "unterminated block comment"
+    end
+    else if c = '(' then begin toks := Lparen !line :: !toks; incr i end
+    else if c = ')' then begin toks := Rparen !line :: !toks; incr i end
+    else if c = '"' then begin
+      let buf = Buffer.create 16 in
+      let start = !line in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        (match src.[!i] with
+         | '"' -> closed := true
+         | '\\' ->
+           if !i + 1 >= n then fail ~line:start "unterminated string escape";
+           incr i;
+           (match src.[!i] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '"' -> Buffer.add_char buf '"'
+            | '\'' -> Buffer.add_char buf '\''
+            | h1 ->
+              (* \hh hex byte escape *)
+              if !i + 1 >= n then fail ~line:start "bad string escape";
+              let h2 = src.[!i + 1] in
+              incr i;
+              let hex c =
+                match c with
+                | '0' .. '9' -> Char.code c - Char.code '0'
+                | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+                | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+                | _ -> fail ~line:start "bad string escape '\\%c%c'" h1 h2
+              in
+              Buffer.add_char buf (Char.chr ((16 * hex h1) + hex h2)))
+         | c -> bump c; Buffer.add_char buf c);
+        incr i
+      done;
+      if not !closed then fail ~line:start "unterminated string";
+      toks := Str (Buffer.contents buf, start) :: !toks
+    end
+    else begin
+      let start = !i in
+      let l = !line in
+      while !i < n && is_atom_char src.[!i] do incr i done;
+      if !i = start then fail ~line:l "unexpected character %C" c;
+      toks := Atom (String.sub src start (!i - start), l) :: !toks
+    end
+  done;
+  List.rev !toks

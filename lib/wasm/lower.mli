@@ -1,0 +1,17 @@
+(** WASM stack machine -> SSA IR lowering (DESIGN.md §15): symbolic
+    operand stack, Braun SSA construction for locals, blocks as join
+    blocks with explicit phi arms, loops as unsealed headers. *)
+
+val mem_sym : string
+(** Data symbol backing the linear memory ("wasm_memory"). *)
+
+val global_sym : int -> string
+(** Data symbol of global [i] ("wasm_global_<i>"). *)
+
+val lower : Ast.module_ -> Ssa_ir.Ir.program
+(** Validate and lower a parsed module.  Every function is checked with
+    {!Ssa_ir.Analysis.validate} before being returned. *)
+
+val compile : string -> Ssa_ir.Ir.program
+(** [compile src] = parse, validate, lower — the WAT twin of
+    [Minic.Lower.compile]. *)

@@ -1,0 +1,595 @@
+(* WAT parser for the subset: tokens -> s-expressions -> Ast.module_.
+
+   Both instruction notations of the text format are accepted — the flat
+   form (`block ... end`, operands already on the stack) and the folded
+   form (`(i32.add (local.get 0) (i32.const 1))`, operands written
+   inside the operator).  $names for functions, globals, locals and
+   labels are resolved to dense indices here, so everything downstream
+   is index-based.
+
+   Every failure is a structured [Diag] error: code [Wasm_error] with a
+   "check" context naming the failure family ("parse", "type",
+   "unknown-local", "unknown-global", "unknown-func", "unknown-label",
+   "unsupported") plus the source line. *)
+
+open Ast
+
+let fail ?(check = "parse") ~line fmt =
+  Format.kasprintf
+    (fun s ->
+       raise
+         (Diag.Error
+            (Diag.make
+               ~context:
+                 [ ("frontend", "wasm"); ("check", check);
+                   ("line", string_of_int line) ]
+               Diag.Wasm_error s)))
+    fmt
+
+(* ---------- s-expressions ---------- *)
+
+type sexp =
+  | A of string * int            (* atom, source line *)
+  | S of string * int            (* quoted string *)
+  | L of sexp list * int         (* parenthesized list *)
+
+let sexp_line = function A (_, l) | S (_, l) | L (_, l) -> l
+
+let parse_sexps (toks : Lexer.token list) : sexp list =
+  let rec seq acc = function
+    | [] -> (List.rev acc, [])
+    | Lexer.Rparen _ :: _ as rest -> (List.rev acc, rest)
+    | Lexer.Lparen l :: rest ->
+      let items, rest = seq [] rest in
+      (match rest with
+       | Lexer.Rparen _ :: rest -> seq (L (items, l) :: acc) rest
+       | _ -> fail ~line:l "unclosed '('")
+    | Lexer.Atom (a, l) :: rest -> seq (A (a, l) :: acc) rest
+    | Lexer.Str (s, l) :: rest -> seq (S (s, l) :: acc) rest
+  in
+  match seq [] toks with
+  | items, [] -> items
+  | _, Lexer.Rparen l :: _ -> fail ~line:l "unmatched ')'"
+  | _, t :: _ -> fail ~line:(Lexer.token_line t) "trailing tokens"
+  | exception Stack_overflow -> fail ~line:0 "expression nesting too deep"
+
+(* ---------- atoms ---------- *)
+
+let is_id a = String.length a > 0 && a.[0] = '$'
+
+(* i32 literal: optional sign, decimal or 0x hex, '_' separators; the
+   value must fit [-2^31, 2^32) and is wrapped to two's complement. *)
+let parse_i32 ~line (a : string) : int32 =
+  let s = String.concat "" (String.split_on_char '_' a) in
+  let neg, s =
+    if String.length s > 0 && s.[0] = '-' then (true, String.sub s 1 (String.length s - 1))
+    else if String.length s > 0 && s.[0] = '+' then (false, String.sub s 1 (String.length s - 1))
+    else (false, s)
+  in
+  let value =
+    match Int64.of_string_opt (if neg then "-" ^ s else s) with
+    | Some v -> v
+    | None -> fail ~line "malformed i32 literal %S" a
+  in
+  if Int64.compare value (-0x8000_0000L) < 0
+  || Int64.compare value 0xFFFF_FFFFL > 0 then
+    fail ~line "i32 constant %S out of range" a;
+  Int64.to_int32 value
+
+let parse_index ~line (a : string) : [ `Num of int | `Name of string ] =
+  if is_id a then `Name (String.sub a 1 (String.length a - 1))
+  else
+    match int_of_string_opt a with
+    | Some n when n >= 0 -> `Num n
+    | _ -> fail ~line "expected an index or $name, got %S" a
+
+(* ---------- types ---------- *)
+
+(* The subset is i32-only; any other value type is a structured type
+   error (a deliberate reject class, not a parse accident). *)
+let check_valtype ~line = function
+  | "i32" -> ()
+  | t -> fail ~check:"type" ~line "unsupported value type %s (i32-only subset)" t
+
+(* [(param ...)]* / [(result ...)]? / [(local ...)]* headers.  Returns
+   (names in index order, count, result?) for params+locals. *)
+let parse_result ~line = function
+  | [ A (t, l) ] -> check_valtype ~line:l t; true
+  | [] -> false
+  | _ -> fail ~line "malformed (result ...)"
+
+(* ---------- instruction parsing ---------- *)
+
+type fenv = {
+  locals : (string, int) Hashtbl.t;   (* $name -> local index *)
+  nlocals : int;
+  funcspace : (string, int) Hashtbl.t;
+  nfuncs : int;
+  globals : (string, int) Hashtbl.t;
+  nglobals : int;
+}
+
+let resolve ~line ~(check : string) (table : (string, int) Hashtbl.t)
+    (count : int) (what : string) (idx : [ `Num of int | `Name of string ]) :
+  int =
+  match idx with
+  | `Num n ->
+    if n >= count then fail ~check ~line "%s index %d out of range" what n;
+    n
+  | `Name n ->
+    (match Hashtbl.find_opt table n with
+     | Some i -> i
+     | None -> fail ~check ~line "unknown %s $%s" what n)
+
+let resolve_local env ~line idx =
+  resolve ~line ~check:"unknown-local" env.locals env.nlocals "local" idx
+
+let resolve_global env ~line idx =
+  resolve ~line ~check:"unknown-global" env.globals env.nglobals "global" idx
+
+let resolve_func env ~line idx =
+  resolve ~line ~check:"unknown-func" env.funcspace env.nfuncs "function" idx
+
+let resolve_label ~line (labels : string option list) idx : int =
+  match idx with
+  | `Num d ->
+    if d >= List.length labels then
+      fail ~check:"br-depth" ~line "branch depth %d exceeds %d enclosing labels"
+        d (List.length labels);
+    d
+  | `Name n ->
+    let rec go i = function
+      | [] -> fail ~check:"unknown-label" ~line "unknown label $%s" n
+      | Some l :: _ when l = n -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 labels
+
+let binop_of_mnemonic = function
+  | "i32.add" -> Some Add | "i32.sub" -> Some Sub | "i32.mul" -> Some Mul
+  | "i32.div_s" -> Some Div_s | "i32.div_u" -> Some Div_u
+  | "i32.rem_s" -> Some Rem_s | "i32.rem_u" -> Some Rem_u
+  | "i32.and" -> Some And | "i32.or" -> Some Or | "i32.xor" -> Some Xor
+  | "i32.shl" -> Some Shl | "i32.shr_s" -> Some Shr_s
+  | "i32.shr_u" -> Some Shr_u
+  | _ -> None
+
+let cmpop_of_mnemonic = function
+  | "i32.eq" -> Some Eq | "i32.ne" -> Some Ne
+  | "i32.lt_s" -> Some Lt_s | "i32.lt_u" -> Some Lt_u
+  | "i32.gt_s" -> Some Gt_s | "i32.gt_u" -> Some Gt_u
+  | "i32.le_s" -> Some Le_s | "i32.le_u" -> Some Le_u
+  | "i32.ge_s" -> Some Ge_s | "i32.ge_u" -> Some Ge_u
+  | _ -> None
+
+(* memarg immediates: `offset=N` and `align=N` atoms after a load/store
+   mnemonic.  Alignment is a hint in WASM; we accept and discard it. *)
+let rec parse_memarg ~line = function
+  | A (a, l) :: rest when String.length a > 7 && String.sub a 0 7 = "offset=" ->
+    let off =
+      match int_of_string_opt (String.sub a 7 (String.length a - 7)) with
+      | Some n when n >= 0 -> n
+      | _ -> fail ~line:l "malformed %s" a
+    in
+    let _, rest = parse_memarg ~line:l rest in
+    (off, rest)
+  | A (a, _) :: rest when String.length a > 6 && String.sub a 0 6 = "align=" ->
+    parse_memarg ~line rest
+  | rest -> (0, rest)
+
+(* [parse_instrs env labels items] parses one instruction sequence.  The
+   flat form consumes `block`/`loop` ... `end` brackets from the item
+   stream; the folded form recurses into nested lists. *)
+let rec parse_instrs (env : fenv) (labels : string option list)
+    (items : sexp list) : instr list =
+  match items with
+  | [] -> []
+  | A (a, line) :: rest -> parse_plain env labels a line rest
+  | L (A ("block", line) :: body, _) :: rest ->
+    let label, result, body = parse_block_head ~line body in
+    Block { result; body = parse_instrs env (label :: labels) body }
+    :: parse_instrs env labels rest
+  | L (A ("loop", line) :: body, _) :: rest ->
+    let label, result, body = parse_block_head ~line body in
+    Loop { result; body = parse_instrs env (label :: labels) body }
+    :: parse_instrs env labels rest
+  | L (A (("if" | "then" | "else"), line) :: _, _) :: _ ->
+    fail ~check:"unsupported" ~line "'if' is outside the subset (use br_if)"
+  | L (A (a, line) :: args, _) :: rest ->
+    (* folded operator: immediates first, then folded operand
+       expressions, which unfold in front of the operator *)
+    let op, args = parse_plain_folded env labels a line args in
+    let folded =
+      List.concat_map
+        (fun arg ->
+           match arg with
+           | L _ -> parse_instrs env labels [ arg ]
+           | s ->
+             fail ~line:(sexp_line s)
+               "folded %s operand must be parenthesized" a)
+        args
+    in
+    folded @ op @ parse_instrs env labels rest
+  | s :: _ -> fail ~line:(sexp_line s) "expected an instruction"
+
+(* block/loop header: optional $label, optional (result i32).  A block
+   type in (param ...) form is out of the subset. *)
+and parse_block_head ~line:_ (items : sexp list) :
+  string option * bool * sexp list =
+  let label, items =
+    match items with
+    | A (a, _) :: rest when is_id a ->
+      (Some (String.sub a 1 (String.length a - 1)), rest)
+    | _ -> (None, items)
+  in
+  match items with
+  | L (A ("result", l) :: t, _) :: rest -> (label, parse_result ~line:l t, rest)
+  | L (A ("param", l) :: _, _) :: _ ->
+    fail ~check:"type" ~line:l "block parameters are outside the subset"
+  | _ -> (label, false, items)
+
+(* Flat-form instruction starting with atom [a]; consumes immediates
+   (and, for block/loop, the bracketed body up to `end`) from [rest]. *)
+and parse_plain env labels a line rest : instr list =
+  match a with
+  | "block" | "loop" ->
+    let label, result, rest = parse_block_head ~line rest in
+    let body, rest = split_flat_body ~line rest in
+    let inner = parse_instrs env (label :: labels) body in
+    let i =
+      if a = "block" then Block { result; body = inner }
+      else Loop { result; body = inner }
+    in
+    i :: parse_instrs env labels rest
+  | "end" -> fail ~line "'end' without an open block"
+  | "else" | "if" | "then" ->
+    fail ~check:"unsupported" ~line "'if' is outside the subset (use br_if)"
+  | _ ->
+    let op, rest = parse_plain_folded env labels a line rest in
+    op @ parse_instrs env labels rest
+
+(* One operator + its immediates (shared by the flat and folded forms).
+   Returns the instruction(s) and the unconsumed items. *)
+and parse_plain_folded env labels a line rest : instr list * sexp list =
+  let one i rest = ([ i ], rest) in
+  match a with
+  | "i32.const" ->
+    (match rest with
+     | A (x, l) :: rest -> one (Const (parse_i32 ~line:l x)) rest
+     | _ -> fail ~line "i32.const expects a literal")
+  | "local.get" ->
+    (match rest with
+     | A (x, l) :: rest ->
+       one (Local_get (resolve_local env ~line:l (parse_index ~line:l x))) rest
+     | _ -> fail ~line "local.get expects a local index")
+  | "local.set" ->
+    (match rest with
+     | A (x, l) :: rest ->
+       one (Local_set (resolve_local env ~line:l (parse_index ~line:l x))) rest
+     | _ -> fail ~line "local.set expects a local index")
+  | "local.tee" ->
+    (match rest with
+     | A (x, l) :: rest ->
+       one (Local_tee (resolve_local env ~line:l (parse_index ~line:l x))) rest
+     | _ -> fail ~line "local.tee expects a local index")
+  | "global.get" ->
+    (match rest with
+     | A (x, l) :: rest ->
+       one (Global_get (resolve_global env ~line:l (parse_index ~line:l x))) rest
+     | _ -> fail ~line "global.get expects a global index")
+  | "global.set" ->
+    (match rest with
+     | A (x, l) :: rest ->
+       one (Global_set (resolve_global env ~line:l (parse_index ~line:l x))) rest
+     | _ -> fail ~line "global.set expects a global index")
+  | "call" ->
+    (match rest with
+     | A (x, l) :: rest ->
+       one (Call (resolve_func env ~line:l (parse_index ~line:l x))) rest
+     | _ -> fail ~line "call expects a function index")
+  | "br" ->
+    (match rest with
+     | A (x, l) :: rest ->
+       one (Br (resolve_label ~line:l labels (parse_index ~line:l x))) rest
+     | _ -> fail ~line "br expects a label")
+  | "br_if" ->
+    (match rest with
+     | A (x, l) :: rest ->
+       one (Br_if (resolve_label ~line:l labels (parse_index ~line:l x))) rest
+     | _ -> fail ~line "br_if expects a label")
+  | "i32.load" ->
+    let off, rest = parse_memarg ~line rest in
+    one (Load off) rest
+  | "i32.store" ->
+    let off, rest = parse_memarg ~line rest in
+    one (Store off) rest
+  | "i32.eqz" -> one Eqz rest
+  | "return" -> one Return rest
+  | "drop" -> one Drop rest
+  | "select" -> one Select rest
+  | "nop" -> one Nop rest
+  | "unreachable" | "call_indirect" | "br_table" | "memory.grow"
+  | "memory.size" ->
+    fail ~check:"unsupported" ~line "%s is outside the subset" a
+  | _ ->
+    (match binop_of_mnemonic a with
+     | Some op -> one (Bin op) rest
+     | None ->
+       (match cmpop_of_mnemonic a with
+        | Some op -> one (Cmp op) rest
+        | None ->
+          if String.length a > 4
+          && (String.sub a 0 4 = "i64." || String.sub a 0 4 = "f32."
+              || String.sub a 0 4 = "f64.")
+          then fail ~check:"type" ~line "%s: i32-only subset" a
+          else fail ~line "unknown instruction %S" a))
+
+(* Flat `block ... end` bracket matching over the item stream (nested
+   flat blocks tracked by depth). *)
+and split_flat_body ~line (items : sexp list) : sexp list * sexp list =
+  let rec go depth acc = function
+    | [] -> fail ~line "missing 'end' for block opened here"
+    | A ("end", _) :: rest when depth = 0 ->
+      (* `end` may repeat the label *)
+      (match rest with
+       | A (a, _) :: rest' when is_id a -> (List.rev acc, rest')
+       | _ -> (List.rev acc, rest))
+    | (A (("block" | "loop"), _) as x) :: rest -> go (depth + 1) (x :: acc) rest
+    | (A ("end", _) as x) :: rest -> go (depth - 1) (x :: acc) rest
+    | x :: rest -> go depth (x :: acc) rest
+  in
+  go 0 [] items
+
+(* ---------- module fields ---------- *)
+
+type raw_func = {
+  rf_name : string option;
+  rf_export : string option;
+  rf_params : (string option * int) list;   (* name, line *)
+  rf_result : bool;
+  rf_locals : (string option * int) list;
+  rf_body : sexp list;
+  rf_line : int;
+}
+
+let parse_named_decls ~(kind : string) (groups : sexp list) :
+  (string option * int) list * sexp list =
+  let rec go acc = function
+    | L (A (k, l) :: t, _) :: rest when k = kind ->
+      let decls =
+        match t with
+        | A (a, _) :: A (ty, lt) :: tl when is_id a ->
+          if tl <> [] then
+            fail ~line:l "a named (%s ...) declares exactly one %s" kind kind;
+          check_valtype ~line:lt ty;
+          [ (Some (String.sub a 1 (String.length a - 1)), l) ]
+        | ts ->
+          List.map
+            (fun s ->
+               match s with
+               | A (ty, lt) -> check_valtype ~line:lt ty; (None, lt)
+               | _ -> fail ~line:l "malformed (%s ...)" kind)
+            ts
+      in
+      let more, rest = go acc rest in
+      (decls @ more, rest)
+    | rest -> (List.rev acc, rest)
+  in
+  go [] groups
+
+let parse_func_head ~line (items : sexp list) : raw_func =
+  let name, items =
+    match items with
+    | A (a, _) :: rest when is_id a ->
+      (Some (String.sub a 1 (String.length a - 1)), rest)
+    | _ -> (None, items)
+  in
+  let export, items =
+    match items with
+    | L ([ A ("export", _); S (e, _) ], _) :: rest -> (Some e, rest)
+    | _ -> (None, items)
+  in
+  (match items with
+   | L (A ("type", l) :: _, _) :: _ ->
+     fail ~check:"unsupported" ~line:l "(type ...) uses are outside the subset"
+   | _ -> ());
+  let params, items = parse_named_decls ~kind:"param" items in
+  let result, items =
+    match items with
+    | L (A ("result", l) :: t, _) :: rest -> (parse_result ~line:l t, rest)
+    | _ -> (false, items)
+  in
+  let locals, body = parse_named_decls ~kind:"local" items in
+  { rf_name = name; rf_export = export; rf_params = params;
+    rf_result = result; rf_locals = locals; rf_body = body; rf_line = line }
+
+let parse_import ~line (items : sexp list) : import =
+  match items with
+  | [ S (m, _); S (n, _); L (A ("func", _) :: spec, _) ] ->
+    let name, spec =
+      match spec with
+      | A (a, _) :: rest when is_id a ->
+        (Some (String.sub a 1 (String.length a - 1)), rest)
+      | _ -> (None, spec)
+    in
+    let params, spec = parse_named_decls ~kind:"param" spec in
+    let result, spec =
+      match spec with
+      | L (A ("result", l) :: t, _) :: rest -> (parse_result ~line:l t, rest)
+      | _ -> (false, spec)
+    in
+    if spec <> [] then fail ~line "malformed function import";
+    { imp_module = m; imp_name = n; imp_fname = name;
+      imp_params = List.length params; imp_result = result }
+  | _ -> fail ~line "only function imports are supported"
+
+let parse_global ~line (items : sexp list) :
+  global * int (* declaration line *) =
+  let name, items =
+    match items with
+    | A (a, _) :: rest when is_id a ->
+      (Some (String.sub a 1 (String.length a - 1)), rest)
+    | _ -> (None, items)
+  in
+  let mut, items =
+    match items with
+    | L ([ A ("mut", _); A (t, lt) ], _) :: rest ->
+      check_valtype ~line:lt t; (true, rest)
+    | A (t, lt) :: rest -> check_valtype ~line:lt t; (false, rest)
+    | _ -> fail ~line "malformed global type"
+  in
+  match items with
+  | [ L ([ A ("i32.const", _); A (v, lv) ], _) ] ->
+    ({ gl_name = name; gl_mut = mut; gl_init = parse_i32 ~line:lv v }, line)
+  | _ -> fail ~line "global initializer must be (i32.const N)"
+
+(* 64 KiB pages; the cap keeps the linear memory inside the simulator's
+   data segment (data_base .. stack_top leaves ~6 MiB). *)
+let max_pages = 64
+
+let parse_memory ~line (items : sexp list) : int =
+  let items =
+    match items with
+    | A (a, _) :: rest when is_id a -> rest
+    | _ -> items
+  in
+  match items with
+  | [ A (n, l) ] | [ A (n, l); A (_, _) ] ->
+    (match int_of_string_opt n with
+     | Some pages when pages >= 0 && pages <= max_pages -> pages
+     | Some pages when pages > max_pages ->
+       fail ~check:"memory" ~line:l "memory of %d pages exceeds the %d-page cap"
+         pages max_pages
+     | _ -> fail ~line:l "malformed memory size %S" n)
+  | _ -> fail ~line "malformed (memory ...)"
+
+(* ---------- module assembly ---------- *)
+
+let parse_module (fields : sexp list) ~(line : int) : module_ =
+  let imports = ref [] and raw_funcs = ref [] and globals = ref [] in
+  let mem = ref None in
+  let module_exports = ref [] in   (* (export name, func index spec, line) *)
+  List.iter
+    (fun field ->
+       match field with
+       | L (A ("import", l) :: items, _) ->
+         if !raw_funcs <> [] then
+           fail ~line:l "imports must precede function definitions";
+         imports := parse_import ~line:l items :: !imports
+       | L (A ("func", l) :: items, _) ->
+         raw_funcs := parse_func_head ~line:l items :: !raw_funcs
+       | L (A ("global", l) :: items, _) ->
+         globals := fst (parse_global ~line:l items) :: !globals
+       | L (A ("memory", l) :: items, _) ->
+         (match !mem with
+          | Some _ -> fail ~line:l "multiple memories"
+          | None -> mem := Some (parse_memory ~line:l items))
+       | L ([ A ("export", l); S (e, _); L ([ A ("func", _); A (fidx, lf) ], _) ], _) ->
+         module_exports := (e, parse_index ~line:lf fidx, l) :: !module_exports
+       | L (A ("export", l) :: _, _) -> fail ~line:l "malformed (export ...)"
+       | L (A (("start" | "table" | "elem" | "data" | "type") as k, l) :: _, _) ->
+         fail ~check:"unsupported" ~line:l "(%s ...) is outside the subset" k
+       | s -> fail ~line:(sexp_line s) "unknown module field")
+    fields;
+  let imports = List.rev !imports in
+  let raw_funcs = List.rev !raw_funcs in
+  let globals = List.rev !globals in
+  (* name tables: function space = imports then funcs *)
+  let funcspace = Hashtbl.create 16 in
+  let add_fname name idx line =
+    match name with
+    | None -> ()
+    | Some n ->
+      if Hashtbl.mem funcspace n then
+        fail ~check:"duplicate-name" ~line "duplicate function name $%s" n;
+      Hashtbl.replace funcspace n idx
+  in
+  List.iteri (fun i (im : import) -> add_fname im.imp_fname i line) imports;
+  let ni = List.length imports in
+  List.iteri (fun i rf -> add_fname rf.rf_name (ni + i) rf.rf_line) raw_funcs;
+  let globals_tbl = Hashtbl.create 8 in
+  List.iteri
+    (fun i (g : global) ->
+       match g.gl_name with
+       | None -> ()
+       | Some n ->
+         if Hashtbl.mem globals_tbl n then
+           fail ~check:"duplicate-name" ~line "duplicate global name $%s" n;
+         Hashtbl.replace globals_tbl n i)
+    globals;
+  (* module-level exports attach to their function *)
+  let exports = Array.make (max 1 (List.length raw_funcs)) None in
+  List.iteri
+    (fun i rf -> if rf.rf_export <> None then exports.(i) <- rf.rf_export)
+    raw_funcs;
+  let seen_export = Hashtbl.create 4 in
+  List.iteri
+    (fun i rf ->
+       match rf.rf_export with
+       | Some e ->
+         if Hashtbl.mem seen_export e then
+           fail ~check:"duplicate-name" ~line:rf.rf_line
+             "duplicate export %S" e;
+         Hashtbl.replace seen_export e i
+       | None -> ())
+    raw_funcs;
+  List.iter
+    (fun (e, idx, l) ->
+       if Hashtbl.mem seen_export e then
+         fail ~check:"duplicate-name" ~line:l "duplicate export %S" e;
+       let fi =
+         match idx with
+         | `Num n -> n
+         | `Name n ->
+           (match Hashtbl.find_opt funcspace n with
+            | Some i -> i
+            | None -> fail ~check:"unknown-func" ~line:l "unknown function $%s" n)
+       in
+       if fi < ni then
+         fail ~line:l "cannot export an imported function";
+       if fi - ni >= List.length raw_funcs then
+         fail ~check:"unknown-func" ~line:l "function index %d out of range" fi;
+       Hashtbl.replace seen_export e (fi - ni);
+       exports.(fi - ni) <- Some e)
+    (List.rev !module_exports);
+  (* function bodies *)
+  let funcs =
+    List.mapi
+      (fun i rf ->
+         let locals_tbl = Hashtbl.create 8 in
+         List.iteri
+           (fun j (n, l) ->
+              match n with
+              | Some n ->
+                if Hashtbl.mem locals_tbl n then
+                  fail ~check:"duplicate-name" ~line:l
+                    "duplicate local name $%s" n;
+                Hashtbl.replace locals_tbl n j
+              | None -> ())
+           (rf.rf_params @ rf.rf_locals);
+         let env =
+           { locals = locals_tbl;
+             nlocals = List.length rf.rf_params + List.length rf.rf_locals;
+             funcspace;
+             nfuncs = ni + List.length raw_funcs;
+             globals = globals_tbl;
+             nglobals = List.length globals }
+         in
+         { fn_name = rf.rf_name;
+           params = List.length rf.rf_params;
+           result = rf.rf_result;
+           locals = List.length rf.rf_locals;
+           body = parse_instrs env [] rf.rf_body;
+           export = exports.(i) })
+      raw_funcs
+  in
+  { imports; funcs; globals; mem_pages = !mem }
+
+(* [parse src] parses one `(module ...)` from WAT source text. *)
+let parse (src : string) : module_ =
+  match parse_sexps (Lexer.tokenize src) with
+  | [ L (A ("module", l) :: fields, _) ] -> parse_module fields ~line:l
+  | [ s ] -> fail ~line:(sexp_line s) "expected a (module ...)"
+  | [] -> fail ~line:1 "empty input"
+  | _ :: s :: _ ->
+    fail ~line:(sexp_line s) "expected exactly one (module ...)"

@@ -1,0 +1,8 @@
+(** WAT parser for the subset (flat and folded instruction forms; $names
+    resolved to dense indices). *)
+
+val parse : string -> Ast.module_
+(** Parse one [(module ...)] from WAT source text.
+    @raise Diag.Error (code [Wasm_error]) on malformed input, with a
+    "check" context of "parse", "type", "unsupported", "br-depth",
+    "duplicate-name", or "unknown-{local,global,func,label}". *)

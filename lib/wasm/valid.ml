@@ -1,0 +1,205 @@
+(* Validator for the WASM subset: module-level linking rules plus a
+   per-function abstract interpretation of the operand stack.
+
+   The stack discipline follows the WASM spec's validation algorithm,
+   with one documented simplification: code after an unconditional
+   transfer (`br`/`return`) is dead and is skipped to the end of its
+   enclosing frame rather than checked polymorphically.  The lowering
+   (lower.ml) skips exactly the same instructions, so validated modules
+   never reach the polymorphic-stack case there.
+
+   Failures raise [Diag.Error] with code [Wasm_error] and a "check"
+   context naming the class: "no-main", "too-many-params",
+   "unknown-import", "no-memory", "immutable-global", "stack-underflow",
+   "type". *)
+
+open Ast
+
+(* riscv_cc passes call arguments in a0..a7; the subset inherits that
+   cap so WASM calls lower to plain IR calls on both back ends. *)
+let max_params = 8
+
+let fail ~check ~where fmt =
+  Format.kasprintf
+    (fun s ->
+       raise
+         (Diag.Error
+            (Diag.make
+               ~context:
+                 [ ("frontend", "wasm"); ("check", check); ("where", where) ]
+               Diag.Wasm_error s)))
+    fmt
+
+(* ---------- module-level checks ---------- *)
+
+let known_imports = [ ("env", "putint"); ("env", "putchar") ]
+
+let check_imports (m : module_) =
+  List.iter
+    (fun (im : import) ->
+       let where =
+         Printf.sprintf "import %s.%s" im.imp_module im.imp_name
+       in
+       if not (List.mem (im.imp_module, im.imp_name) known_imports) then
+         fail ~check:"unknown-import" ~where
+           "unknown import %s.%s (the subset links env.putint and env.putchar)"
+           im.imp_module im.imp_name;
+       if im.imp_params <> 1 || im.imp_result then
+         fail ~check:"unknown-import" ~where
+           "%s.%s must have signature (param i32) with no result"
+           im.imp_module im.imp_name)
+    m.imports
+
+let find_main (m : module_) : int =
+  let rec go i = function
+    | [] ->
+      fail ~check:"no-main" ~where:"module"
+        "no exported \"main\" function"
+    | (f : func) :: rest ->
+      if f.export = Some "main" then begin
+        if f.params <> 0 then
+          fail ~check:"type" ~where:"main"
+            "main must take no parameters";
+        if not f.result then
+          fail ~check:"type" ~where:"main"
+            "main must return an i32 exit code";
+        i
+      end
+      else go (i + 1) rest
+  in
+  go 0 m.funcs
+
+(* ---------- per-function stack checking ---------- *)
+
+type frame_kind = Fblock | Floop | Ffunc
+
+type frame = {
+  kind : frame_kind;
+  result : bool;                 (* result arity of the construct *)
+  base : int;                    (* operand-stack height at entry *)
+}
+
+(* A label's branch arity: branching to a loop re-enters the header and
+   carries no values; branching to a block or the function frame carries
+   the construct's result. *)
+let label_arity (f : frame) =
+  match f.kind with Floop -> 0 | Fblock | Ffunc -> if f.result then 1 else 0
+
+let check_func (m : module_) (fidx : int) (f : func) =
+  let where =
+    match f.fn_name with
+    | Some n -> "func $" ^ n
+    | None -> Printf.sprintf "func %d" (List.length m.imports + fidx)
+  in
+  if f.params > max_params then
+    fail ~check:"too-many-params" ~where
+      "%d parameters exceed the %d-register argument convention"
+      f.params max_params;
+  let has_mem = m.mem_pages <> None in
+  let height = ref 0 in
+  let pop (fr : frame) what =
+    if !height <= fr.base then
+      fail ~check:"stack-underflow" ~where
+        "%s needs an operand but the stack is empty" what;
+    decr height
+  in
+  let push () = incr height in
+  (* returns true when the sequence ended with an unconditional
+     transfer (so the caller's fall-through is unreachable) *)
+  let rec check_seq (frames : frame list) (body : instr list) : bool =
+    let fr = List.hd frames in
+    match body with
+    | [] -> false
+    | i :: rest ->
+      let dead =
+        match i with
+        | Const _ -> push (); false
+        | Bin op ->
+          pop fr (binop_mnemonic op); pop fr (binop_mnemonic op);
+          push (); false
+        | Cmp op ->
+          pop fr (cmpop_mnemonic op); pop fr (cmpop_mnemonic op);
+          push (); false
+        | Eqz -> pop fr "i32.eqz"; push (); false
+        | Local_get _ -> push (); false
+        | Local_set _ -> pop fr "local.set"; false
+        | Local_tee _ -> pop fr "local.tee"; push (); false
+        | Global_get _ -> push (); false
+        | Global_set g ->
+          if not (List.nth m.globals g).gl_mut then
+            fail ~check:"immutable-global" ~where
+              "global.set of immutable global %d" g;
+          pop fr "global.set"; false
+        | Load _ ->
+          if not has_mem then
+            fail ~check:"no-memory" ~where
+              "i32.load without a (memory ...) declaration";
+          pop fr "i32.load"; push (); false
+        | Store _ ->
+          if not has_mem then
+            fail ~check:"no-memory" ~where
+              "i32.store without a (memory ...) declaration";
+          pop fr "i32.store"; pop fr "i32.store"; false
+        | Call c ->
+          let params, result = func_sig m c in
+          for _ = 1 to params do pop fr "call" done;
+          if result then push ();
+          false
+        | Drop -> pop fr "drop"; false
+        | Select ->
+          pop fr "select"; pop fr "select"; pop fr "select"; push (); false
+        | Nop -> false
+        | Block { result; body } ->
+          let inner = { kind = Fblock; result; base = !height } in
+          let dead_end = check_seq (inner :: frames) body in
+          close_frame inner ~dead_end "block";
+          false
+        | Loop { result; body } ->
+          let inner = { kind = Floop; result; base = !height } in
+          let dead_end = check_seq (inner :: frames) body in
+          close_frame inner ~dead_end "loop";
+          false
+        | Br d ->
+          let target = List.nth frames d in
+          for _ = 1 to label_arity target do pop fr "br" done;
+          true
+        | Br_if d ->
+          pop fr "br_if";
+          let target = List.nth frames d in
+          let arity = label_arity target in
+          (* the label values are both passed and kept *)
+          if !height - fr.base < arity then
+            fail ~check:"stack-underflow" ~where
+              "br_if needs %d label value(s) but the stack is empty" arity;
+          false
+        | Return ->
+          if f.result then pop fr "return";
+          true
+      in
+      if dead then true   (* skip the rest of this frame: dead code *)
+      else check_seq frames rest
+  (* On frame exit the stack must hold exactly the construct's results
+     above the entry height (unless the end is unreachable, where the
+     result materializes polymorphically). *)
+  and close_frame (fr : frame) ~(dead_end : bool) (what : string) =
+    let want = fr.base + if fr.result then 1 else 0 in
+    if dead_end then height := want
+    else if !height <> want then
+      fail ~check:"type" ~where
+        "%s leaves %d value(s), expected %d" what (!height - fr.base)
+        (want - fr.base)
+  in
+  let top = { kind = Ffunc; result = f.result; base = 0 } in
+  let dead_end = check_seq [ top ] f.body in
+  let want = if f.result then 1 else 0 in
+  if (not dead_end) && !height <> want then
+    fail ~check:"type" ~where
+      "function body leaves %d value(s), expected %d" !height want
+
+(* [check m] validates the module; returns the index (within
+   [m.funcs]) of the exported "main". *)
+let check (m : module_) : int =
+  check_imports m;
+  let main = find_main m in
+  List.iteri (fun i f -> check_func m i f) m.funcs;
+  main

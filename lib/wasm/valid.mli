@@ -1,0 +1,15 @@
+(** Validator for the WASM subset: module-level linking rules plus the
+    spec's abstract operand-stack discipline per function (with dead
+    code after an unconditional branch skipped, exactly as the lowering
+    skips it). *)
+
+val max_params : int
+(** Parameter-count cap inherited from the 8-register argument
+    convention of the RV32 back end. *)
+
+val check : Ast.module_ -> int
+(** [check m] validates [m]; returns the index within [m.funcs] of the
+    exported ["main"].
+    @raise Diag.Error (code [Wasm_error]) with a "check" context of
+    "no-main", "too-many-params", "unknown-import", "no-memory",
+    "immutable-global", "stack-underflow", or "type". *)

@@ -475,4 +475,155 @@ let pointer_chase ?(nodes = 8192) ?(hops = 20000) () =
 let stream ?(iterations = 100) () =
   { name = "stream"; source = stream_source iterations; iterations }
 
+(* ---------- WASM kernels ----------
+
+   WAT sources exercising the stack-machine front-end (lib/wasm): the
+   operand stack lowers to SSA values, so deep stacks become long live
+   ranges — a distance-pressure profile MiniC code never produces. *)
+
+let wasm_sieve_source limit =
+  Printf.sprintf
+    {|;; sieve of Eratosthenes over [2, %d]: composite flags live in
+;; linear memory (one word per candidate), prints the prime count.
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (memory 1)
+  (func (export "main") (result i32)
+    (local $i i32) (local $j i32) (local $count i32)
+    (local.set $i (i32.const 2))
+    (block $sieved
+      (loop $outer
+        (br_if $sieved
+          (i32.gt_s (i32.mul (local.get $i) (local.get $i)) (i32.const %d)))
+        (block $composite
+          (br_if $composite (i32.load (i32.shl (local.get $i) (i32.const 2))))
+          (local.set $j (i32.mul (local.get $i) (local.get $i)))
+          (loop $mark
+            (block $marked
+              (br_if $marked (i32.gt_s (local.get $j) (i32.const %d)))
+              (i32.store (i32.shl (local.get $j) (i32.const 2)) (i32.const 1))
+              (local.set $j (i32.add (local.get $j) (local.get $i)))
+              (br $mark))))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $outer)))
+    (local.set $i (i32.const 2))
+    (block $counted
+      (loop $count_loop
+        (br_if $counted (i32.gt_s (local.get $i) (i32.const %d)))
+        (local.set $count
+          (i32.add (local.get $count)
+                   (i32.eqz (i32.load (i32.shl (local.get $i) (i32.const 2))))))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $count_loop)))
+    (call $putint (local.get $count))
+    (i32.const 0)))
+|}
+    limit limit limit limit
+
+let wasm_crc32_source nbytes =
+  Printf.sprintf
+    {|;; bitwise CRC-32 (poly 0xEDB88320) over %d LCG-generated bytes
+;; staged in linear memory; prints the final checksum.
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (memory 1)
+  (global $poly i32 (i32.const 0xEDB88320))
+  (func $crc_byte (param $crc i32) (param $b i32) (result i32)
+    (local $k i32)
+    (local.set $crc (i32.xor (local.get $crc) (local.get $b)))
+    (block $done
+      (loop $bits
+        (br_if $done (i32.ge_s (local.get $k) (i32.const 8)))
+        (local.set $crc
+          (i32.xor
+            (i32.shr_u (local.get $crc) (i32.const 1))
+            (i32.and
+              (i32.sub (i32.const 0) (i32.and (local.get $crc) (i32.const 1)))
+              (global.get $poly))))
+        (local.set $k (i32.add (local.get $k) (i32.const 1)))
+        (br $bits)))
+    (local.get $crc))
+  (func (export "main") (result i32)
+    (local $i i32) (local $crc i32) (local $x i32)
+    (local.set $crc (i32.const -1))
+    (local.set $x (i32.const 12345))
+    (block $filled
+      (loop $fill
+        (br_if $filled (i32.ge_s (local.get $i) (i32.const %d)))
+        (local.set $x
+          (i32.add (i32.mul (local.get $x) (i32.const 1103515245))
+                   (i32.const 12345)))
+        (i32.store (i32.shl (local.get $i) (i32.const 2))
+                   (i32.and (i32.shr_u (local.get $x) (i32.const 16))
+                            (i32.const 255)))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $fill)))
+    (local.set $i (i32.const 0))
+    (block $done
+      (loop $go
+        (br_if $done (i32.ge_s (local.get $i) (i32.const %d)))
+        (local.set $crc
+          (call $crc_byte (local.get $crc)
+                (i32.load (i32.shl (local.get $i) (i32.const 2)))))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $go)))
+    (call $putint (i32.xor (local.get $crc) (i32.const -1)))
+    (i32.const 0)))
+|}
+    nbytes nbytes nbytes
+
+let wasm_expr_source iters =
+  Printf.sprintf
+    {|;; deep-operand-stack expression kernel: each round pushes 16
+;; independent terms before reducing them, so 16 SSA values are live
+;; at once — maximal distance pressure for the STRAIGHT back end.
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (func $round (param $x i32) (result i32)
+    local.get $x i32.const 1 i32.add
+    local.get $x i32.const 3 i32.mul
+    local.get $x i32.const 5 i32.xor
+    local.get $x i32.const 7 i32.add
+    local.get $x i32.const 11 i32.mul
+    local.get $x i32.const 13 i32.xor
+    local.get $x i32.const 17 i32.add
+    local.get $x i32.const 19 i32.mul
+    local.get $x i32.const 23 i32.xor
+    local.get $x i32.const 29 i32.add
+    local.get $x i32.const 31 i32.mul
+    local.get $x i32.const 37 i32.xor
+    local.get $x i32.const 41 i32.add
+    local.get $x i32.const 43 i32.mul
+    local.get $x i32.const 47 i32.xor
+    local.get $x i32.const 53 i32.add
+    i32.add i32.xor i32.add i32.xor i32.add
+    i32.xor i32.add i32.xor i32.add i32.xor
+    i32.add i32.xor i32.add i32.xor i32.add)
+  (func (export "main") (result i32)
+    (local $i i32) (local $acc i32)
+    (local.set $acc (i32.const 9))
+    (block $done
+      (loop $go
+        (br_if $done (i32.ge_s (local.get $i) (i32.const %d)))
+        (local.set $acc
+          (i32.xor (local.get $acc)
+                   (call $round (i32.add (local.get $acc) (local.get $i)))))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $go)))
+    (call $putint (local.get $acc))
+    (i32.const 0)))
+|}
+    iters
+
+let wasm_sieve ?(limit = 2000) () =
+  { name = "wasm_sieve"; source = wasm_sieve_source limit; iterations = 1 }
+
+let wasm_crc32 ?(nbytes = 256) () =
+  { name = "wasm_crc32"; source = wasm_crc32_source nbytes; iterations = 1 }
+
+let wasm_expr ?(iters = 600) () =
+  { name = "wasm_expr"; source = wasm_expr_source iters; iterations = 1 }
+
+let all_wasm () = [ wasm_sieve (); wasm_crc32 (); wasm_expr () ]
+
 let all_benchmarks () = [ dhrystone (); coremark () ]

@@ -44,5 +44,22 @@ val stream : ?iterations:int -> unit -> t
     ~100k instructions; the default 100 iterations reach the
     ~10M-instruction scale that only completes under [-sample]. *)
 
+val wasm_sieve : ?limit:int -> unit -> t
+(** WAT source: sieve of Eratosthenes with composite flags in linear
+    memory; prints the prime count.  Exercises the WASM front-end's
+    loads/stores and nested structured control. *)
+
+val wasm_crc32 : ?nbytes:int -> unit -> t
+(** WAT source: bitwise CRC-32 over LCG bytes staged in linear memory;
+    globals, an inner helper call, and unsigned shifts. *)
+
+val wasm_expr : ?iters:int -> unit -> t
+(** WAT source: deep-operand-stack expression kernel — 16 terms live
+    simultaneously each round, the distance-pressure profile that
+    motivated the WASM front-end (DESIGN.md §15). *)
+
+val all_wasm : unit -> t list
+(** The three WASM kernels. *)
+
 val all_benchmarks : unit -> t list
 (** The two paper benchmarks. *)

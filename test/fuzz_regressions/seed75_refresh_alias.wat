@@ -1,0 +1,47 @@
+;; seed 75 of the first wasm campaign: straight re+/raw at max_dist 31
+;; raised "distance 32 for value 0 out of range" -- pseudo temps pinned
+;; to an IR value's producer position were invisible to refresh
+;; batches, and aliased positions double-counted in the batch layout.
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (memory 1)
+  (global $g0 (mut i32) (i32.const 2147483647))
+  (global $g1 (mut i32) (i32.const 32))
+  (func $h1 (param i32) (param i32) (result i32) (local i32)
+    (drop (local.tee 1 (i32.rem_u (i32.const 65535) (i32.le_s (local.get 0) (i32.const -513843246)))))
+    (i32.store (i32.shl (i32.and (i32.eq (select (global.get $g0) (local.get 0) (local.get 0)) (i32.lt_u (local.get 1) (i32.const -2033865189))) (i32.const 255)) (i32.const 2)) (select (i32.eqz (i32.sub (local.get 0) (i32.const -268166998))) (i32.add (i32.ge_s (local.get 2) (local.get 2)) (i32.add (global.get $g0) (local.get 2))) (i32.div_s (i32.eqz (local.get 0)) (i32.const 256))))
+    (local.set 1 (i32.ge_s (i32.ge_u (local.get 2) (i32.load (i32.shl (i32.and (local.get 1) (i32.const 255)) (i32.const 2)))) (i32.div_s (i32.mul (i32.const 973555641) (i32.const -277242186)) (i32.eq (global.get $g1) (i32.const 2147479552)))))
+    (i32.load (i32.shl (i32.and (i32.mul (i32.lt_u (i32.const 1673922118) (local.get 0)) (i32.mul (local.get 2) (local.get 1))) (i32.const 255)) (i32.const 2))))
+  (func $main (export "main") (result i32) (local i32) (local i32) (local i32) (local i32)
+    (local.get 2)
+    (local.get 2)
+    (local.get 2)
+    (i32.ge_u (i32.const -1) (local.get 0))
+    (i32.const 1517057899)
+    (i32.const -1089303788)
+    (i32.gt_s (local.get 2) (local.get 2))
+    i32.xor
+    i32.add
+    i32.xor
+    i32.add
+    i32.xor
+    i32.add
+    (local.set 1)
+    (call $putint (i32.eqz (select (i32.const -1792875648) (local.get 0) (global.get $g0))))
+    (local.set 3 (i32.const 0))
+    (block
+      (loop
+        (br_if 1 (i32.ge_s (local.get 3) (i32.const 3)))
+        (drop (local.tee 2 (i32.lt_s (global.get $g0) (local.get 0))))
+        (local.set 3 (i32.add (local.get 3) (i32.const 1)))
+        (br 0)
+      )
+    )
+    (call $putint (global.get $g0))
+    (call $putint (global.get $g1))
+    (call $putint (i32.load (i32.shl (i32.and (i32.const 0) (i32.const 255)) (i32.const 2))))
+    (call $putint (i32.load (i32.shl (i32.and (i32.const 1) (i32.const 255)) (i32.const 2))))
+    (call $putint (i32.load (i32.shl (i32.and (i32.const 2) (i32.const 255)) (i32.const 2))))
+    (call $putint (i32.load (i32.shl (i32.and (i32.const 3) (i32.const 255)) (i32.const 2))))
+    (i32.const 2147483647))
+)

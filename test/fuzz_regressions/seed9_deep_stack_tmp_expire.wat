@@ -1,0 +1,125 @@
+;; seed 9 of the first wasm campaign: straight raw at max_dist 31 raised
+;; "distance 36 for value -34 out of range" -- a constant-materialization
+;; temp expired when a refresh batch fired between its definition and its
+;; use inside one deep-operand-stack statement.
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (memory 1)
+  (global $g0 (mut i32) (i32.const 804170973))
+  (global $g1 (mut i32) (i32.const 1305718750))
+  (func $h1 (param i32) (result i32) (local i32) (local i32) (local i32) (local i32)
+    (drop (local.tee 2 (i32.const -406003444)))
+    (local.set 4 (i32.const 0))
+    (block
+      (loop
+        (br_if 1 (i32.ge_s (local.get 4) (i32.const 6)))
+        (global.set $g0 (i32.and (i32.const 1235505267) (i32.const -1)))
+        (i32.store (i32.shl (i32.and (i32.rem_u (i32.div_s (i32.const 256) (i32.const -1155442723)) (global.get $g1)) (i32.const 255)) (i32.const 2)) (i32.load (i32.shl (i32.and (i32.div_u (i32.le_s (i32.const 2) (local.get 3)) (i32.ge_s (local.get 2) (i32.const 1000))) (i32.const 255)) (i32.const 2))))
+        (local.set 4 (i32.add (local.get 4) (i32.const 1)))
+        (br 0)
+      )
+    )
+    (local.set 2 (i32.gt_s (i32.gt_u (i32.load (i32.shl (i32.and (local.get 1) (i32.const 255)) (i32.const 2))) (i32.rem_u (i32.const 1450752824) (local.get 2))) (i32.or (i32.const 255) (i32.rem_u (i32.const -32769) (global.get $g0)))))
+    (i32.div_s (global.get $g0) (i32.ge_u (i32.lt_s (i32.const -1428292546) (local.get 0)) (select (i32.const -847434525) (i32.const 2121078543) (local.get 0)))))
+  (func $h2 (param i32) (param i32) (param i32) (result i32) (local i32) (local i32) (local i32) (local i32)
+    (block
+      (br_if 0 (i32.eqz (i32.load (i32.shl (i32.and (i32.le_s (i32.const -504134976) (local.get 1)) (i32.const 255)) (i32.const 2)))))
+      (local.set 4 (i32.const 0))
+      (block
+        (loop
+          (br_if 1 (i32.ge_s (local.get 4) (i32.const 8)))
+          (call $putint (i32.div_u (i32.const -2) (i32.shr_s (call $h1 (local.get 0)) (i32.ge_u (global.get $g1) (i32.const 1377337406)))))
+          (local.set 4 (i32.add (local.get 4) (i32.const 1)))
+          (br 0)
+        )
+      )
+    )
+    (local.set 5 (i32.const 0))
+    (block
+      (loop
+        (br_if 1 (i32.ge_s (local.get 5) (i32.const 3)))
+        (call $putint (i32.ne (i32.load (i32.shl (i32.and (local.get 1) (i32.const 255)) (i32.const 2))) (call $h1 (i32.const -7759960))))
+        (local.set 6 (i32.const 0))
+        (block
+          (loop
+            (br_if 1 (i32.ge_s (local.get 6) (i32.const 8)))
+            (local.set 6 (i32.add (local.get 6) (i32.const 1)))
+            (br 0)
+          )
+        )
+        (local.set 5 (i32.add (local.get 5) (i32.const 1)))
+        (br 0)
+      )
+    )
+    (i32.ne (i32.ge_s (i32.rem_u (i32.const -176014413) (i32.const 1005698810)) (i32.const -992675033)) (global.get $g1)))
+  (func $h3 (param i32) (param i32) (result i32) (local i32) (local i32) (local i32) (local i32)
+    (local.set 1 (i32.gt_u (i32.div_u (i32.load (i32.shl (i32.and (local.get 0) (i32.const 255)) (i32.const 2))) (i32.shr_u (global.get $g1) (global.get $g1))) (i32.xor (local.get 3) (select (i32.const -2147483648) (local.get 1) (i32.const 1977787688)))))
+    (local.set 5 (i32.const 0))
+    (block
+      (loop
+        (br_if 1 (i32.ge_s (local.get 5) (i32.const 1)))
+        (call $putint (local.get 4))
+        (local.set 5 (i32.add (local.get 5) (i32.const 1)))
+        (br 0)
+      )
+    )
+    (global.get $g0))
+  (func $main (export "main") (result i32) (local i32) (local i32) (local i32) (local i32) (local i32) (local i32) (local i32) (local i32)
+    (local.set 4 (i32.const 0))
+    (block
+      (loop
+        (br_if 1 (i32.ge_s (local.get 4) (i32.const 7)))
+        (block
+          (br_if 0 (i32.eqz (i32.lt_s (i32.or (i32.const 65535) (i32.const 2048)) (i32.le_s (local.get 3) (i32.const -513798092)))))
+          (local.set 0 (i32.le_s (i32.const 8) (i32.load (i32.shl (i32.and (i32.eqz (i32.const 100)) (i32.const 255)) (i32.const 2)))))
+          (local.set 5 (i32.const 0))
+          (block
+            (loop
+              (br_if 1 (i32.ge_s (local.get 5) (i32.const 4)))
+              (call $putint (i32.le_s (global.get $g1) (i32.const -1249301786)))
+              (local.set 5 (i32.add (local.get 5) (i32.const 1)))
+              (br 0)
+            )
+          )
+        )
+        (global.set $g0 (global.get $g1))
+        (local.set 6 (i32.const 0))
+        (block
+          (loop
+            (br_if 1 (i32.ge_s (local.get 6) (i32.const 1)))
+            (local.set 6 (i32.add (local.get 6) (i32.const 1)))
+            (br 0)
+          )
+        )
+        (local.set 4 (i32.add (local.get 4) (i32.const 1)))
+        (br 0)
+      )
+    )
+    (i32.const 65535)
+    (local.get 3)
+    (i32.load (i32.shl (i32.and (i32.le_s (local.get 2) (i32.const -1582080796)) (i32.const 255)) (i32.const 2)))
+    (select (i32.le_u (global.get $g0) (i32.const -246647964)) (i32.load (i32.shl (i32.and (i32.const -1475982246) (i32.const 255)) (i32.const 2))) (select (global.get $g1) (i32.const -32769) (local.get 3)))
+    (i32.div_s (select (i32.const 1784012841) (global.get $g1) (i32.const 1144767115)) (i32.ne (i32.const 2147479552) (i32.const 2027138528)))
+    i32.xor
+    i32.add
+    i32.xor
+    i32.add
+    (local.set 2)
+    (call $putint (i32.shr_s (i32.div_s (local.get 2) (i32.const 1151100211)) (i32.const -1519354085)))
+    (local.set 7 (i32.const 0))
+    (block
+      (loop
+        (br_if 1 (i32.ge_s (local.get 7) (i32.const 2)))
+        (call $putint (call $h3 (i32.const 1933275460) (i32.eqz (i32.const 1874486912))))
+        (local.set 7 (i32.add (local.get 7) (i32.const 1)))
+        (br 0)
+      )
+    )
+    (call $putint (global.get $g0))
+    (call $putint (global.get $g1))
+    (call $putint (i32.load (i32.shl (i32.and (i32.const 0) (i32.const 255)) (i32.const 2))))
+    (call $putint (i32.load (i32.shl (i32.and (i32.const 1) (i32.const 255)) (i32.const 2))))
+    (call $putint (i32.load (i32.shl (i32.and (i32.const 2) (i32.const 255)) (i32.const 2))))
+    (call $putint (i32.load (i32.shl (i32.and (i32.const 3) (i32.const 255)) (i32.const 2))))
+    (i32.const 65535))
+)

@@ -51,7 +51,10 @@ let regression_files =
   [ "fuzz_regressions/seed7_minint_call_arg.mc";
     "fuzz_regressions/seed696_condbr_refresh.mc";
     "fuzz_regressions/shift_ge32.mc";
-    "fuzz_regressions/seed140_folded_phi_prefix.mc" ]
+    "fuzz_regressions/seed140_folded_phi_prefix.mc";
+    (* WASM campaign reproducers (Diff.check sniffs the front-end) *)
+    "fuzz_regressions/seed9_deep_stack_tmp_expire.wat";
+    "fuzz_regressions/seed75_refresh_alias.wat" ]
 
 (* [dune runtest] runs in the stanza directory, [dune exec] wherever the
    user stands; accept both. *)

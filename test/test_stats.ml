@@ -34,12 +34,15 @@ let base_goldens =
     (Params.ss_4way, Exp.Riscv, w_quicksort, 10053, 9906);
     (Params.ss_4way, Exp.Riscv, w_pointer_chase, 2911, 5040);
     (Params.straight_2way, Exp.Straight_re, w_dhrystone, 9297, 7404);
-    (Params.straight_2way, Exp.Straight_re, w_coremark, 62615, 80483);
+    (* coremark re-recorded after the refresh-batch aliasing fix in
+       straight_cc: values pinned to one producer position now share a
+       single RMOV slot, shifting the batch layout by a few cycles *)
+    (Params.straight_2way, Exp.Straight_re, w_coremark, 62616, 80483);
     (Params.straight_2way, Exp.Straight_re, w_fib, 88404, 121239);
     (Params.straight_2way, Exp.Straight_re, w_quicksort, 11645, 12348);
     (Params.straight_2way, Exp.Straight_re, w_pointer_chase, 3591, 4837);
     (Params.straight_4way, Exp.Straight_re, w_dhrystone, 8413, 7404);
-    (Params.straight_4way, Exp.Straight_re, w_coremark, 47459, 80483);
+    (Params.straight_4way, Exp.Straight_re, w_coremark, 47464, 80483);
     (Params.straight_4way, Exp.Straight_re, w_fib, 59277, 121239);
     (Params.straight_4way, Exp.Straight_re, w_quicksort, 8710, 12348);
     (Params.straight_4way, Exp.Straight_re, w_pointer_chase, 2901, 4837) ]

@@ -1,0 +1,4 @@
+;; expect-exit: 42
+(module
+  (func $main (export "main") (result i32)
+    (i32.const 42)))

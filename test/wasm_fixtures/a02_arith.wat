@@ -1,0 +1,7 @@
+;; expect: 17
+;; expect-exit: 0
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (func $main (export "main") (result i32)
+    (call $putint (i32.sub (i32.add (i32.mul (i32.const 3) (i32.const 4)) (i32.const 10)) (i32.const 5)))
+    (i32.const 0)))

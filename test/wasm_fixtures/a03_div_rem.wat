@@ -1,0 +1,12 @@
+;; expect: -3
+;; expect: -1
+;; expect: 2
+;; expect: 1
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (func $main (export "main") (result i32)
+    (call $putint (i32.div_s (i32.const -7) (i32.const 2)))
+    (call $putint (i32.rem_s (i32.const -7) (i32.const 2)))
+    (call $putint (i32.div_u (i32.const 5) (i32.const 2)))
+    (call $putint (i32.rem_u (i32.const 5) (i32.const 2)))
+    (i32.const 0)))

@@ -1,0 +1,10 @@
+;; expect: 6
+;; expect: -2
+;; expect: 536870911
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (func $main (export "main") (result i32)
+    (call $putint (i32.xor (i32.and (i32.const 12) (i32.const 7)) (i32.or (i32.const 2) (i32.const 0))))
+    (call $putint (i32.shr_s (i32.const -16) (i32.const 3)))
+    (call $putint (i32.shr_u (i32.const -8) (i32.const 3)))
+    (i32.const 0)))

@@ -1,0 +1,8 @@
+;; expect: 2
+;; expect: 4
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (func $main (export "main") (result i32)
+    (call $putint (i32.shl (i32.const 1) (i32.const 33)))
+    (call $putint (i32.shl (i32.const 1) (i32.const 66)))
+    (i32.const 0)))

@@ -1,0 +1,12 @@
+;; expect: 1
+;; expect: 0
+;; expect: 1
+;; expect: 1
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (func $main (export "main") (result i32)
+    (call $putint (i32.lt_s (i32.const -5) (i32.const 3)))
+    (call $putint (i32.gt_s (i32.const -5) (i32.const 3)))
+    (call $putint (i32.le_s (i32.const 3) (i32.const 3)))
+    (call $putint (i32.ge_s (i32.const 4) (i32.const 3)))
+    (i32.const 0)))

@@ -1,0 +1,12 @@
+;; expect: 0
+;; expect: 1
+;; expect: 1
+;; expect: 0
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (func $main (export "main") (result i32)
+    (call $putint (i32.lt_u (i32.const -1) (i32.const 3)))
+    (call $putint (i32.gt_u (i32.const -1) (i32.const 3)))
+    (call $putint (i32.ge_u (i32.const -1) (i32.const -1)))
+    (call $putint (i32.le_u (i32.const -1) (i32.const 7)))
+    (i32.const 0)))

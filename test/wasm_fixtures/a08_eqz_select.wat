@@ -1,0 +1,12 @@
+;; expect: 1
+;; expect: 0
+;; expect: 10
+;; expect: 20
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (func $main (export "main") (result i32)
+    (call $putint (i32.eqz (i32.const 0)))
+    (call $putint (i32.eqz (i32.const 7)))
+    (call $putint (select (i32.const 10) (i32.const 20) (i32.const 1)))
+    (call $putint (select (i32.const 10) (i32.const 20) (i32.const 0)))
+    (i32.const 0)))

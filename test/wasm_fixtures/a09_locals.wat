@@ -1,0 +1,8 @@
+;; expect: 21
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (func $main (export "main") (result i32) (local $a i32) (local $b i32)
+    (local.set $a (i32.const 6))
+    (local.set $b (i32.add (local.tee $a (i32.mul (local.get $a) (i32.const 2))) (i32.const 9)))
+    (call $putint (local.get $b))
+    (i32.const 0)))

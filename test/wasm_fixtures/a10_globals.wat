@@ -1,0 +1,13 @@
+;; expect: 8
+;; expect: 15
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (global $g (mut i32) (i32.const 5))
+  (global $k i32 (i32.const 7))
+  (func $bump
+    (global.set $g (i32.add (global.get $g) (i32.const 3))))
+  (func $main (export "main") (result i32)
+    (call $bump)
+    (call $putint (global.get $g))
+    (call $putint (i32.add (global.get $g) (global.get $k)))
+    (i32.const 0)))

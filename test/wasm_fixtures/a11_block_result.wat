@@ -1,0 +1,6 @@
+;; expect: 12
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (func $main (export "main") (result i32)
+    (call $putint (block (result i32) (i32.add (i32.const 5) (i32.const 7))))
+    (i32.const 0)))

@@ -1,0 +1,8 @@
+;; expect: 99
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (func $main (export "main") (result i32)
+    (call $putint
+      (block $out (result i32)
+        (br $out (i32.const 99))))
+    (i32.const 0)))

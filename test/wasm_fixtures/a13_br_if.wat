@@ -1,0 +1,11 @@
+;; expect: 1
+;; expect: 3
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (func $main (export "main") (result i32) (local $x i32)
+    (block $b
+      (call $putint (i32.const 1))
+      (br_if $b (i32.eqz (local.get $x)))
+      (call $putint (i32.const 2)))
+    (call $putint (i32.const 3))
+    (i32.const 0)))

@@ -1,0 +1,13 @@
+;; expect: 55
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (func $main (export "main") (result i32) (local $i i32) (local $sum i32)
+    (local.set $i (i32.const 1))
+    (block $done
+      (loop $top
+        (br_if $done (i32.gt_s (local.get $i) (i32.const 10)))
+        (local.set $sum (i32.add (local.get $sum) (local.get $i)))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $top)))
+    (call $putint (local.get $sum))
+    (i32.const 0)))

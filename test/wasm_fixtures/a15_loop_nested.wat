@@ -1,0 +1,16 @@
+;; expect: 100
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (func $main (export "main") (result i32) (local $i i32) (local $j i32) (local $n i32)
+    (block $oi (loop $li
+      (br_if $oi (i32.ge_s (local.get $i) (i32.const 10)))
+      (local.set $j (i32.const 0))
+      (block $oj (loop $lj
+        (br_if $oj (i32.ge_s (local.get $j) (i32.const 10)))
+        (local.set $n (i32.add (local.get $n) (i32.const 1)))
+        (local.set $j (i32.add (local.get $j) (i32.const 1)))
+        (br $lj)))
+      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+      (br $li)))
+    (call $putint (local.get $n))
+    (i32.const 0)))

@@ -1,0 +1,15 @@
+;; expect: 20
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (func $main (export "main") (result i32) (local $i i32) (local $sum i32)
+    (block $break
+      (loop $top
+        (br_if $break (i32.ge_s (local.get $i) (i32.const 100)))
+        (block $continue
+          (br_if $continue (i32.rem_s (local.get $i) (i32.const 2)))
+          (br_if $break (i32.gt_s (local.get $i) (i32.const 8)))
+          (local.set $sum (i32.add (local.get $sum) (local.get $i))))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $top)))
+    (call $putint (local.get $sum))
+    (i32.const 0)))

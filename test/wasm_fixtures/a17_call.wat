@@ -1,0 +1,8 @@
+;; expect: 7
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (func $add (param $a i32) (param $b i32) (result i32)
+    (i32.add (local.get $a) (local.get $b)))
+  (func $main (export "main") (result i32)
+    (call $putint (call $add (i32.const 3) (i32.const 4)))
+    (i32.const 0)))

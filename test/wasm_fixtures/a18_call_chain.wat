@@ -1,0 +1,9 @@
+;; expect: 30
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (func $h (param i32) (result i32) (i32.add (local.get 0) (i32.const 1)))
+  (func $g (param i32) (result i32) (i32.mul (call $h (local.get 0)) (i32.const 2)))
+  (func $f (param i32) (result i32) (i32.add (call $g (local.get 0)) (i32.const 10)))
+  (func $main (export "main") (result i32)
+    (call $putint (call $f (i32.const 9)))
+    (i32.const 0)))

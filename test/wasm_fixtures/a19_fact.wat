@@ -1,0 +1,14 @@
+;; expect: 3628800
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (func $main (export "main") (result i32) (local $n i32) (local $f i32)
+    (local.set $n (i32.const 10))
+    (local.set $f (i32.const 1))
+    (block $done
+      (loop $top
+        (br_if $done (i32.le_s (local.get $n) (i32.const 1)))
+        (local.set $f (i32.mul (local.get $f) (local.get $n)))
+        (local.set $n (i32.sub (local.get $n) (i32.const 1)))
+        (br $top)))
+    (call $putint (local.get $f))
+    (i32.const 0)))

@@ -1,0 +1,11 @@
+;; expect: 11
+;; expect: 22
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (memory 1)
+  (func $main (export "main") (result i32)
+    (i32.store (i32.const 0) (i32.const 11))
+    (i32.store (i32.const 4) (i32.const 22))
+    (call $putint (i32.load (i32.const 0)))
+    (call $putint (i32.load (i32.const 4)))
+    (i32.const 0)))

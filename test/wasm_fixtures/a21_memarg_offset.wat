@@ -1,0 +1,11 @@
+;; expect: 77
+;; expect: 77
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (memory 1)
+  (func $main (export "main") (result i32) (local $p i32)
+    (local.set $p (i32.const 16))
+    (i32.store offset=8 (local.get $p) (i32.const 77))
+    (call $putint (i32.load offset=8 (local.get $p)))
+    (call $putint (i32.load (i32.const 24)))
+    (i32.const 0)))

@@ -1,0 +1,21 @@
+;; expect: 25
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (memory 1)
+  (func $main (export "main") (result i32) (local $i i32) (local $j i32) (local $count i32)
+    (local.set $i (i32.const 2))
+    (block $oi (loop $li
+      (br_if $oi (i32.gt_s (local.get $i) (i32.const 97)))
+      (block $skip
+        (br_if $skip (i32.load (i32.shl (local.get $i) (i32.const 2))))
+        (local.set $count (i32.add (local.get $count) (i32.const 1)))
+        (local.set $j (i32.mul (local.get $i) (local.get $i)))
+        (block $oj (loop $lj
+          (br_if $oj (i32.gt_s (local.get $j) (i32.const 97)))
+          (i32.store (i32.shl (local.get $j) (i32.const 2)) (i32.const 1))
+          (local.set $j (i32.add (local.get $j) (local.get $i)))
+          (br $lj))))
+      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+      (br $li)))
+    (call $putint (local.get $count))
+    (i32.const 0)))

@@ -1,0 +1,39 @@
+;; expect: 262
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (func $main (export "main") (result i32) (local $x i32)
+    (local.set $x (i32.const 3))
+    (local.get $x)
+    (i32.const 5)
+    (i32.const 7)
+    (i32.const 11)
+    (i32.const 13)
+    (i32.const 17)
+    (i32.const 19)
+    (i32.const 23)
+    (i32.const 29)
+    (i32.const 31)
+    (i32.const 37)
+    (i32.const 41)
+    (i32.const 43)
+    (i32.const 47)
+    (i32.const 53)
+    (i32.const 59)
+    i32.add
+    i32.xor
+    i32.add
+    i32.xor
+    i32.add
+    i32.xor
+    i32.add
+    i32.xor
+    i32.add
+    i32.xor
+    i32.add
+    i32.xor
+    i32.add
+    i32.xor
+    i32.add
+    (local.set $x)
+    (call $putint (local.get $x))
+    (i32.const 0)))

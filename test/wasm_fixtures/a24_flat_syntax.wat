@@ -1,0 +1,26 @@
+;; expect: 55
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (func $main (export "main") (result i32) (local $i i32) (local $sum i32)
+    i32.const 1
+    local.set $i
+    block $done
+      loop $top
+        local.get $i
+        i32.const 10
+        i32.gt_s
+        br_if $done
+        local.get $sum
+        local.get $i
+        i32.add
+        local.set $sum
+        local.get $i
+        i32.const 1
+        i32.add
+        local.set $i
+        br $top
+      end
+    end
+    local.get $sum
+    call $putint
+    i32.const 0))

@@ -1,0 +1,17 @@
+;; expect: 2
+;; expect: 4
+;; expect: 6
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (func $twice (param $v i32) (result i32)
+    local.get $v
+    i32.const 2
+    i32.mul)
+  (func $main (export "main") (result i32) (local $i i32)
+    (block $done
+      (loop $top
+        (br_if $done (i32.ge_s (local.get $i) (i32.const 3)))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (call $putint (call $twice (local.get $i)))
+        (br $top)))
+    (i32.const 0)))

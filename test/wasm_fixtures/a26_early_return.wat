@@ -1,0 +1,12 @@
+;; expect: 5
+;; expect-exit: 77
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (func $main (export "main") (result i32) (local $x i32)
+    (local.set $x (i32.const 5))
+    (block $b
+      (br_if $b (i32.eqz (local.get $x)))
+      (call $putint (local.get $x))
+      (return (i32.const 77)))
+    (call $putint (i32.const -1))
+    (i32.const 0)))

@@ -1,0 +1,8 @@
+;; expect: -2147483648
+;; expect: 1
+(module
+  (import "env" "putint" (func $putint (param i32)))
+  (func $main (export "main") (result i32)
+    (call $putint (i32.add (i32.const 2147483647) (i32.const 1)))
+    (call $putint (i32.mul (i32.const 0xFFFFFFFF) (i32.const -1)))
+    (i32.const 0)))

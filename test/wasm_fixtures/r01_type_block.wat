@@ -1,0 +1,5 @@
+;; expect-reject: type
+(module
+  (func $main (export "main") (result i32)
+    (block (result i32) (nop))
+    (i32.const 0)))

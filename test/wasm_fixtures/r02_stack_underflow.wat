@@ -1,0 +1,5 @@
+;; expect-reject: stack-underflow
+(module
+  (func $main (export "main") (result i32)
+    i32.const 1
+    i32.add))

@@ -1,0 +1,5 @@
+;; expect-reject: br-depth
+(module
+  (func $main (export "main") (result i32)
+    (block (br 5))
+    (i32.const 0)))

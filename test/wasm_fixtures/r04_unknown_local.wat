@@ -1,0 +1,4 @@
+;; expect-reject: unknown-local
+(module
+  (func $main (export "main") (result i32) (local i32)
+    (local.get 7)))

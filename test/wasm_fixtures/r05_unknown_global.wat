@@ -1,0 +1,4 @@
+;; expect-reject: unknown-global
+(module
+  (func $main (export "main") (result i32)
+    (global.get $nope)))

@@ -1,0 +1,5 @@
+;; expect-reject: unknown-func
+(module
+  (func $main (export "main") (result i32)
+    (call $missing)
+    (i32.const 0)))

@@ -1,0 +1,3 @@
+;; expect-reject: no-main
+(module
+  (func $helper (result i32) (i32.const 1)))

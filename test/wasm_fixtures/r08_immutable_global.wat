@@ -1,0 +1,6 @@
+;; expect-reject: immutable-global
+(module
+  (global $k i32 (i32.const 3))
+  (func $main (export "main") (result i32)
+    (global.set $k (i32.const 4))
+    (i32.const 0)))

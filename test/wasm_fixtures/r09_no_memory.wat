@@ -1,0 +1,4 @@
+;; expect-reject: no-memory
+(module
+  (func $main (export "main") (result i32)
+    (i32.load (i32.const 0))))

@@ -1,0 +1,6 @@
+;; expect-reject: too-many-params
+(module
+  (func $wide (param i32) (param i32) (param i32) (param i32) (param i32) (param i32) (param i32) (param i32) (param i32) (result i32)
+    (i32.const 0))
+  (func $main (export "main") (result i32)
+    (call $wide (i32.const 1) (i32.const 2) (i32.const 3) (i32.const 4) (i32.const 5) (i32.const 6) (i32.const 7) (i32.const 8) (i32.const 9))))

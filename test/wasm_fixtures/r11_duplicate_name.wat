@@ -1,0 +1,5 @@
+;; expect-reject: duplicate-name
+(module
+  (func $f (result i32) (i32.const 1))
+  (func $f (result i32) (i32.const 2))
+  (func $main (export "main") (result i32) (i32.const 0)))

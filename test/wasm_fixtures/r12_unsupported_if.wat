@@ -1,0 +1,5 @@
+;; expect-reject: unsupported
+(module
+  (func $main (export "main") (result i32)
+    (if (i32.const 1) (then (nop)))
+    (i32.const 0)))

@@ -1,0 +1,4 @@
+;; expect-reject: parse
+(module
+  (func $main (export "main") (result i32)
+    (i32.const 0))

@@ -1,0 +1,4 @@
+;; expect-reject: type
+(module
+  (func $main (export "main") (param i32) (result i32)
+    (local.get 0)))
